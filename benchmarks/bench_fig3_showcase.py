@@ -1,0 +1,25 @@
+"""Fig. 3 benchmark: Electricity forecasting showcase.
+
+Trains TS3Net and predicts one long-horizon test window, saving the
+curve data (truth vs. prediction) — the paper's Fig. 3 content.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments.figures import figure3
+
+
+def test_fig3_electricity_showcase(benchmark, results_dir):
+    result = run_once(benchmark, lambda: figure3(
+        scale="tiny", csv_path=f"{results_dir}/fig3_electricity.csv"))
+    assert result.prediction.shape == result.truth.shape
+    assert np.isfinite(result.prediction).all()
+    with open(f"{results_dir}/fig3_electricity.txt", "w") as fh:
+        fh.write(result.render())
+    # Shape: the trained model tracks the truth better than predicting the
+    # lookback mean.
+    baseline = np.full_like(result.truth, result.lookback.mean())
+    model_err = float(((result.prediction - result.truth) ** 2).mean())
+    naive_err = float(((baseline - result.truth) ** 2).mean())
+    assert model_err < 3.0 * naive_err

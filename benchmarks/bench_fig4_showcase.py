@@ -1,0 +1,17 @@
+"""Fig. 4 benchmark: ETTm2 normalised-OT forecasting showcase."""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments.figures import figure4
+
+
+def test_fig4_ettm2_showcase(benchmark, results_dir):
+    result = run_once(benchmark, lambda: figure4(
+        scale="tiny", channel=6,
+        csv_path=f"{results_dir}/fig4_ettm2.csv"))
+    assert result.dataset == "ETTm2"
+    assert result.channel == 6          # OT is the last ETT channel
+    assert np.isfinite(result.prediction).all()
+    with open(f"{results_dir}/fig4_ettm2.txt", "w") as fh:
+        fh.write(result.render())

@@ -1,0 +1,29 @@
+"""Extension benchmark: design-choice ablations DESIGN.md calls out.
+
+Beyond the paper's Table IX, sweeps the TF-Block depth and the S-GD
+boundary convention (``S^0 = 0`` vs. zeroing the first chunk).
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import sensitivity
+
+
+def test_num_blocks_sweep(benchmark, results_dir):
+    table = run_once(benchmark, lambda: sensitivity.run(
+        "num_blocks", scale="tiny", datasets=["ETTh1"], pred_lens=[12],
+        values=[1, 2]))
+    with open(f"{results_dir}/sensitivity_num_blocks.txt", "w") as fh:
+        fh.write(table.render())
+    for col in ("num_blocks=1", "num_blocks=2"):
+        assert np.isfinite(table.get("ETTh1", 12, col)["mse"])
+
+
+def test_first_chunk_convention(benchmark, results_dir):
+    table = run_once(benchmark, lambda: sensitivity.run(
+        "first_chunk_zero", scale="tiny", datasets=["Exchange"],
+        pred_lens=[12]))
+    with open(f"{results_dir}/sensitivity_first_chunk.txt", "w") as fh:
+        fh.write(table.render())
+    assert len(table.models) == 2

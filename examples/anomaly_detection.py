@@ -1,0 +1,55 @@
+"""Anomaly detection with an imputation-trained TS3Net (extension).
+
+Trains TS3Net to reconstruct masked windows on clean data, then scores a
+contaminated test series by reconstruction residual — spikes stand out.
+
+    python examples/anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro import TS3Net, TS3NetConfig, set_seed
+from repro.data import load_dataset
+from repro.experiments.plotting import ascii_lineplot
+from repro.tasks import (
+    ImputationTask, TrainConfig, detect_anomalies, run_imputation,
+)
+
+SEQ_LEN = 48
+
+
+def main() -> None:
+    set_seed(0)
+    split = load_dataset("ETTh1", n_steps=2000)
+
+    model = TS3Net(TS3NetConfig(
+        seq_len=SEQ_LEN, pred_len=SEQ_LEN, c_in=split.train.shape[1],
+        d_model=16, num_blocks=1, num_scales=8, d_ff=16, num_kernels=2,
+        task="imputation"))
+    result = run_imputation(
+        model, split,
+        ImputationTask(seq_len=SEQ_LEN, mask_ratio=0.25, batch_size=16,
+                       max_train_batches=25, max_eval_batches=8),
+        TrainConfig(epochs=2, lr=2e-3))
+    print(f"imputation training done (masked MSE={result.mse:.3f})")
+
+    # Contaminate the test series with three spike anomalies.
+    contaminated = split.test.copy()
+    spikes = [60, 180, 300]
+    for s in spikes:
+        contaminated[s:s + 2] += 6.0
+
+    detection = detect_anomalies(model, contaminated, seq_len=SEQ_LEN,
+                                 anomaly_ratio=0.02, stride=SEQ_LEN // 2)
+    flagged = np.where(detection.detections)[0]
+    print(f"\nplanted spikes at {spikes}; "
+          f"flagged {len(flagged)} points: {flagged[:20].tolist()}")
+    hits = sum(any(abs(f - s) <= 2 for f in flagged) for s in spikes)
+    print(f"spikes caught: {hits}/{len(spikes)}")
+
+    print("\nresidual score along the series (channel-mean):")
+    print(ascii_lineplot({"score": detection.scores}, height=8))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Time-series classification with TS3Net features (extension).
+
+Demonstrates the task-general API: TS3Net's ``encode`` features + a linear
+softmax head classify synthetic multivariate series whose classes differ
+only in their spectral mixture.
+
+    python examples/classification_demo.py
+"""
+
+import numpy as np
+
+from repro import TS3Net, TS3NetConfig, set_seed
+from repro.tasks import (
+    SeriesClassifier, make_classification_dataset, run_classification,
+)
+
+SEQ_LEN = 48
+
+
+def main() -> None:
+    set_seed(0)
+    x, y = make_classification_dataset(num_classes=3, samples_per_class=30,
+                                       seq_len=SEQ_LEN, channels=2,
+                                       noise=0.25, seed=1)
+    print(f"dataset: {x.shape[0]} samples, {len(set(y))} classes, "
+          f"window {SEQ_LEN} x {x.shape[2]} channels")
+
+    backbone = TS3Net(TS3NetConfig(
+        seq_len=SEQ_LEN, pred_len=8, c_in=x.shape[2], d_model=16,
+        num_blocks=1, num_scales=8, num_branches=2, d_ff=16, num_kernels=2))
+    clf = SeriesClassifier(backbone, d_model=16, num_classes=3)
+
+    result = run_classification(clf, x, y, epochs=15, batch_size=16, lr=3e-3)
+    print(f"training losses: {[f'{l:.3f}' for l in result.train_losses]}")
+    print(f"test accuracy: {result.accuracy:.1%} (chance = 33.3%)")
+
+    # Show a few predictions.
+    preds = clf.predict(x[-6:])
+    print("sample predictions vs truth:",
+          list(zip(preds.tolist(), y[-6:].tolist())))
+
+
+if __name__ == "__main__":
+    main()

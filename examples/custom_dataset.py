@@ -1,0 +1,73 @@
+"""Bring-your-own-data: forecast an arbitrary NumPy array with TS3Net.
+
+Shows the full adoption path for a downstream user: wrap a (N, C) array
+in the windowing pipeline, train, and forecast — no synthetic-dataset
+machinery required.
+
+    python examples/custom_dataset.py
+"""
+
+import numpy as np
+
+from repro import TS3Net, TS3NetConfig, set_seed
+from repro.data import (
+    DataLoader, ForecastWindows, SplitData, StandardScaler,
+    chronological_split,
+)
+from repro.tasks import ForecastTask, TrainConfig, predict, run_forecast
+
+SEQ_LEN, PRED_LEN = 48, 16
+
+
+def my_measurements(n: int = 1500) -> np.ndarray:
+    """Stand-in for the user's own data: 3 correlated sensor channels."""
+    rng = np.random.default_rng(99)
+    t = np.arange(n)
+    daily = np.sin(2 * np.pi * t / 24)
+    drift = np.cumsum(rng.standard_normal(n)) * 0.02
+    channels = [
+        2.0 * daily + drift,
+        -1.0 * daily + 0.5 * np.sin(2 * np.pi * t / 12) + drift,
+        0.3 * drift + 0.4 * rng.standard_normal(n),
+    ]
+    return np.stack(channels, axis=1)
+
+
+def main() -> None:
+    set_seed(0)
+    raw = my_measurements()
+
+    # 1. Split chronologically and standardise with train statistics only.
+    tr, va, te = chronological_split(len(raw))
+    scaler = StandardScaler().fit(raw[tr])
+    split = SplitData(train=scaler.transform(raw[tr]),
+                      val=scaler.transform(raw[va]),
+                      test=scaler.transform(raw[te]),
+                      scaler=scaler, name="my-sensors")
+
+    # 2. Train TS3Net.
+    model = TS3Net(TS3NetConfig(
+        seq_len=SEQ_LEN, pred_len=PRED_LEN, c_in=raw.shape[1],
+        d_model=16, num_blocks=1, num_scales=8, d_ff=16, num_kernels=2))
+    task = ForecastTask(seq_len=SEQ_LEN, pred_len=PRED_LEN, batch_size=16,
+                        max_train_batches=30, max_eval_batches=10)
+    result = run_forecast(model, split, task, TrainConfig(epochs=3, lr=2e-3))
+    print(f"test MSE={result.mse:.3f} MAE={result.mae:.3f}")
+
+    # 3. Forecast the next PRED_LEN steps after the data ends, back in the
+    #    original units.
+    last_window = split.test[-SEQ_LEN:]
+    forecast_std = predict(model, last_window)
+    forecast = scaler.inverse_transform(forecast_std)
+    print(f"\nnext {PRED_LEN} steps, original units (channel 0):")
+    print(np.array2string(forecast[:, 0], precision=2))
+
+    # 4. The windowing pipeline is reusable on its own, too.
+    loader = DataLoader(ForecastWindows(split.train, SEQ_LEN, PRED_LEN),
+                        batch_size=8, shuffle=True)
+    x, y = next(iter(loader))
+    print(f"\nreusable loader batch: x{x.shape} -> y{y.shape}")
+
+
+if __name__ == "__main__":
+    main()

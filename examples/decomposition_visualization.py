@@ -1,0 +1,55 @@
+"""Visualise the triple decomposition (the paper's Fig. 1 / Fig. 5).
+
+Decomposes an amplitude-modulated multi-periodic series into its trend,
+regular, and fluctuant parts and renders the temporal-frequency
+distribution and the spectrum-gradient map as terminal heat maps.
+
+    python examples/decomposition_visualization.py
+"""
+
+import numpy as np
+
+from repro import decompose_array
+from repro.experiments.plotting import ascii_heatmap, ascii_lineplot
+
+
+def make_series(t_len: int = 192) -> np.ndarray:
+    """A series with trend + stable periodicity + dynamic spectral bursts."""
+    t = np.arange(t_len)
+    trend = 0.01 * t + 0.5 * np.sin(2 * np.pi * t / t_len)
+    stable = np.sin(2 * np.pi * t / 24)
+    # Dynamic part: a faster component whose amplitude surges mid-series —
+    # exactly the "fluctuant" behaviour the spectrum gradient targets.
+    envelope = np.exp(-0.5 * ((t - t_len / 2) / 20.0) ** 2)
+    burst = 1.5 * envelope * np.sin(2 * np.pi * t / 8)
+    return trend + stable + burst
+
+
+def main() -> None:
+    x = make_series()
+    res = decompose_array(x, num_scales=12)
+
+    print("Original series (trend + stable period-24 + a period-8 burst):")
+    print(ascii_lineplot({"x": x}, height=9))
+
+    print("\nTemporal-frequency distribution Amp(WT(seasonal)) — Eq. 7-8:")
+    print(ascii_heatmap(res.tf_distribution.data[0, 0], label="TF distribution"))
+
+    print("\nSpectrum gradient Delta_2D — Eq. 9 (the mid-series burst lights up):")
+    print(ascii_heatmap(res.fluctuant.data[0, 0], label="Spectrum gradient"))
+
+    print("\nTriple decomposition (detected period "
+          f"T_f = {res.period}):")
+    print(ascii_lineplot({
+        "trend": res.trend.data[0, :, 0],
+        "regular": res.regular.data[0, :, 0],
+        "fluct": res.delta_1d.data[0, :, 0],
+    }, height=11))
+
+    total = (res.trend.data + res.regular.data + res.delta_1d.data)[0, :, 0]
+    print(f"\nexact reconstruction check: max |sum(parts) - x| = "
+          f"{np.abs(total - x).max():.2e}")
+
+
+if __name__ == "__main__":
+    main()

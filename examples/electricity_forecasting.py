@@ -1,0 +1,42 @@
+"""Electricity load forecasting: TS3Net vs. three baselines.
+
+The workload the paper's introduction motivates: electricity consumption
+with daily/weekly periodicity, a drifting trend, and dynamic fluctuation.
+Trains TS3Net, PatchTST, MICN, and DLinear under an identical protocol and
+prints a Table IV-style comparison.
+
+    python examples/electricity_forecasting.py
+"""
+
+from repro import set_seed
+from repro.baselines import build_model
+from repro.data import load_dataset
+from repro.experiments.results import ResultTable
+from repro.tasks import ForecastTask, TrainConfig, run_forecast
+
+SEQ_LEN, PRED_LEN = 48, 24
+MODELS = ("TS3Net", "PatchTST", "MICN", "DLinear")
+
+
+def main() -> None:
+    split = load_dataset("Electricity", n_steps=2500)
+    task = ForecastTask(seq_len=SEQ_LEN, pred_len=PRED_LEN, batch_size=16,
+                        max_train_batches=40, max_eval_batches=12)
+    table = ResultTable("Electricity forecasting (synthetic stand-in)")
+
+    for name in MODELS:
+        set_seed(0)
+        model = build_model(name, seq_len=SEQ_LEN, pred_len=PRED_LEN,
+                            c_in=split.train.shape[1], preset="tiny")
+        result = run_forecast(model, split, task,
+                              TrainConfig(epochs=3, lr=2e-3))
+        table.add("Electricity", PRED_LEN, name, result.as_row())
+        print(f"{name:10s} mse={result.mse:.3f} mae={result.mae:.3f} "
+              f"({result.seconds:.0f}s)")
+
+    print()
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Regenerate every paper table and figure at a chosen scale.
+
+Writes rendered tables and JSON payloads under ``benchmarks/results/full/``;
+EXPERIMENTS.md is written from these outputs.
+
+    python scripts/run_all_experiments.py --scale tiny
+"""
+
+import argparse
+import os
+import time
+
+from repro.experiments import table2, table4, table5, table6, table7, table8, table9
+from repro.experiments.configs import format_table3
+from repro.experiments.figures import figure3, figure4, figure5
+
+OUT = os.path.join(os.path.dirname(__file__), "..", "benchmarks", "results", "full")
+
+
+def emit(name: str, text: str) -> None:
+    with open(os.path.join(OUT, f"{name}.txt"), "w") as fh:
+        fh.write(text)
+    print(f"\n===== {name} =====\n{text}\n", flush=True)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of {table2..table9, figures}")
+    args = parser.parse_args()
+    os.makedirs(OUT, exist_ok=True)
+    scale = args.scale
+    wanted = set(args.only or ["table2", "table3", "table4", "table5",
+                               "table6", "table7", "table8", "table9",
+                               "figures"])
+    t0 = time.time()
+
+    if "table2" in wanted:
+        emit("table2", table2.describe(scale))
+    if "table3" in wanted:
+        emit("table3", format_table3())
+    if "table4" in wanted:
+        t = table4.run(scale=scale, verbose=True)
+        t.save_json(os.path.join(OUT, "table4.json"))
+        emit("table4", t.render())
+    if "table5" in wanted:
+        t = table5.run(scale=scale, verbose=True)
+        t.save_json(os.path.join(OUT, "table5.json"))
+        emit("table5", t.render())
+    if "table6" in wanted:
+        t = table6.run(scale=scale, verbose=True)
+        t.save_json(os.path.join(OUT, "table6.json"))
+        emit("table6", t.render())
+    if "table7" in wanted:
+        t = table7.run(scale=scale, verbose=True)
+        t.save_json(os.path.join(OUT, "table7.json"))
+        emit("table7", t.render())
+    if "table8" in wanted:
+        t = table8.run(scale=scale, verbose=True)
+        t.save_json(os.path.join(OUT, "table8.json"))
+        emit("table8", t.render())
+    if "table9" in wanted:
+        t = table9.run(scale=scale, verbose=True)
+        t.save_json(os.path.join(OUT, "table9.json"))
+        emit("table9", t.render())
+    if "figures" in wanted:
+        emit("fig3", figure3(scale=scale,
+                             csv_path=os.path.join(OUT, "fig3.csv")).render())
+        emit("fig4", figure4(scale=scale,
+                             csv_path=os.path.join(OUT, "fig4.csv")).render())
+        for ds in ("ETTh1", "ETTh2"):
+            emit(f"fig5_{ds}", figure5(dataset=ds, scale=scale,
+                                       csv_path=os.path.join(OUT, f"fig5_{ds}.csv")).render())
+
+    print(f"\nall done in {time.time() - t0:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Headline experiment sweep for EXPERIMENTS.md (reduced grid, small scale).
+
+One horizon per dataset and two mask ratios keep the wall-clock tractable
+on a single CPU while preserving each table's comparison structure. The
+complete grids remain available via the per-table CLIs
+(``python -m repro.experiments.table4 --scale small``) and
+``scripts/run_all_experiments.py``.
+"""
+
+import os
+import time
+
+from repro.experiments import (
+    figures, table2, table4, table5, table6, table7, table8, table9,
+)
+from repro.experiments.configs import format_table3
+
+OUT = os.path.join(os.path.dirname(__file__), "..", "benchmarks", "results", "full")
+SCALE = "small"
+
+
+def emit(name, table=None, text=None):
+    if table is not None:
+        table.save_json(os.path.join(OUT, f"{name}.json"))
+        text = table.render()
+    with open(os.path.join(OUT, f"{name}.txt"), "w") as fh:
+        fh.write(text)
+    print(f"\n===== {name} =====\n{text}\n", flush=True)
+
+
+def main() -> None:
+    os.makedirs(OUT, exist_ok=True)
+    t0 = time.time()
+
+    emit("table2", text=table2.describe(SCALE))
+    emit("table3", text=format_table3())
+    emit("table4", table4.run(scale=SCALE, pred_lens=[24], verbose=True))
+    emit("table5", table5.run(scale=SCALE, mask_ratios=[0.25, 0.5], verbose=True))
+    emit("table6", table6.run(scale=SCALE, pred_lens=[24], verbose=True))
+    emit("table7", table7.run(scale=SCALE, pred_lens=[24], verbose=True))
+    emit("table8", table8.run(scale=SCALE, pred_lens=[24], verbose=True))
+    emit("table9", table9.run(scale=SCALE, pred_lens=[24], verbose=True))
+    emit("fig3", text=figures.figure3(
+        scale=SCALE, csv_path=os.path.join(OUT, "fig3.csv")).render())
+    emit("fig4", text=figures.figure4(
+        scale=SCALE, csv_path=os.path.join(OUT, "fig4.csv")).render())
+    for ds in ("ETTh1", "ETTh2"):
+        emit(f"fig5_{ds}", text=figures.figure5(
+            dataset=ds, scale=SCALE,
+            csv_path=os.path.join(OUT, f"fig5_{ds}.csv")).render())
+
+    print(f"\nall done in {time.time() - t0:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

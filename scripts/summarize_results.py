@@ -1,0 +1,139 @@
+"""Fill EXPERIMENTS.md's summary placeholders from the sweep's JSON output.
+
+Reads ``benchmarks/results/full/table{4..9}.json`` and replaces each
+``<!-- TABLEx-SUMMARY -->`` marker in EXPERIMENTS.md with a computed
+summary (average ranks, win counts, degradation percentages), so the
+document always reflects the latest measured run.
+
+    python scripts/summarize_results.py
+"""
+
+import json
+import os
+import re
+
+from repro.experiments.results import ResultTable
+from repro.experiments.summaries import (
+    degradation_vs, mean_rank, monotone_fraction, ordered_by_rank, win_rate,
+)
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+FULL = os.path.join(ROOT, "benchmarks", "results", "full")
+
+
+def load(name: str) -> ResultTable:
+    with open(os.path.join(FULL, f"{name}.json")) as fh:
+        return ResultTable.from_dict(json.load(fh))
+
+
+def summarize_table4() -> str:
+    t = load("table4")
+    ranks = mean_rank(t)
+    ordered = ordered_by_rank(t)
+    firsts = t.first_place_counts()
+    lines = ["Average MSE rank across the 9 datasets (1 = best):", "",
+             "| model | mean rank | first places |", "|---|---|---|"]
+    for m in ordered:
+        lines.append(f"| {m} | {ranks[m]:.2f} | {firsts[m]} |")
+    lines += ["", f"Top group: **{', '.join(ordered[:3])}**; "
+              f"bottom: {', '.join(ordered[-2:])}."]
+    return "\n".join(lines)
+
+
+def summarize_table5() -> str:
+    t = load("table5")
+    ranks = mean_rank(t)
+    ordered = ordered_by_rank(t)
+    lines = ["Average MSE rank over the imputation grid:", "",
+             "| model | mean rank |", "|---|---|"]
+    for m in ordered[:5]:
+        lines.append(f"| {m} | {ranks[m]:.2f} |")
+    grows, total = monotone_fraction(t, "TS3Net")
+    lines += ["", f"TS3Net error grows with the mask ratio on {grows}/{total} "
+              "datasets (paper: always)."]
+    return "\n".join(lines)
+
+
+def summarize_table6() -> str:
+    t = load("table6")
+    deg = degradation_vs(t, reference="TS3Net")
+    lines = ["Average-MSE degradation vs. full TS3Net:", "",
+             "| dataset | w/o TD | w/o TF-Block | w/o Both |",
+             "|---|---|---|---|"]
+    for ds, row in deg.items():
+        cells = [f"{100 * row[c]:+.1f}%"
+                 for c in ("w/o TD", "w/o TF-Block", "w/o Both")]
+        lines.append(f"| {ds} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def summarize_table7() -> str:
+    t = load("table7")
+    wins, total = win_rate(t, "TS3Net")
+    lines = ["Average MSE per backbone:", "",
+             "| dataset | TSD-CNN | TSD-Trans | TS3Net |", "|---|---|---|---|"]
+    for ds in t.datasets:
+        avg = t.average_row(ds)
+        lines.append(f"| {ds} | {avg['TSD-CNN']['mse']:.3f} | "
+                     f"{avg['TSD-Trans']['mse']:.3f} | "
+                     f"{avg['TS3Net']['mse']:.3f} |")
+    lines += ["", f"TS3Net wins {wins}/{total} comparisons "
+              "(paper: 13/15 at full scale)."]
+    return "\n".join(lines)
+
+
+def summarize_table8() -> str:
+    t = load("table8")
+    deg = degradation_vs(t, reference="rho=0%")
+    lines = ["MSE degradation vs. the clean run (rho=0%):", "",
+             "| dataset | rho=1% | rho=5% | rho=10% |", "|---|---|---|---|"]
+    for ds, row in deg.items():
+        cells = [f"{100 * row[c]:+.1f}%" for c in ("rho=1%", "rho=5%", "rho=10%")]
+        lines.append(f"| {ds} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def summarize_table9() -> str:
+    t = load("table9")
+    lines = ["Average MSE per lambda:", "",
+             "| dataset | " + " | ".join(t.models) + " |",
+             "|" + "---|" * (len(t.models) + 1)]
+    for ds in t.datasets:
+        avg = t.average_row(ds)
+        lines.append("| " + ds + " | " + " | ".join(
+            f"{avg[m]['mse']:.3f}" for m in t.models) + " |")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    summaries = {
+        "TABLE4-SUMMARY": summarize_table4,
+        "TABLE5-SUMMARY": summarize_table5,
+        "TABLE6-SUMMARY": summarize_table6,
+        "TABLE7-SUMMARY": summarize_table7,
+        "TABLE8-SUMMARY": summarize_table8,
+        "TABLE9-SUMMARY": summarize_table9,
+    }
+    path = os.path.join(ROOT, "EXPERIMENTS.md")
+    with open(path) as fh:
+        text = fh.read()
+    for marker, fn in summaries.items():
+        try:
+            block = fn()
+        except FileNotFoundError:
+            print(f"skipping {marker}: results not found")
+            continue
+        open_tag, close_tag = f"<!-- {marker} -->", f"<!-- /{marker} -->"
+        replacement = f"{open_tag}\n{block}\n{close_tag}"
+        if close_tag in text:
+            pattern = re.escape(open_tag) + r".*?" + re.escape(close_tag)
+            text = re.sub(pattern, lambda _: replacement, text, flags=re.S)
+        else:
+            text = text.replace(open_tag, replacement)
+    with open(path, "w") as fh:
+        fh.write(text)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

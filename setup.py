@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The execution environment has no network and no `wheel` package, so the
+PEP 660 editable-wheel path is unavailable; this file keeps `pip install -e .`
+working there. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro — a full reproduction of TS3Net (ICDE 2024).
+
+TS3Net: Triple Decomposition with Spectrum Gradient for Long-Term Time
+Series Analysis (Ma, Hong, Lu, Li).
+
+The package is self-contained on NumPy: it ships its own autodiff engine
+(:mod:`repro.autodiff`), neural-network layers (:mod:`repro.nn`),
+optimisers (:mod:`repro.optim`), the wavelet/CWT spectral substrate
+(:mod:`repro.spectral`), the paper's triple decomposition
+(:mod:`repro.decomposition`) and TS3Net model (:mod:`repro.core`), ten
+baselines (:mod:`repro.baselines`), synthetic benchmark datasets
+(:mod:`repro.data`), task drivers (:mod:`repro.tasks`), and one experiment
+module per paper table/figure (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import TS3Net, TS3NetConfig, Tensor
+    from repro.data import load_dataset
+    from repro.tasks import ForecastTask, run_forecast
+
+    split = load_dataset("ETTh1", n_steps=1200)
+    model = TS3Net(TS3NetConfig(seq_len=48, pred_len=24,
+                                c_in=split.train.shape[1]))
+    result = run_forecast(model, split, ForecastTask(seq_len=48, pred_len=24))
+    print(result.mse, result.mae)
+"""
+
+from .autodiff import Tensor, no_grad
+from .core import TS3Net, TS3NetConfig
+from .decomposition import TripleDecomposition, decompose_array
+from .utils import get_rng, set_seed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Tensor", "no_grad", "TS3Net", "TS3NetConfig", "TripleDecomposition",
+    "decompose_array", "get_rng", "set_seed", "__version__",
+]

@@ -1,0 +1,23 @@
+"""From-scratch reverse-mode autodiff substrate (replaces PyTorch)."""
+
+from .tensor import (
+    Tensor, no_grad, is_grad_enabled, tensor, zeros, ones, zeros_like, randn,
+    unbroadcast, DEFAULT_DTYPE,
+)
+from .ops import (
+    concat, stack, pad, relu, gelu, sigmoid, softmax, leaky_relu, dropout,
+    where, conv2d, conv1d, avg_pool1d, avg_pool2d, max_pool2d,
+    mse_loss, mae_loss, masked_mse_loss, unfold2d, fold2d,
+    log_softmax, cross_entropy_loss, window_view,
+)
+from .grad_check import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones",
+    "zeros_like", "randn", "unbroadcast", "DEFAULT_DTYPE",
+    "concat", "stack", "pad", "relu", "gelu", "sigmoid", "softmax",
+    "leaky_relu", "dropout", "where", "conv2d", "conv1d", "avg_pool1d",
+    "avg_pool2d", "max_pool2d", "mse_loss", "mae_loss", "masked_mse_loss",
+    "unfold2d", "fold2d", "window_view", "log_softmax",
+    "cross_entropy_loss", "check_gradients", "numerical_gradient",
+]

@@ -1,0 +1,428 @@
+"""Differentiable functional operations built on :class:`repro.autodiff.Tensor`.
+
+These are the ops that do not fit naturally as ``Tensor`` methods: joining
+(concat/stack), padding, convolution (im2col), pooling, and the classic
+neural-network nonlinearities.  Every op returns a new tensor wired into the
+autodiff tape; gradients are validated against finite differences in
+``tests/test_autodiff.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "concat", "stack", "pad", "relu", "gelu", "sigmoid", "softmax",
+    "leaky_relu", "dropout", "where", "conv2d", "conv1d", "avg_pool1d",
+    "avg_pool2d", "max_pool2d", "mse_loss", "mae_loss", "masked_mse_loss",
+    "log_softmax", "cross_entropy_loss",
+    "unfold2d", "fold2d", "window_view",
+]
+
+
+def _as_tensor(x) -> Tensor:
+    return x if isinstance(x, Tensor) else Tensor(x)
+
+
+# ---------------------------------------------------------------------------
+# Joining and padding
+# ---------------------------------------------------------------------------
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable ``np.concatenate``)."""
+    tensors = [_as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad, sink):
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            sink(t, grad[tuple(index)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [_as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad, sink):
+        pieces = np.moveaxis(grad, axis, 0)
+        for t, piece in zip(tensors, pieces):
+            sink(t, piece)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def pad(x: Tensor, pad_width: Sequence[Tuple[int, int]],
+        mode: str = "constant", value: float = 0.0) -> Tensor:
+    """Differentiable ``np.pad`` for constant / edge / reflect modes."""
+    x = _as_tensor(x)
+    if mode == "constant":
+        out_data = np.pad(x.data, pad_width, mode="constant", constant_values=value)
+    else:
+        out_data = np.pad(x.data, pad_width, mode=mode)
+
+    src_shape = x.data.shape
+    inner = tuple(slice(p[0], p[0] + s) for p, s in zip(pad_width, src_shape))
+
+    def backward(grad, sink):
+        if mode == "constant":
+            sink(x, grad[inner])
+            return
+        # For replicate/reflect padding the padded entries alias interior
+        # entries; scatter their gradients back by accumulating into the
+        # interior along each axis.
+        g = grad.copy()
+        if mode == "edge":
+            for axis, (lo, hi) in enumerate(pad_width):
+                if lo:
+                    index = [slice(None)] * g.ndim
+                    index[axis] = slice(0, lo)
+                    edge = [slice(None)] * g.ndim
+                    edge[axis] = slice(lo, lo + 1)
+                    g[tuple(edge)] += g[tuple(index)].sum(axis=axis, keepdims=True)
+                if hi:
+                    index = [slice(None)] * g.ndim
+                    index[axis] = slice(g.shape[axis] - hi, g.shape[axis])
+                    edge = [slice(None)] * g.ndim
+                    edge[axis] = slice(g.shape[axis] - hi - 1, g.shape[axis] - hi)
+                    g[tuple(edge)] += g[tuple(index)].sum(axis=axis, keepdims=True)
+            sink(x, g[inner])
+            return
+        if mode == "reflect":
+            for axis, (lo, hi) in enumerate(pad_width):
+                n = src_shape[axis]
+                if lo:
+                    for k in range(lo):
+                        src_i = [slice(None)] * g.ndim
+                        src_i[axis] = slice(k, k + 1)
+                        dst_i = [slice(None)] * g.ndim
+                        dst_i[axis] = slice(2 * lo - k, 2 * lo - k + 1)
+                        g[tuple(dst_i)] += g[tuple(src_i)]
+                if hi:
+                    end = g.shape[axis]
+                    for k in range(hi):
+                        src_i = [slice(None)] * g.ndim
+                        src_i[axis] = slice(end - 1 - k, end - k)
+                        dst_i = [slice(None)] * g.ndim
+                        pos = end - 2 * hi + k - 1 + 0  # mirror position
+                        dst_i[axis] = slice(pos, pos + 1)
+                        g[tuple(dst_i)] += g[tuple(src_i)]
+            sink(x, g[inner])
+            return
+        raise ValueError(f"unsupported pad mode: {mode}")
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable select: ``condition`` is a detached boolean array."""
+    a, b = _as_tensor(a), _as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad, sink):
+        sink(a, np.where(cond, grad, 0.0))
+        sink(b, np.where(cond, 0.0, grad))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+# ---------------------------------------------------------------------------
+# Nonlinearities
+# ---------------------------------------------------------------------------
+
+def relu(x: Tensor) -> Tensor:
+    x = _as_tensor(x)
+    mask = x.data > 0
+    out_data = x.data * mask
+
+    def backward(grad, sink):
+        sink(x, grad * mask)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    x = _as_tensor(x)
+    mask = x.data > 0
+    out_data = np.where(mask, x.data, negative_slope * x.data)
+
+    def backward(grad, sink):
+        sink(x, np.where(mask, grad, negative_slope * grad))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """GELU with the tanh approximation (the common production form)."""
+    x = _as_tensor(x)
+    u = _SQRT_2_OVER_PI * (x.data + 0.044715 * x.data ** 3)
+    t = np.tanh(u)
+    out_data = 0.5 * x.data * (1.0 + t)
+
+    def backward(grad, sink):
+        du = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x.data ** 2)
+        local = 0.5 * (1.0 + t) + 0.5 * x.data * (1.0 - t ** 2) * du
+        sink(x, grad * local)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    x = _as_tensor(x)
+    out_data = 1.0 / (1.0 + np.exp(-x.data))
+
+    def backward(grad, sink):
+        sink(x, grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = _as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad, sink):
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        sink(x, out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    x = _as_tensor(x)
+    rng = rng or np.random.default_rng()
+    keep = 1.0 - p
+    mask = (rng.random(x.data.shape) < keep) / keep
+    out_data = x.data * mask
+
+    def backward(grad, sink):
+        sink(x, grad * mask)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Convolution via im2col
+# ---------------------------------------------------------------------------
+
+def window_view(x: np.ndarray, kh: int, kw: int, stride: int = 1) -> np.ndarray:
+    """Zero-copy sliding-window view: (N, C, H, W) -> (N, C, oh, ow, kh, kw)."""
+    n, c, h, w = x.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+
+
+def unfold2d(x: np.ndarray, kh: int, kw: int, stride: int = 1) -> np.ndarray:
+    """im2col: (N, C, H, W) -> (N, C*kh*kw, out_h*out_w) using stride tricks."""
+    n, c, h, w = x.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    windows = window_view(x, kh, kw, stride)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols)
+
+
+def fold2d(cols: np.ndarray, x_shape: Tuple[int, int, int, int],
+           kh: int, kw: int, stride: int = 1) -> np.ndarray:
+    """col2im: scatter-add the unfolded columns back to (N, C, H, W)."""
+    n, c, h, w = x_shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    x = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            x[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += cols[:, :, i, j]
+    return x
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: Union[int, Tuple[int, int]] = 0) -> Tensor:
+    """2-D cross-correlation, NCHW layout, weight of shape (O, C, kh, kw)."""
+    x = _as_tensor(x)
+    weight = _as_tensor(weight)
+    if isinstance(padding, int):
+        padding = (padding, padding)
+    ph, pw = padding
+    if ph or pw:
+        x = pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+    n, c, h, w = x.data.shape
+    o, c_in, kh, kw = weight.data.shape
+    if c_in != c:
+        raise ValueError(f"conv2d channel mismatch: input {c}, weight {c_in}")
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+
+    windows = window_view(x.data, kh, kw, stride)      # (N, C, oh, ow, kh, kw) view
+    out_data = np.einsum("nchwkl,ockl->nohw", windows, weight.data, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, o, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad, sink):
+        grad_w = np.einsum("nohw,nchwkl->ockl", grad, windows, optimize=True)
+        sink(weight, grad_w)
+        if bias is not None:
+            sink(bias, grad.sum(axis=(0, 2, 3)))
+        grad_win = np.einsum("ockl,nohw->nchwkl", weight.data, grad, optimize=True)
+        grad_x = np.zeros((n, c, h, w), dtype=grad.dtype)
+        for i in range(kh):
+            for j in range(kw):
+                grad_x[:, :, i:i + stride * out_h:stride,
+                       j:j + stride * out_w:stride] += grad_win[:, :, :, :, i, j]
+        sink(x, grad_x)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def conv1d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """1-D cross-correlation, NCL layout, weight of shape (O, C, k)."""
+    x4 = x.unsqueeze(2)                                  # (N, C, 1, L)
+    w4 = weight.unsqueeze(2)                             # (O, C, 1, k)
+    out = conv2d(x4, w4, bias=bias, stride=stride, padding=(0, padding))
+    return out.squeeze(2)
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+def avg_pool1d(x: Tensor, kernel_size: int, stride: Optional[int] = None,
+               padding: int = 0, pad_mode: str = "edge") -> Tensor:
+    """Average pooling over the last axis of a (..., L) tensor.
+
+    The paper's trend decomposition uses average pooling with replicate
+    padding so the series length is preserved; ``pad_mode='edge'`` gives
+    exactly that behaviour.
+    """
+    x = _as_tensor(x)
+    stride = stride or kernel_size
+    if padding:
+        widths = [(0, 0)] * (x.data.ndim - 1) + [(padding, padding)]
+        x = pad(x, widths, mode=pad_mode)
+    lead = x.data.shape[:-1]
+    length = x.data.shape[-1]
+    out_len = (length - kernel_size) // stride + 1
+    flat = x.reshape(int(np.prod(lead)) if lead else 1, 1, 1, length)
+    w = Tensor(np.full((1, 1, 1, kernel_size), 1.0 / kernel_size))
+    out = conv2d(flat, w, stride=stride)
+    return out.reshape(*lead, out_len)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling on NCHW tensors with a square kernel."""
+    x = _as_tensor(x)
+    stride = stride or kernel_size
+    n, c, h, w = x.data.shape
+    weight = np.zeros((c, c, kernel_size, kernel_size))
+    for ch in range(c):
+        weight[ch, ch] = 1.0 / (kernel_size * kernel_size)
+    return conv2d(x, Tensor(weight), stride=stride)
+
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling on NCHW tensors."""
+    x = _as_tensor(x)
+    stride = stride or kernel_size
+    n, c, h, w = x.data.shape
+    kh = kw = kernel_size
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    cols = unfold2d(x.data, kh, kw, stride).reshape(n, c, kh * kw, out_h * out_w)
+    arg = cols.argmax(axis=2)                                    # (N, C, L)
+    out_data = np.take_along_axis(cols, arg[:, :, None, :], axis=2)[:, :, 0, :]
+    out_data = out_data.reshape(n, c, out_h, out_w)
+
+    def backward(grad, sink):
+        g = grad.reshape(n, c, out_h * out_w)
+        grad_cols = np.zeros((n, c, kh * kw, out_h * out_w), dtype=grad.dtype)
+        np.put_along_axis(grad_cols, arg[:, :, None, :], g[:, :, None, :], axis=2)
+        grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
+        sink(x, fold2d(grad_cols, (n, c, h, w), kh, kw, stride))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    x = _as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    soft = np.exp(out_data)
+
+    def backward(grad, sink):
+        sink(x, grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def cross_entropy_loss(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross entropy between (B, K) logits and (B,) integer labels."""
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (B, K) logits, got shape {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError(f"labels shape {labels.shape} does not match "
+                         f"batch size {logits.shape[0]}")
+    log_probs = log_softmax(logits, axis=-1)
+    batch = np.arange(len(labels))
+    picked = log_probs[batch, labels]
+    return -picked.mean()
+
+
+def mse_loss(pred: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean squared error (the paper's training loss)."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target.detach()
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean absolute error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return (pred - target.detach()).abs().mean()
+
+
+def masked_mse_loss(pred: Tensor, target: Union[Tensor, np.ndarray],
+                    mask: np.ndarray) -> Tensor:
+    """MSE restricted to positions where ``mask`` is True (imputation loss)."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    mask = np.asarray(mask, dtype=bool)
+    count = max(int(mask.sum()), 1)
+    diff = (pred - target.detach()) * Tensor(mask.astype(pred.dtype))
+    return (diff * diff).sum() / count

@@ -1,0 +1,574 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the lowest layer of the reproduction: everything the paper
+runs in PyTorch (TS3Net, the baselines, Adam) runs here on a from-scratch
+``Tensor`` that records a computation graph and back-propagates through it.
+
+The design follows the classic tape-based pattern:
+
+* every operation creates a new :class:`Tensor` whose ``_parents`` point to
+  its operands and whose ``_backward`` closure scatters the output gradient
+  back onto the operands;
+* :meth:`Tensor.backward` topologically sorts the graph and runs the
+  closures in reverse order;
+* broadcasting is handled by summing gradients over broadcast axes
+  (:func:`unbroadcast`).
+
+Only ``float`` dtypes participate in differentiation.  Integer tensors are
+allowed as indices/masks but never receive gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+DEFAULT_DTYPE = np.float64
+
+_grad_enabled = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (like ``torch.no_grad``)."""
+
+    def __enter__(self):
+        global _grad_enabled
+        self._prev = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, *exc):
+        global _grad_enabled
+        _grad_enabled = self._prev
+        return False
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded on the tape."""
+    return _grad_enabled
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting.
+
+    If a forward op broadcast an operand of ``shape`` up to ``grad.shape``,
+    the operand's gradient is the sum of ``grad`` over every broadcast axis.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    """Coerce ``value`` to a NumPy array of the engine's default dtype."""
+    arr = np.asarray(value)
+    if dtype is not None:
+        return arr.astype(dtype, copy=False)
+    if np.issubdtype(arr.dtype, np.floating):
+        return arr.astype(DEFAULT_DTYPE, copy=False)
+    return arr
+
+
+class Tensor:
+    """A NumPy array plus the bookkeeping needed for backpropagation.
+
+    Parameters
+    ----------
+    data:
+        The wrapped array (or anything ``np.asarray`` accepts).
+    requires_grad:
+        Whether gradients should be accumulated into ``.grad`` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    __array_priority__ = 100  # make NumPy defer to our reflected operators
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False,
+                 name: Optional[str] = None):
+        self.data = as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=16)}{grad_flag})"
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy); detached from the graph."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Build an op output, wiring the tape only when grad is enabled."""
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without an explicit gradient requires a scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                node._accumulate(node_grad)
+                continue
+            # Leaf-style accumulation also applies to interior nodes that the
+            # user marked (retain semantics are implicit: interior .grad stays
+            # None unless it has no _backward).
+            node._push_parent_grads(node_grad, grads)
+
+    def _push_parent_grads(self, grad: np.ndarray,
+                           grads: dict[int, np.ndarray]) -> None:
+        """Run this node's backward closure, staging gradients per parent."""
+
+        staged: list[np.ndarray] = []
+
+        def sink(parent: Tensor, g: np.ndarray) -> None:
+            if not parent.requires_grad:
+                return
+            g = unbroadcast(np.asarray(g, dtype=parent.data.dtype), parent.data.shape)
+            if parent._backward is None and not parent._parents:
+                parent._accumulate(g)
+            key = id(parent)
+            if parent._backward is not None or parent._parents:
+                if key in grads:
+                    grads[key] = grads[key] + g
+                else:
+                    grads[key] = g
+
+        self._backward(grad, sink)  # type: ignore[misc]
+        del staged
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(as_array(other, dtype=self.data.dtype))
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad, sink):
+            sink(self, grad)
+            sink(other, grad)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        out_data = self.data - other.data
+
+        def backward(grad, sink):
+            sink(self, grad)
+            sink(other, -grad)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other):
+        return self._coerce(other) - self
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad, sink):
+            sink(self, grad * other.data)
+            sink(other, grad * self.data)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad, sink):
+            sink(self, grad / other.data)
+            sink(other, -grad * self.data / (other.data ** 2))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other) / self
+
+    def __neg__(self):
+        def backward(grad, sink):
+            sink(self, -grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __pow__(self, exponent: float):
+        exponent = float(exponent)
+        out_data = self.data ** exponent
+
+        def backward(grad, sink):
+            sink(self, grad * exponent * self.data ** (exponent - 1.0))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other):
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad, sink):
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                sink(self, grad * b)
+                sink(other, grad * a)
+                return
+            if a.ndim == 1:
+                # (k,) @ (..., k, n) -> (..., n)
+                sink(self, (grad[..., None, :] * b).sum(axis=-1).reshape(a.shape)
+                     if b.ndim > 2 else b @ grad)
+                sink(other, np.multiply.outer(a, grad) if b.ndim == 2
+                     else a[:, None] * grad[..., None, :])
+                return
+            if b.ndim == 1:
+                sink(self, np.multiply.outer(grad, b).reshape(a.shape)
+                     if a.ndim == 2 else grad[..., None] * b)
+                sink(other, (a * grad[..., None]).reshape(-1, a.shape[-1]).sum(axis=0))
+                return
+            grad_a = grad @ np.swapaxes(b, -1, -2)
+            grad_b = np.swapaxes(a, -1, -2) @ grad
+            sink(self, grad_a)
+            sink(other, grad_b)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # Comparisons produce detached boolean arrays.
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    def __ge__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data >= other
+
+    def __le__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data <= other
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        src_shape = self.data.shape
+
+        def backward(grad, sink):
+            sink(self, grad.reshape(src_shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        inv = np.argsort(axes)
+        out_data = self.data.transpose(axes)
+
+        def backward(grad, sink):
+            sink(self, grad.transpose(inv))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, idx) -> "Tensor":
+        out_data = self.data[idx]
+        src_shape = self.data.shape
+        src_dtype = self.data.dtype
+
+        def backward(grad, sink):
+            full = np.zeros(src_shape, dtype=src_dtype)
+            np.add.at(full, idx, grad)
+            sink(self, full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        out_data = self.data.squeeze(axis) if axis is not None else self.data.squeeze()
+        src_shape = self.data.shape
+
+        def backward(grad, sink):
+            sink(self, grad.reshape(src_shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        out_data = np.expand_dims(self.data, axis)
+        src_shape = self.data.shape
+
+        def backward(grad, sink):
+            sink(self, grad.reshape(src_shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        src_shape = self.data.shape
+
+        def backward(grad, sink):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            sink(self, np.broadcast_to(g, src_shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.mean(axis=axis, keepdims=keepdims)
+        src_shape = self.data.shape
+        count = self.data.size if axis is None else np.prod(
+            [src_shape[a] for a in (axis if isinstance(axis, tuple) else (axis,))])
+
+        def backward(grad, sink):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            sink(self, np.broadcast_to(g, src_shape) / count)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        diff = self - mu
+        out = (diff * diff).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        src = self.data
+
+        def backward(grad, sink):
+            g = grad
+            o = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                o = np.expand_dims(o, axis)
+            mask = (src == o)
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            sink(self, mask * g / counts)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Elementwise math
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad, sink):
+            sink(self, grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad, sink):
+            sink(self, grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad, sink):
+            sink(self, grad / (2.0 * out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad, sink):
+            sink(self, grad * np.sign(self.data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad, sink):
+            sink(self, grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sin(self) -> "Tensor":
+        out_data = np.sin(self.data)
+
+        def backward(grad, sink):
+            sink(self, grad * np.cos(self.data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def cos(self) -> "Tensor":
+        out_data = np.cos(self.data)
+
+        def backward(grad, sink):
+            sink(self, -grad * np.sin(self.data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip(self, lo: Optional[float] = None, hi: Optional[float] = None) -> "Tensor":
+        out_data = np.clip(self.data, lo, hi)
+        mask = np.ones_like(self.data)
+        if lo is not None:
+            mask = mask * (self.data >= lo)
+        if hi is not None:
+            mask = mask * (self.data <= hi)
+
+        def backward(grad, sink):
+            sink(self, grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape, requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def ones(*shape, requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def zeros_like(t: Tensor, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros_like(t.data), requires_grad=requires_grad)
+
+
+def randn(*shape, rng: Optional[np.random.Generator] = None,
+          requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    rng = rng or np.random.default_rng()
+    return Tensor(rng.standard_normal(shape).astype(DEFAULT_DTYPE),
+                  requires_grad=requires_grad)

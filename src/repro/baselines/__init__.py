@@ -1,0 +1,25 @@
+"""The paper's ten baselines plus the Table VI/VII control models."""
+
+from .autoformer import Autoformer
+from .common import BaselineModel, InstanceNorm, TimeProjectionHead
+from .dlinear import DLinear
+from .fedformer import FEDformer, FourierBlock
+from .informer import Informer
+from .lightts import LightTS
+from .micn import MICN
+from .patchtst import PatchTST
+from .pyraformer import Pyraformer
+from .registry import (
+    ABLATION_NAMES, MODEL_NAMES, TSD_NAMES, build_model, paper_d_model,
+)
+from .stationary import StationaryTransformer
+from .timesnet import TimesBlock, TimesNet
+from .tsd import TSDCNN, TSDTrans
+
+__all__ = [
+    "Autoformer", "BaselineModel", "InstanceNorm", "TimeProjectionHead",
+    "DLinear", "FEDformer", "FourierBlock", "Informer", "LightTS", "MICN",
+    "PatchTST", "Pyraformer", "ABLATION_NAMES", "MODEL_NAMES", "TSD_NAMES",
+    "build_model", "paper_d_model", "StationaryTransformer", "TimesBlock",
+    "TimesNet", "TSDCNN", "TSDTrans",
+]

@@ -1,0 +1,71 @@
+"""Autoformer (Wu et al., NeurIPS 2021): decomposition Transformer with
+auto-correlation.
+
+Encoder layers replace self-attention with the auto-correlation mechanism
+(period-lag aggregation) and interleave progressive series decomposition:
+after every sublayer, the running trend is split off and accumulated, so
+the attention stack only models the seasonal residue.
+"""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor
+from ..decomposition.trend import SeriesDecomposition
+from ..nn import (
+    AutoCorrelation, DataEmbedding, FeedForward, LayerNorm, Linear, Module,
+    ModuleList,
+)
+from .common import BaselineModel, InstanceNorm, TimeProjectionHead
+
+
+class AutoformerLayer(Module):
+    """Auto-correlation + FFN with progressive decomposition."""
+
+    def __init__(self, d_model: int, n_heads: int, d_ff: int, dropout: float):
+        super().__init__()
+        self.attn = AutoCorrelation(d_model, n_heads, dropout=dropout)
+        self.ff = FeedForward(d_model, d_ff, dropout)
+        self.decomp1 = SeriesDecomposition((25,))
+        self.decomp2 = SeriesDecomposition((25,))
+        self.norm = LayerNorm(d_model)
+
+    def forward(self, x: Tensor):
+        h = x + self.attn(x)
+        h, trend1 = self.decomp1(h)
+        h2 = h + self.ff(h)
+        h2, trend2 = self.decomp2(h2)
+        return self.norm(h2), trend1 + trend2
+
+
+class Autoformer(BaselineModel):
+    """Decomposition transformer with auto-correlation attention."""
+
+    def __init__(self, seq_len: int, pred_len: int, c_in: int,
+                 task: str = "forecast", d_model: int = 32, n_heads: int = 4,
+                 num_layers: int = 2, d_ff: int = 64, dropout: float = 0.1, **_):
+        super().__init__(seq_len, pred_len, c_in, task)
+        self.init_decomp = SeriesDecomposition((25,))
+        self.trend_proj = Linear(seq_len, self.out_len)
+        self.embedding = DataEmbedding(c_in, d_model, dropout=dropout)
+        self.layers = ModuleList([
+            AutoformerLayer(d_model, n_heads, d_ff, dropout)
+            for _ in range(num_layers)
+        ])
+        self.head = TimeProjectionHead(seq_len, self.out_len, d_model, c_in)
+        self.inner_trend_head = TimeProjectionHead(seq_len, self.out_len,
+                                                   d_model, c_in)
+        self.norm = InstanceNorm()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.norm.normalize(x)
+        seasonal, trend = self.init_decomp(x)
+        y_trend = self.trend_proj(trend.swapaxes(-2, -1)).swapaxes(-2, -1)
+
+        h = self.embedding(seasonal)
+        inner_trend = None
+        for layer in self.layers:
+            h, t = layer(h)
+            inner_trend = t if inner_trend is None else inner_trend + t
+        y_seasonal = self.head(h)
+        y_inner = self.inner_trend_head(inner_trend)
+        return self.norm.denormalize(y_trend + y_seasonal + y_inner)

@@ -1,0 +1,60 @@
+"""Shared pieces for baseline models.
+
+Every baseline maps a (B, seq_len, C) lookback window to a
+(B, out_len, C) output (``out_len == seq_len`` for imputation), shares the
+same input embedding and linear prediction head (the paper's fairness
+protocol), and optionally applies instance normalisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..nn import Linear, Module
+
+
+class TimeProjectionHead(Module):
+    """The shared final layer: linear map along time + channel projection."""
+
+    def __init__(self, seq_len: int, out_len: int, d_model: int, c_out: int):
+        super().__init__()
+        self.time = Linear(seq_len, out_len)
+        self.channel = Linear(d_model, c_out)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.time(x.swapaxes(-2, -1)).swapaxes(-2, -1)
+        return self.channel(out)
+
+
+class InstanceNorm:
+    """Stateless helper for the normalise-in / de-normalise-out pattern."""
+
+    def __init__(self, eps: float = 1e-5):
+        self.eps = eps
+        self._mean = None
+        self._std = None
+
+    def normalize(self, x: Tensor) -> Tensor:
+        self._mean = x.data.mean(axis=1, keepdims=True)
+        self._std = np.sqrt(x.data.var(axis=1, keepdims=True) + self.eps)
+        return (x - Tensor(self._mean)) / Tensor(self._std)
+
+    def denormalize(self, x: Tensor) -> Tensor:
+        return x * Tensor(self._std) + Tensor(self._mean)
+
+
+class BaselineModel(Module):
+    """Base class fixing the (seq_len, pred_len, c_in, task) interface."""
+
+    def __init__(self, seq_len: int, pred_len: int, c_in: int,
+                 task: str = "forecast"):
+        super().__init__()
+        self.seq_len = seq_len
+        self.pred_len = pred_len
+        self.c_in = c_in
+        self.task = task
+
+    @property
+    def out_len(self) -> int:
+        return self.seq_len if self.task == "imputation" else self.pred_len

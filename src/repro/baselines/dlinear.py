@@ -1,0 +1,30 @@
+"""DLinear (Zeng et al., AAAI 2023): decomposition + two linear layers.
+
+The original decomposes the series with a moving average and learns one
+linear map per component along the time axis (channel-shared here, the
+paper's default "DLinear" variant).
+"""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor
+from ..decomposition.trend import SeriesDecomposition
+from ..nn import Linear
+from .common import BaselineModel
+
+
+class DLinear(BaselineModel):
+    """Seasonal-linear + trend-linear forecaster."""
+
+    def __init__(self, seq_len: int, pred_len: int, c_in: int,
+                 task: str = "forecast", kernel_size: int = 25, **_):
+        super().__init__(seq_len, pred_len, c_in, task)
+        self.decomp = SeriesDecomposition((kernel_size,))
+        self.seasonal_proj = Linear(seq_len, self.out_len)
+        self.trend_proj = Linear(seq_len, self.out_len)
+
+    def forward(self, x: Tensor) -> Tensor:
+        seasonal, trend = self.decomp(x)
+        seasonal_out = self.seasonal_proj(seasonal.swapaxes(-2, -1)).swapaxes(-2, -1)
+        trend_out = self.trend_proj(trend.swapaxes(-2, -1)).swapaxes(-2, -1)
+        return seasonal_out + trend_out

@@ -1,0 +1,114 @@
+"""FEDformer (Zhou et al., ICML 2022): frequency-enhanced decomposition.
+
+Self-attention is replaced by a Fourier-enhanced block: the sequence is
+projected onto a random subset of Fourier modes, each kept mode is mixed
+by a learnable complex weight, and the result is transformed back. The
+DFT is expressed as fixed cos/sin matmuls so it stays differentiable on
+the autodiff substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..decomposition.trend import SeriesDecomposition
+from ..nn import (
+    DataEmbedding, FeedForward, LayerNorm, Linear, Module, ModuleList,
+    Parameter,
+)
+from .common import BaselineModel, InstanceNorm, TimeProjectionHead
+
+
+class FourierBlock(Module):
+    """Frequency-domain token mixing on (B, T, D) tensors.
+
+    A fixed random subset of ``modes`` rFFT frequencies is retained; each
+    gets a learnable complex scale (stored as two real parameters).
+    """
+
+    def __init__(self, seq_len: int, d_model: int, modes: int = 8, seed: int = 0):
+        super().__init__()
+        n_freq = seq_len // 2 + 1
+        modes = min(modes, n_freq)
+        rng = np.random.default_rng(seed)
+        self.mode_idx = np.sort(rng.choice(n_freq, size=modes, replace=False))
+
+        t = np.arange(seq_len)
+        freqs = self.mode_idx
+        angle = 2.0 * np.pi * np.outer(t, freqs) / seq_len     # (T, M)
+        # Forward DFT (selected modes) and inverse with standard 2/N scaling
+        # (1/N for the DC/Nyquist-free approximation is folded into weights).
+        self._cos = np.cos(angle)
+        self._sin = np.sin(angle)
+        scale = 2.0 / seq_len
+        self._inv_cos = self._cos * scale
+        self._inv_sin = self._sin * scale
+
+        self.w_real = Parameter(np.ones((modes, d_model)) * 0.5)
+        self.w_imag = Parameter(np.zeros((modes, d_model)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        # x: (B, T, D). Project onto modes: (B, M, D)
+        xt = x.swapaxes(-2, -1)                                  # (B, D, T)
+        re = xt @ Tensor(self._cos)                              # (B, D, M)
+        im = xt @ Tensor(-self._sin)
+        re, im = re.swapaxes(-2, -1), im.swapaxes(-2, -1)        # (B, M, D)
+        # Complex multiply by learnable weights.
+        out_re = re * self.w_real - im * self.w_imag
+        out_im = re * self.w_imag + im * self.w_real
+        # Inverse transform back to time domain.
+        out_re, out_im = out_re.swapaxes(-2, -1), out_im.swapaxes(-2, -1)
+        back = out_re @ Tensor(self._inv_cos.T) - out_im @ Tensor(self._inv_sin.T)
+        return back.swapaxes(-2, -1)                             # (B, T, D)
+
+
+class FEDformerLayer(Module):
+    """Fourier mixing + FFN with progressive decomposition."""
+
+    def __init__(self, seq_len: int, d_model: int, d_ff: int, modes: int,
+                 dropout: float, seed: int):
+        super().__init__()
+        self.fourier = FourierBlock(seq_len, d_model, modes=modes, seed=seed)
+        self.ff = FeedForward(d_model, d_ff, dropout)
+        self.decomp = SeriesDecomposition((25,))
+        self.norm = LayerNorm(d_model)
+
+    def forward(self, x: Tensor):
+        h = x + self.fourier(x)
+        h, trend = self.decomp(h)
+        h = self.norm(h + self.ff(h))
+        return h, trend
+
+
+class FEDformer(BaselineModel):
+    """Frequency-enhanced decomposition transformer."""
+
+    def __init__(self, seq_len: int, pred_len: int, c_in: int,
+                 task: str = "forecast", d_model: int = 32, d_ff: int = 64,
+                 num_layers: int = 2, modes: int = 8, dropout: float = 0.1, **_):
+        super().__init__(seq_len, pred_len, c_in, task)
+        self.init_decomp = SeriesDecomposition((25,))
+        self.trend_proj = Linear(seq_len, self.out_len)
+        self.embedding = DataEmbedding(c_in, d_model, dropout=dropout)
+        self.layers = ModuleList([
+            FEDformerLayer(seq_len, d_model, d_ff, modes, dropout, seed=i)
+            for i in range(num_layers)
+        ])
+        self.head = TimeProjectionHead(seq_len, self.out_len, d_model, c_in)
+        self.inner_trend_head = TimeProjectionHead(seq_len, self.out_len,
+                                                   d_model, c_in)
+        self.norm = InstanceNorm()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.norm.normalize(x)
+        seasonal, trend = self.init_decomp(x)
+        y_trend = self.trend_proj(trend.swapaxes(-2, -1)).swapaxes(-2, -1)
+
+        h = self.embedding(seasonal)
+        inner = None
+        for layer in self.layers:
+            h, t = layer(h)
+            inner = t if inner is None else inner + t
+        out = self.head(h) + self.inner_trend_head(inner) + y_trend
+        return self.norm.denormalize(out)

@@ -1,0 +1,64 @@
+"""Informer (Zhou et al., AAAI 2021): ProbSparse attention encoder.
+
+The defining ideas kept here: ProbSparse self-attention (only the top-u
+"active" queries attend; lazy queries output mean values) and the conv
+distillation between encoder layers that halves sequence length. The
+generative decoder is replaced by the shared linear head, per the paper's
+common-head fairness protocol.
+"""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor
+from ..nn import (
+    Conv1d, DataEmbedding, EncoderLayer, GELU, LayerNorm, Module,
+    ModuleList, ProbSparseAttention,
+)
+from .common import BaselineModel, TimeProjectionHead
+
+
+class DistillLayer(Module):
+    """Conv + max-pool distillation halving the token count."""
+
+    def __init__(self, d_model: int):
+        super().__init__()
+        self.conv = Conv1d(d_model, d_model, kernel_size=3, padding=1)
+        self.act = GELU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.act(self.conv(x.swapaxes(-2, -1)))      # (B, D, T)
+        h = h[:, :, ::2]                                  # stride-2 downsample
+        return h.swapaxes(-2, -1)
+
+
+class Informer(BaselineModel):
+    """ProbSparse encoder with distillation."""
+
+    def __init__(self, seq_len: int, pred_len: int, c_in: int,
+                 task: str = "forecast", d_model: int = 32, n_heads: int = 4,
+                 num_layers: int = 2, d_ff: int = 64, factor: int = 3,
+                 dropout: float = 0.1, **_):
+        super().__init__(seq_len, pred_len, c_in, task)
+        self.embedding = DataEmbedding(c_in, d_model, dropout=dropout)
+        self.layers = ModuleList([
+            EncoderLayer(d_model, n_heads, d_ff, dropout,
+                         attention=ProbSparseAttention(d_model, n_heads,
+                                                       factor=factor,
+                                                       dropout=dropout))
+            for _ in range(num_layers)
+        ])
+        self.distills = ModuleList([DistillLayer(d_model)
+                                    for _ in range(num_layers - 1)])
+        final_len = seq_len
+        for _ in range(num_layers - 1):
+            final_len = -(-final_len // 2)
+        self.final_norm = LayerNorm(d_model)
+        self.head = TimeProjectionHead(final_len, self.out_len, d_model, c_in)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.embedding(x)
+        for i, layer in enumerate(self.layers):
+            h = layer(h)
+            if i < len(self.distills):
+                h = self.distills[i](h)
+        return self.head(self.final_norm(h))

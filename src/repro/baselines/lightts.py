@@ -1,0 +1,64 @@
+"""LightTS (Zhang et al., 2022): light sampling-oriented MLP structures.
+
+Two sampling views of the input — *continuous* (adjacent chunks) and
+*interval* (strided subsequences) — are each processed by an information
+exchange block (MLP over both chunk axes), then merged and projected to
+the horizon. This compact re-implementation keeps the two-view sampling
+that defines the model.
+"""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor, ops
+from ..nn import GELU, Linear, Module, Sequential
+from .common import BaselineModel, InstanceNorm
+
+
+class IEBlock(Module):
+    """Information-exchange block: MLPs along both axes of a (B, C, a, b) view."""
+
+    def __init__(self, inner: int, outer: int, hidden: int):
+        super().__init__()
+        self.inner_mlp = Sequential(Linear(inner, hidden), GELU(), Linear(hidden, inner))
+        self.outer_mlp = Sequential(Linear(outer, hidden), GELU(), Linear(hidden, outer))
+
+    def forward(self, x: Tensor) -> Tensor:
+        # x: (B, C, outer, inner)
+        x = x + self.inner_mlp(x)
+        x_t = x.swapaxes(-2, -1)
+        x_t = x_t + self.outer_mlp(x_t)
+        return x_t.swapaxes(-2, -1)
+
+
+class LightTS(BaselineModel):
+    """Continuous + interval sampling MLP forecaster."""
+
+    def __init__(self, seq_len: int, pred_len: int, c_in: int,
+                 task: str = "forecast", chunk_size: int = 8,
+                 hidden: int = 32, **_):
+        super().__init__(seq_len, pred_len, c_in, task)
+        while seq_len % chunk_size:
+            chunk_size -= 1
+        self.chunk_size = chunk_size
+        self.num_chunks = seq_len // chunk_size
+        self.continuous = IEBlock(chunk_size, self.num_chunks, hidden)
+        self.interval = IEBlock(self.num_chunks, chunk_size, hidden)
+        self.merge = Linear(2 * seq_len, self.out_len)
+        self.norm = InstanceNorm()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.norm.normalize(x)
+        b, t, c = x.shape
+        x_t = x.swapaxes(-2, -1)                                   # (B, C, T)
+
+        cont = x_t.reshape(b, c, self.num_chunks, self.chunk_size)
+        cont = self.continuous(cont).reshape(b, c, t)
+
+        # Interval sampling: stride the sequence into chunk_size subsequences.
+        inter = x_t.reshape(b, c, self.num_chunks, self.chunk_size)
+        inter = inter.swapaxes(-2, -1)                             # (B,C,chunk,num)
+        inter = self.interval(inter).swapaxes(-2, -1).reshape(b, c, t)
+
+        feats = ops.concat([cont, inter], axis=-1)                 # (B, C, 2T)
+        out = self.merge(feats).swapaxes(-2, -1)                   # (B, out, C)
+        return self.norm.denormalize(out)

@@ -1,0 +1,74 @@
+"""MICN (Wang et al., ICLR 2023): multi-scale local+global convolution.
+
+The trend is predicted by a linear regression layer; the seasonal part goes
+through parallel scale branches, each applying local downsampling
+convolution followed by an isometric (global-context) convolution, then
+upsampling back — keeping the local-global structure that defines MICN at
+linear complexity.
+"""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor
+from ..decomposition.trend import SeriesDecomposition
+from ..nn import Conv1d, GELU, LayerNorm, Linear, Module, ModuleList
+from ..nn.embedding import DataEmbedding
+from .common import BaselineModel, InstanceNorm, TimeProjectionHead
+
+
+class ScaleBranch(Module):
+    """One MICN scale: downsample conv -> isometric conv -> upsample."""
+
+    def __init__(self, seq_len: int, d_model: int, scale: int):
+        super().__init__()
+        self.scale = scale
+        self.down = Conv1d(d_model, d_model, kernel_size=scale, stride=scale)
+        down_len = seq_len // scale
+        # Isometric convolution: a causal conv whose kernel spans the whole
+        # downsampled sequence, giving each step a global receptive field.
+        self.iso = Conv1d(d_model, d_model, kernel_size=max(down_len, 1),
+                          padding=max(down_len - 1, 0))
+        self.up = Linear(down_len, seq_len)
+        self.act = GELU()
+        self.down_len = down_len
+
+    def forward(self, x: Tensor) -> Tensor:
+        # x: (B, D, T)
+        h = self.act(self.down(x))                   # (B, D, T//s)
+        g = self.iso(h)[:, :, :self.down_len]        # causal crop
+        h = self.act(h + g)
+        return self.up(h)                            # (B, D, T)
+
+
+class MICN(BaselineModel):
+    """Multi-scale isometric convolution network."""
+
+    def __init__(self, seq_len: int, pred_len: int, c_in: int,
+                 task: str = "forecast", d_model: int = 32,
+                 scales=(4, 8), dropout: float = 0.1, **_):
+        super().__init__(seq_len, pred_len, c_in, task)
+        self.decomp = SeriesDecomposition((25,))
+        self.trend_proj = Linear(seq_len, self.out_len)
+        self.embedding = DataEmbedding(c_in, d_model, dropout=dropout)
+        self.branches = ModuleList([
+            ScaleBranch(seq_len, d_model, s) for s in scales
+            if seq_len // s >= 1
+        ])
+        self.merge_norm = LayerNorm(d_model)
+        self.head = TimeProjectionHead(seq_len, self.out_len, d_model, c_in)
+        self.norm = InstanceNorm()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.norm.normalize(x)
+        seasonal, trend = self.decomp(x)
+        y_trend = self.trend_proj(trend.swapaxes(-2, -1)).swapaxes(-2, -1)
+
+        h = self.embedding(seasonal).swapaxes(-2, -1)        # (B, D, T)
+        outs = [branch(h) for branch in self.branches]
+        agg = outs[0]
+        for o in outs[1:]:
+            agg = agg + o
+        agg = agg / float(len(outs))
+        merged = self.merge_norm((h + agg).swapaxes(-2, -1))  # (B, T, D)
+        y_seasonal = self.head(merged)
+        return self.norm.denormalize(y_trend + y_seasonal)

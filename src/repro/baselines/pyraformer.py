@@ -1,0 +1,60 @@
+"""Pyraformer (Liu et al., ICLR 2022): pyramidal attention.
+
+A coarsening-scale pyramid is built with strided convolutions; attention
+runs over the concatenated multi-resolution token set, so fine tokens can
+reach distant context through coarse nodes — the low-complexity pyramidal
+message passing, realised here with one shared attention over the pyramid
+(exact masks omitted; the node set is small at these lengths).
+"""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor, ops
+from ..nn import (
+    Conv1d, DataEmbedding, GELU, LayerNorm, ModuleList,
+    MultiHeadAttention, FeedForward,
+)
+from .common import BaselineModel, TimeProjectionHead
+
+
+class Pyraformer(BaselineModel):
+    """Pyramidal-attention encoder."""
+
+    def __init__(self, seq_len: int, pred_len: int, c_in: int,
+                 task: str = "forecast", d_model: int = 32, n_heads: int = 4,
+                 num_levels: int = 3, num_layers: int = 2, d_ff: int = 64,
+                 dropout: float = 0.1, **_):
+        super().__init__(seq_len, pred_len, c_in, task)
+        self.embedding = DataEmbedding(c_in, d_model, dropout=dropout)
+        self.downsamplers = ModuleList([
+            Conv1d(d_model, d_model, kernel_size=3, stride=2, padding=1)
+            for _ in range(num_levels - 1)
+        ])
+        self.act = GELU()
+        self.attn_layers = ModuleList([
+            MultiHeadAttention(d_model, n_heads, dropout) for _ in range(num_layers)
+        ])
+        self.ff_layers = ModuleList([
+            FeedForward(d_model, d_ff, dropout) for _ in range(num_layers)
+        ])
+        self.norms1 = ModuleList([LayerNorm(d_model) for _ in range(num_layers)])
+        self.norms2 = ModuleList([LayerNorm(d_model) for _ in range(num_layers)])
+        self.head = TimeProjectionHead(seq_len, self.out_len, d_model, c_in)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.embedding(x)                           # (B, T, D)
+        t = h.shape[1]
+        levels = [h]
+        cur = h
+        for down in self.downsamplers:
+            cur = self.act(down(cur.swapaxes(-2, -1))).swapaxes(-2, -1)
+            levels.append(cur)
+        pyramid = ops.concat(levels, axis=1)            # (B, T + T/2 + ..., D)
+
+        for attn, ff, n1, n2 in zip(self.attn_layers, self.ff_layers,
+                                    self.norms1, self.norms2):
+            pyramid = pyramid + attn(n1(pyramid))
+            pyramid = pyramid + ff(n2(pyramid))
+
+        fine = pyramid[:, :t, :]                        # finest-scale nodes
+        return self.head(fine)

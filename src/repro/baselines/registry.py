@@ -1,0 +1,93 @@
+"""Model registry: one factory for TS3Net, every baseline, and the ablations.
+
+``build_model(name, ...)`` constructs any model from Tables IV-VII by name
+with consistent (seq_len, pred_len, c_in, task) plumbing and a size preset:
+
+* ``tiny``  — CPU-friendly widths used by the CI-scale experiments;
+* ``paper`` — Table III's configuration (lambda=100, d_model by the
+  ``min(max(2^ceil(log2 C), d_min), d_max)`` rule).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from ..core.ts3net import TS3Net, TS3NetConfig
+from ..nn.module import Module
+from .autoformer import Autoformer
+from .dlinear import DLinear
+from .fedformer import FEDformer
+from .informer import Informer
+from .lightts import LightTS
+from .micn import MICN
+from .patchtst import PatchTST
+from .pyraformer import Pyraformer
+from .stationary import StationaryTransformer
+from .timesnet import TimesNet
+from .tsd import TSDCNN, TSDTrans
+
+#: Baseline ordering of Table IV (TS3Net first, then the paper's columns).
+MODEL_NAMES = (
+    "TS3Net", "PatchTST", "TimesNet", "MICN", "LightTS", "DLinear",
+    "FEDformer", "Stationary", "Autoformer", "Pyraformer", "Informer",
+)
+
+ABLATION_NAMES = ("TS3Net-w/o-TD", "TS3Net-w/o-TFBlock", "TS3Net-w/o-Both")
+TSD_NAMES = ("TSD-CNN", "TSD-Trans")
+
+
+def paper_d_model(c_in: int, task: str = "forecast") -> int:
+    """Table III's d_model rule."""
+    d_min, d_max = (64, 128) if task == "imputation" else (32, 512)
+    return min(max(2 ** math.ceil(math.log2(max(c_in, 1))), d_min), d_max)
+
+
+def _size_kwargs(c_in: int, task: str, preset: str) -> Dict:
+    if preset == "paper":
+        return {"d_model": paper_d_model(c_in, task), "d_ff": 2 * paper_d_model(c_in, task),
+                "num_scales": 100, "num_blocks": 2, "num_layers": 2}
+    if preset == "tiny":
+        return {"d_model": 16, "d_ff": 16, "num_scales": 8, "num_blocks": 1,
+                "num_layers": 1, "n_heads": 4, "num_kernels": 2,
+                "dropout": 0.1}
+    raise ValueError(f"unknown preset {preset!r}; use 'tiny' or 'paper'")
+
+
+def _ts3net(seq_len, pred_len, c_in, task, size, **overrides) -> TS3Net:
+    allowed = {f for f in TS3NetConfig.__dataclass_fields__}
+    kwargs = {k: v for k, v in size.items() if k in allowed}
+    kwargs.update({k: v for k, v in overrides.items() if k in allowed})
+    return TS3Net(TS3NetConfig(seq_len=seq_len, pred_len=pred_len, c_in=c_in,
+                               task=task, **kwargs))
+
+
+def build_model(name: str, seq_len: int, pred_len: int, c_in: int,
+                task: str = "forecast", preset: str = "tiny",
+                **overrides) -> Module:
+    """Construct a model by its Table IV/VI/VII name."""
+    size = _size_kwargs(c_in, task, preset)
+    size.update(overrides)
+
+    if name == "TS3Net":
+        return _ts3net(seq_len, pred_len, c_in, task, size)
+    if name == "TS3Net-w/o-TD":
+        return _ts3net(seq_len, pred_len, c_in, task, size, use_td=False)
+    if name == "TS3Net-w/o-TFBlock":
+        return _ts3net(seq_len, pred_len, c_in, task, size, tf_mode="replicate")
+    if name == "TS3Net-w/o-Both":
+        return _ts3net(seq_len, pred_len, c_in, task, size,
+                       use_td=False, tf_mode="replicate")
+
+    classes: Dict[str, Callable] = {
+        "PatchTST": PatchTST, "TimesNet": TimesNet, "MICN": MICN,
+        "LightTS": LightTS, "DLinear": DLinear, "FEDformer": FEDformer,
+        "Stationary": StationaryTransformer, "Autoformer": Autoformer,
+        "Pyraformer": Pyraformer, "Informer": Informer,
+        "TSD-CNN": TSDCNN, "TSD-Trans": TSDTrans,
+    }
+    if name not in classes:
+        raise KeyError(f"unknown model {name!r}; known: "
+                       f"{MODEL_NAMES + ABLATION_NAMES + TSD_NAMES}")
+    return classes[name](seq_len=seq_len, pred_len=pred_len, c_in=c_in,
+                         task=task, **size)

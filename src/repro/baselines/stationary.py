@@ -1,0 +1,75 @@
+"""Non-stationary Transformer (Liu et al., NeurIPS 2022).
+
+Series stationarisation (instance normalisation) plus De-stationary
+Attention: the attention scores of the normalised series are rescaled by
+learned factors ``tau`` (from the window std) and ``delta`` (from the
+window mean), restoring the non-stationary information the normalisation
+removed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, ops
+from ..nn import (
+    DataEmbedding, GELU, LayerNorm, Linear, Module, ModuleList,
+    MultiHeadAttention, FeedForward, Sequential,
+)
+from .common import BaselineModel, InstanceNorm, TimeProjectionHead
+
+
+class Projector(Module):
+    """MLP from raw-window statistics to a de-stationary factor."""
+
+    def __init__(self, c_in: int, seq_len: int, hidden: int = 32,
+                 out_dim: int = 1):
+        super().__init__()
+        self.net = Sequential(
+            Linear(c_in * 2, hidden), GELU(), Linear(hidden, out_dim),
+        )
+        self.seq_len = seq_len
+
+    def forward(self, x_raw: np.ndarray) -> Tensor:
+        # Summary statistics of the *raw* (un-normalised) window.
+        stats = np.concatenate(
+            [x_raw.mean(axis=1), x_raw.std(axis=1)], axis=-1)  # (B, 2C)
+        return self.net(Tensor(stats))                          # (B, out_dim)
+
+
+class StationaryTransformer(BaselineModel):
+    """Stationarised Transformer with de-stationary attention factors."""
+
+    def __init__(self, seq_len: int, pred_len: int, c_in: int,
+                 task: str = "forecast", d_model: int = 32, n_heads: int = 4,
+                 num_layers: int = 2, d_ff: int = 64, dropout: float = 0.1, **_):
+        super().__init__(seq_len, pred_len, c_in, task)
+        self.embedding = DataEmbedding(c_in, d_model, dropout=dropout)
+        self.attn_layers = ModuleList([
+            MultiHeadAttention(d_model, n_heads, dropout) for _ in range(num_layers)
+        ])
+        self.ff_layers = ModuleList([
+            FeedForward(d_model, d_ff, dropout) for _ in range(num_layers)
+        ])
+        self.norms1 = ModuleList([LayerNorm(d_model) for _ in range(num_layers)])
+        self.norms2 = ModuleList([LayerNorm(d_model) for _ in range(num_layers)])
+        self.tau_proj = Projector(c_in, seq_len)
+        self.delta_proj = Projector(c_in, seq_len)
+        self.head = TimeProjectionHead(seq_len, self.out_len, d_model, c_in)
+        self.inorm = InstanceNorm()
+
+    def forward(self, x: Tensor) -> Tensor:
+        raw = x.data
+        x = self.inorm.normalize(x)
+        tau = ops.sigmoid(self.tau_proj(raw)) * 2.0          # (B, 1) positive
+        delta = self.delta_proj(raw)                          # (B, 1)
+        tau_b = tau.reshape(-1, 1, 1, 1)
+        delta_b = delta.reshape(-1, 1, 1, 1)
+
+        h = self.embedding(x)
+        for attn, ff, n1, n2 in zip(self.attn_layers, self.ff_layers,
+                                    self.norms1, self.norms2):
+            h = h + attn(n1(h), tau=tau_b, delta=delta_b)
+            h = h + ff(n2(h))
+        out = self.head(h)
+        return self.inorm.denormalize(out)

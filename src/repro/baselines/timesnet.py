@@ -1,0 +1,88 @@
+"""TimesNet (Wu et al., ICLR 2023): temporal 2D-variation modeling.
+
+The strongest published general baseline in the paper's tables. Each
+TimesBlock (a) finds the top-k periods by FFT, (b) folds the 1-D sequence
+into a (period x cycles) 2-D tensor per period, (c) applies an inception
+conv, (d) unfolds and aggregates the k branches with amplitude-derived
+softmax weights, plus a residual connection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, ops
+from ..nn import (
+    DataEmbedding, GELU, InceptionBlock2d, LayerNorm, Module, ModuleList,
+    Sequential,
+)
+from ..spectral.periods import detect_periods
+from .common import BaselineModel, InstanceNorm, TimeProjectionHead
+
+
+class TimesBlock(Module):
+    """One period-folding inception block."""
+
+    def __init__(self, seq_len: int, d_model: int, d_ff: int, top_k: int = 2,
+                 num_kernels: int = 3):
+        super().__init__()
+        self.seq_len = seq_len
+        self.top_k = top_k
+        self.conv = Sequential(
+            InceptionBlock2d(d_model, d_ff, num_kernels),
+            GELU(),
+            InceptionBlock2d(d_ff, d_model, num_kernels),
+        )
+        self.norm = LayerNorm(d_model)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, t, d = x.shape
+        periods, weights = detect_periods(x.data, k=self.top_k)
+        outs = []
+        for period in periods:
+            period = int(max(2, min(period, t)))
+            cycles = -(-t // period)
+            pad_len = cycles * period - t
+            h = x
+            if pad_len:
+                h = ops.pad(h, ((0, 0), (0, pad_len), (0, 0)))
+            # (B, T', D) -> (B, D, cycles, period) as an image
+            img = h.reshape(b, cycles, period, d).transpose(0, 3, 1, 2)
+            img = self.conv(img)
+            h = img.transpose(0, 2, 3, 1).reshape(b, cycles * period, d)
+            outs.append(h[:, :t, :])
+
+        w = np.asarray(weights[:len(outs)], dtype=float)
+        w = np.exp(w - w.max())
+        w = w / w.sum()
+        agg = None
+        for out, wi in zip(outs, w):
+            term = out * float(wi)
+            agg = term if agg is None else agg + term
+        return self.norm(x + agg)
+
+
+class TimesNet(BaselineModel):
+    """Stacked TimesBlocks with the shared embedding/head."""
+
+    def __init__(self, seq_len: int, pred_len: int, c_in: int,
+                 task: str = "forecast", d_model: int = 32, d_ff: int = 32,
+                 num_blocks: int = 2, top_k: int = 2, num_kernels: int = 3,
+                 dropout: float = 0.1, **_):
+        super().__init__(seq_len, pred_len, c_in, task)
+        self.embedding = DataEmbedding(c_in, d_model, dropout=dropout)
+        self.blocks = ModuleList([
+            TimesBlock(seq_len, d_model, d_ff, top_k=top_k,
+                       num_kernels=num_kernels)
+            for _ in range(num_blocks)
+        ])
+        self.head = TimeProjectionHead(seq_len, self.out_len, d_model, c_in)
+        self.norm = InstanceNorm()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.norm.normalize(x)
+        h = self.embedding(x)
+        for block in self.blocks:
+            h = block(h)
+        out = self.head(h)
+        return self.norm.denormalize(out)

@@ -1,0 +1,81 @@
+"""Trend-Seasonal Decomposition control models (Table VII).
+
+These isolate the value of the *triple* decomposition: both models use the
+conventional two-way trend/seasonal split, predict the trend with the same
+autoregression head as TS3Net, and differ only in the seasonal backbone:
+
+* ``TSDCNN`` — "maintains the same backbone as TS3Net": the seasonal part
+  goes through the same stacked TF-Blocks (wavelet expansion + inception
+  convs), but *without* the S-GD layers or the fluctuant head;
+* ``TSDTrans`` — "a vanilla Transformer as the backbone".
+"""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor
+from ..core.heads import AutoregressionHead, PredictionHead
+from ..core.tf_block import TFBlock
+from ..decomposition.trend import DEFAULT_KERNELS, SeriesDecomposition
+from ..nn import DataEmbedding, ModuleList, TransformerEncoder
+from .common import BaselineModel, InstanceNorm
+
+
+class _TSDBase(BaselineModel):
+    """Shared trend/seasonal scaffolding of the two control models."""
+
+    def __init__(self, seq_len: int, pred_len: int, c_in: int,
+                 task: str = "forecast", d_model: int = 32,
+                 dropout: float = 0.1):
+        super().__init__(seq_len, pred_len, c_in, task)
+        self.decomp = SeriesDecomposition(DEFAULT_KERNELS)
+        self.trend_head = AutoregressionHead(seq_len, self.out_len)
+        self.embedding = DataEmbedding(c_in, d_model, dropout=dropout)
+        self.seasonal_head = PredictionHead(seq_len, self.out_len, d_model,
+                                            c_in, dropout)
+        self.inorm = InstanceNorm()
+
+    def _backbone(self, h: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.inorm.normalize(x)
+        seasonal, trend = self.decomp(x)
+        y_trend = self.trend_head(trend)
+        h = self._backbone(self.embedding(seasonal))
+        y_seasonal = self.seasonal_head(h)
+        return self.inorm.denormalize(y_trend + y_seasonal)
+
+
+class TSDCNN(_TSDBase):
+    """Trend-seasonal decomposition + the TS3Net conv backbone (no S-GD)."""
+
+    def __init__(self, seq_len: int, pred_len: int, c_in: int,
+                 task: str = "forecast", d_model: int = 32, num_blocks: int = 2,
+                 num_scales: int = 16, num_branches: int = 2, d_ff: int = 32,
+                 num_kernels: int = 3, dropout: float = 0.1, **_):
+        super().__init__(seq_len, pred_len, c_in, task, d_model, dropout)
+        self.blocks = ModuleList([
+            TFBlock(seq_len, d_model, num_scales=num_scales,
+                    num_branches=num_branches, d_ff=d_ff,
+                    num_kernels=num_kernels, dropout=dropout)
+            for _ in range(num_blocks)
+        ])
+
+    def _backbone(self, h: Tensor) -> Tensor:
+        for block in self.blocks:
+            h = block(h)
+        return h
+
+
+class TSDTrans(_TSDBase):
+    """Trend-seasonal decomposition + a vanilla Transformer backbone."""
+
+    def __init__(self, seq_len: int, pred_len: int, c_in: int,
+                 task: str = "forecast", d_model: int = 32, n_heads: int = 4,
+                 num_layers: int = 2, d_ff: int = 64, dropout: float = 0.1, **_):
+        super().__init__(seq_len, pred_len, c_in, task, d_model, dropout)
+        self.encoder = TransformerEncoder(d_model, n_heads, num_layers,
+                                          d_ff=d_ff, dropout=dropout)
+
+    def _backbone(self, h: Tensor) -> Tensor:
+        return self.encoder(h)

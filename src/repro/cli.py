@@ -1,0 +1,163 @@
+"""Command-line interface: train / evaluate / decompose without writing code.
+
+Examples::
+
+    python -m repro list
+    python -m repro train --model TS3Net --dataset ETTh1 --epochs 3 \
+        --save ts3net_etth1.npz
+    python -m repro train --model DLinear --dataset Weather --task imputation
+    python -m repro forecast --checkpoint ts3net_etth1.npz --dataset ETTh1
+    python -m repro decompose --dataset ETTh2 --window 192
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from .autodiff import Tensor, no_grad
+from .baselines.registry import ABLATION_NAMES, MODEL_NAMES, TSD_NAMES, build_model
+from .data.specs import FORECAST_DATASETS
+from .data.dataset import load_dataset
+from .nn import load_checkpoint, peek_metadata, save_checkpoint
+from .tasks import (
+    ForecastTask, ImputationTask, TrainConfig, run_forecast, run_imputation,
+)
+from .utils import set_seed
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="ETTh1",
+                        choices=list(FORECAST_DATASETS))
+    parser.add_argument("--seq-len", type=int, default=48)
+    parser.add_argument("--pred-len", type=int, default=24)
+    parser.add_argument("--n-steps", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_list(_args) -> int:
+    print("models:    " + ", ".join(MODEL_NAMES))
+    print("ablations: " + ", ".join(ABLATION_NAMES + TSD_NAMES))
+    print("datasets:  " + ", ".join(FORECAST_DATASETS))
+    return 0
+
+
+def cmd_train(args) -> int:
+    set_seed(args.seed)
+    split = load_dataset(args.dataset, n_steps=args.n_steps, seed=args.seed)
+    c_in = split.train.shape[1]
+    model = build_model(args.model, seq_len=args.seq_len,
+                        pred_len=args.pred_len, c_in=c_in, task=args.task,
+                        preset=args.preset)
+    print(f"{args.model} on {args.dataset} ({args.task}): "
+          f"{model.num_parameters():,} parameters")
+
+    cfg = TrainConfig(epochs=args.epochs, lr=args.lr, verbose=True)
+    if args.task == "forecast":
+        task = ForecastTask(seq_len=args.seq_len, pred_len=args.pred_len,
+                            batch_size=args.batch_size,
+                            max_train_batches=args.max_batches,
+                            max_eval_batches=args.max_batches)
+        result = run_forecast(model, split, task, cfg)
+    else:
+        task = ImputationTask(seq_len=args.seq_len,
+                              mask_ratio=args.mask_ratio,
+                              batch_size=args.batch_size,
+                              max_train_batches=args.max_batches,
+                              max_eval_batches=args.max_batches)
+        result = run_imputation(model, split, task, cfg)
+    print(f"test MSE={result.mse:.4f} MAE={result.mae:.4f} "
+          f"({result.epochs_run} epochs, {result.seconds:.0f}s)")
+
+    if args.save:
+        save_checkpoint(model, args.save, metadata={
+            "model": args.model, "dataset": args.dataset, "task": args.task,
+            "seq_len": args.seq_len, "pred_len": args.pred_len, "c_in": c_in,
+            "preset": args.preset, "mse": result.mse, "mae": result.mae,
+        })
+        print(f"checkpoint written to {args.save}")
+    return 0
+
+
+def cmd_forecast(args) -> int:
+    meta = peek_metadata(args.checkpoint)
+    if not meta:
+        print("checkpoint has no metadata; pass a checkpoint written by "
+              "`repro train --save`", file=sys.stderr)
+        return 1
+    set_seed(args.seed)
+    split = load_dataset(args.dataset or meta["dataset"],
+                         n_steps=args.n_steps, seed=args.seed)
+    model = build_model(meta["model"], seq_len=meta["seq_len"],
+                        pred_len=meta["pred_len"], c_in=meta["c_in"],
+                        task=meta["task"], preset=meta.get("preset", "tiny"))
+    load_checkpoint(model, args.checkpoint)
+    model.eval()
+
+    window = split.test[:meta["seq_len"]]
+    with no_grad():
+        pred = model(Tensor(window[None])).data[0]
+    from .experiments.plotting import ascii_lineplot
+    truth = split.test[meta["seq_len"]:meta["seq_len"] + pred.shape[0], 0]
+    print(f"{meta['model']} forecast on {args.dataset or meta['dataset']} "
+          f"(channel 0):")
+    print(ascii_lineplot({"GroundTruth": truth, "Prediction": pred[:, 0]}))
+    return 0
+
+
+def cmd_decompose(args) -> int:
+    from .experiments.figures import figure5
+    fig = figure5(dataset=args.dataset, scale="small",
+                  window_len=args.window, num_scales=args.num_scales,
+                  csv_path=args.csv)
+    print(fig.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list models and datasets")
+
+    train = sub.add_parser("train", help="train a model on a dataset")
+    _add_common(train)
+    train.add_argument("--model", default="TS3Net")
+    train.add_argument("--task", default="forecast",
+                       choices=["forecast", "imputation"])
+    train.add_argument("--preset", default="tiny", choices=["tiny", "paper"])
+    train.add_argument("--epochs", type=int, default=3)
+    train.add_argument("--lr", type=float, default=2e-3)
+    train.add_argument("--batch-size", type=int, default=16)
+    train.add_argument("--max-batches", type=int, default=30)
+    train.add_argument("--mask-ratio", type=float, default=0.25)
+    train.add_argument("--save", default=None, help="checkpoint path (.npz)")
+
+    forecast = sub.add_parser("forecast", help="forecast from a checkpoint")
+    forecast.add_argument("--checkpoint", required=True)
+    forecast.add_argument("--dataset", default=None)
+    forecast.add_argument("--n-steps", type=int, default=2000)
+    forecast.add_argument("--seed", type=int, default=0)
+
+    decompose = sub.add_parser("decompose",
+                               help="triple-decompose a dataset window")
+    decompose.add_argument("--dataset", default="ETTh1")
+    decompose.add_argument("--window", type=int, default=192)
+    decompose.add_argument("--num-scales", type=int, default=16)
+    decompose.add_argument("--csv", default=None)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"list": cmd_list, "train": cmd_train,
+                "forecast": cmd_forecast, "decompose": cmd_decompose}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

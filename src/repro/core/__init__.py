@@ -1,0 +1,10 @@
+"""The paper's primary contribution: TS3Net and its TF-Block."""
+
+from .heads import AutoregressionHead, PredictionHead
+from .tf_block import TFBlock, TFBranch, WeightLearnedMerge
+from .ts3net import ReplicateBlock, TS3Net, TS3NetConfig
+
+__all__ = [
+    "AutoregressionHead", "PredictionHead", "TFBlock", "TFBranch",
+    "WeightLearnedMerge", "ReplicateBlock", "TS3Net", "TS3NetConfig",
+]

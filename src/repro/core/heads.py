@@ -1,0 +1,54 @@
+"""Prediction heads of TS3Net (Eq. 14-16).
+
+* :class:`PredictionHead` — the MLP head used for the regular and fluctuant
+  parts: a linear map along the time axis (T -> T_out) followed by a
+  channel projection (d_model -> C).
+* :class:`AutoregressionHead` — the trend head: an MLP directly from the
+  lookback trend to the future trend, per channel (Eq. 16).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..autodiff import Tensor
+from ..nn import Dropout, GELU, Linear, Module, Sequential
+
+
+class PredictionHead(Module):
+    """Time-axis linear projection + channel projection: (B,T,D) -> (B,T_out,C)."""
+
+    def __init__(self, seq_len: int, out_len: int, d_model: int, c_out: int,
+                 dropout: float = 0.1):
+        super().__init__()
+        self.time_proj = Linear(seq_len, out_len)
+        self.channel_proj = Linear(d_model, c_out)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        # (B, T, D) -> (B, D, T) -> (B, D, T_out) -> (B, T_out, D) -> (B, T_out, C)
+        out = self.time_proj(x.swapaxes(-2, -1)).swapaxes(-2, -1)
+        return self.channel_proj(self.dropout(out))
+
+
+class AutoregressionHead(Module):
+    """Per-channel MLP from the lookback trend to the future trend (Eq. 16).
+
+    The trend is a low-frequency component "without obvious periodicity",
+    so a direct time-axis MLP (shared across channels) suffices; a hidden
+    layer is included to match the paper's "Autoregression layer based on
+    multi-layer perceptron".
+    """
+
+    def __init__(self, seq_len: int, out_len: int, hidden: Optional[int] = None,
+                 dropout: float = 0.0):
+        super().__init__()
+        hidden = hidden or max(seq_len, out_len)
+        self.net = Sequential(
+            Linear(seq_len, hidden), GELU(), Dropout(dropout),
+            Linear(hidden, out_len),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        # (B, T, C) -> (B, C, T) -> MLP over time -> (B, C, T_out) -> (B, T_out, C)
+        return self.net(x.swapaxes(-2, -1)).swapaxes(-2, -1)

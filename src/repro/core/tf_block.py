@@ -1,0 +1,109 @@
+"""The Temporal-Frequency Block (TF-Block), Eq. 13.
+
+Each block runs three successive stages on a (B, T, D) representation:
+
+1. **TF Learning Layer** — for each of the ``m`` wavelet branches, the
+   series is expanded into a 2-D temporal-frequency tensor
+   ``X_2D = Amp(WT(X, psi_i))`` of shape (B, D, lambda, T), putting
+   frequency sub-bands on rows and time on columns so that "spectrum
+   dynamic variations [are] easily modeled by the 2D kernels";
+2. **FeedForward Layer** — an inception-style 2-D convolution backbone
+   processes the tensor, and a linear collapse over the scale axis maps the
+   learned 2-D representation back to a 1-D (B, T, D) sequence;
+3. **Weight-learned Merge Layer** — learnable softmax weights combine the
+   ``m`` branch outputs, and a residual connection adds the block input.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, ops
+from ..nn import (
+    Dropout, GELU, InceptionBlock2d, LayerNorm, Linear, Module, ModuleList,
+    Parameter, Sequential,
+)
+from ..spectral.cwt import CWTOperator
+from ..spectral.wavelets import default_branch_wavelets
+
+
+class TFBranch(Module):
+    """One wavelet branch: CWT expansion -> 2-D conv backbone -> 1-D collapse."""
+
+    def __init__(self, seq_len: int, d_model: int, num_scales: int,
+                 wavelet: str, d_ff: int, num_kernels: int = 3,
+                 dropout: float = 0.1):
+        super().__init__()
+        self.operator = CWTOperator.cached(seq_len, num_scales, wavelet)
+        self.backbone = Sequential(
+            InceptionBlock2d(d_model, d_ff, num_kernels),
+            GELU(),
+            InceptionBlock2d(d_ff, d_model, num_kernels),
+        )
+        # Collapse the scale axis back to 1-D: a linear map over lambda.
+        self.scale_collapse = Linear(num_scales, 1, bias=False)
+        self.ff = Sequential(Linear(d_model, d_model), Dropout(dropout))
+
+    def forward(self, x: Tensor) -> Tensor:
+        # x: (B, T, D) -> time-last (B, D, T) -> TF tensor (B, D, lam, T)
+        x2d = self.operator.amplitude(x.swapaxes(-2, -1))
+        feat = self.backbone(x2d)                     # (B, D, lam, T)
+        # (B, D, lam, T) -> (B, T, D, lam) -> collapse lam -> (B, T, D)
+        feat = feat.transpose(0, 3, 1, 2)
+        collapsed = self.scale_collapse(feat).squeeze(-1)
+        return self.ff(collapsed)
+
+
+class WeightLearnedMerge(Module):
+    """Softmax-weighted summation over branch outputs (the Merge of Eq. 13)."""
+
+    def __init__(self, num_branches: int):
+        super().__init__()
+        self.logits = Parameter(np.zeros(num_branches))
+
+    def forward(self, branch_outputs: Sequence[Tensor]) -> Tensor:
+        weights = ops.softmax(self.logits.reshape(1, -1), axis=-1)
+        merged = None
+        for i, out in enumerate(branch_outputs):
+            term = out * weights[0, i:i + 1].reshape(1, 1, 1)
+            merged = term if merged is None else merged + term
+        return merged
+
+
+class TFBlock(Module):
+    """Residual multi-branch temporal-frequency block (Eq. 13).
+
+    Parameters
+    ----------
+    seq_len:
+        Representation length T.
+    d_model:
+        Channel width of the (B, T, D) representation.
+    num_scales:
+        ``lambda`` — spectral sub-bands per branch.
+    num_branches:
+        ``m`` — number of mother-wavelet branches.
+    d_ff:
+        Hidden channels of the inception backbone.
+    num_kernels:
+        Parallel kernel sizes inside each inception block.
+    """
+
+    def __init__(self, seq_len: int, d_model: int, num_scales: int = 16,
+                 num_branches: int = 2, d_ff: int = 32, num_kernels: int = 3,
+                 dropout: float = 0.1):
+        super().__init__()
+        wavelets = default_branch_wavelets(num_branches)
+        self.branches = ModuleList([
+            TFBranch(seq_len, d_model, num_scales, name, d_ff,
+                     num_kernels=num_kernels, dropout=dropout)
+            for name in wavelets
+        ])
+        self.merge = WeightLearnedMerge(num_branches)
+        self.norm = LayerNorm(d_model)
+
+    def forward(self, x: Tensor) -> Tensor:
+        outs = [branch(x) for branch in self.branches]
+        return self.norm(x + self.merge(outs))

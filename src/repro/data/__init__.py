@@ -1,0 +1,22 @@
+"""Datasets: Table II specs, synthetic generators, windowing, masks, noise."""
+
+from .specs import (
+    DatasetSpec, FORECAST_DATASETS, IMPUTATION_DATASETS, SPECS, TINY_DIMS,
+    get_spec,
+)
+from .synthetic import DEFAULT_STEPS, generate, paper_scale_steps
+from .dataset import (
+    DataLoader, ForecastWindows, ImputationWindows, SplitData, StandardScaler,
+    chronological_split, load_dataset,
+)
+from .masking import MASK_RATIOS, apply_mask, mask_batch, random_mask
+from .noise import NOISE_RATIOS, inject_noise
+
+__all__ = [
+    "DatasetSpec", "FORECAST_DATASETS", "IMPUTATION_DATASETS", "SPECS",
+    "TINY_DIMS", "get_spec", "DEFAULT_STEPS", "generate", "paper_scale_steps",
+    "DataLoader", "ForecastWindows", "ImputationWindows", "SplitData",
+    "StandardScaler", "chronological_split", "load_dataset",
+    "MASK_RATIOS", "apply_mask", "mask_batch", "random_mask",
+    "NOISE_RATIOS", "inject_noise",
+]

@@ -1,0 +1,159 @@
+"""Windowed dataset pipeline following the TimesNet experimental protocol.
+
+* chronological train/val/test split — 70/10/20 by ratio, or the fixed ETT
+  borders style where val/test each take the configured fraction;
+* standardisation with statistics fit on the *training* split only;
+* sliding windows ``(lookback, horizon)`` for forecasting, fixed-length
+  windows for imputation;
+* a minimal ``DataLoader`` with seeded shuffling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .specs import get_spec
+from .synthetic import generate
+
+
+class StandardScaler:
+    """Per-channel standardisation fit on the training split."""
+
+    def __init__(self):
+        self.mean: Optional[np.ndarray] = None
+        self.std: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        self.mean = x.mean(axis=0, keepdims=True)
+        self.std = x.std(axis=0, keepdims=True)
+        self.std = np.where(self.std < 1e-8, 1.0, self.std)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean is None:
+            raise RuntimeError("scaler not fitted")
+        return (x - self.mean) / self.std
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean is None:
+            raise RuntimeError("scaler not fitted")
+        return x * self.std + self.mean
+
+
+def chronological_split(n: int, style: str = "ratio") -> Tuple[slice, slice, slice]:
+    """Index slices of the train/val/test splits.
+
+    ``ratio`` is the 70/10/20 split used for Electricity/Traffic/Weather/
+    Exchange/ILI; ``ett`` mimics the ETT convention of 60/20/20.
+    """
+    if style == "ett":
+        train_end = int(n * 0.6)
+        val_end = int(n * 0.8)
+    else:
+        train_end = int(n * 0.7)
+        val_end = int(n * 0.8)
+    return slice(0, train_end), slice(train_end, val_end), slice(val_end, n)
+
+
+@dataclass
+class SplitData:
+    """Standardised train/val/test arrays plus the fitted scaler."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+    scaler: StandardScaler
+    name: str
+
+
+def load_dataset(name: str, n_steps: Optional[int] = None,
+                 dim: Optional[int] = None, seed: int = 0) -> SplitData:
+    """Generate + split + standardise one synthetic benchmark dataset."""
+    spec = get_spec(name)
+    raw = generate(name, n_steps=n_steps, dim=dim, seed=seed)
+    tr, va, te = chronological_split(len(raw), style=spec.split)
+    scaler = StandardScaler().fit(raw[tr])
+    return SplitData(
+        train=scaler.transform(raw[tr]),
+        val=scaler.transform(raw[va]),
+        test=scaler.transform(raw[te]),
+        scaler=scaler, name=name)
+
+
+class ForecastWindows:
+    """Sliding (lookback, horizon) window pairs over one split."""
+
+    def __init__(self, data: np.ndarray, seq_len: int, pred_len: int,
+                 stride: int = 1):
+        if len(data) < seq_len + pred_len:
+            raise ValueError(
+                f"split of length {len(data)} too short for "
+                f"seq_len={seq_len} + pred_len={pred_len}")
+        self.data = np.asarray(data, dtype=float)
+        self.seq_len = seq_len
+        self.pred_len = pred_len
+        self.stride = stride
+
+    def __len__(self) -> int:
+        return (len(self.data) - self.seq_len - self.pred_len) // self.stride + 1
+
+    def __getitem__(self, idx: int) -> Tuple[np.ndarray, np.ndarray]:
+        start = idx * self.stride
+        x = self.data[start:start + self.seq_len]
+        y = self.data[start + self.seq_len:start + self.seq_len + self.pred_len]
+        return x, y
+
+
+class ImputationWindows:
+    """Fixed-length windows for the imputation task (no target horizon)."""
+
+    def __init__(self, data: np.ndarray, seq_len: int, stride: int = 1):
+        if len(data) < seq_len:
+            raise ValueError("split too short for the requested window")
+        self.data = np.asarray(data, dtype=float)
+        self.seq_len = seq_len
+        self.stride = stride
+
+    def __len__(self) -> int:
+        return (len(self.data) - self.seq_len) // self.stride + 1
+
+    def __getitem__(self, idx: int) -> np.ndarray:
+        start = idx * self.stride
+        return self.data[start:start + self.seq_len]
+
+
+class DataLoader:
+    """Batched iteration over a window dataset with optional shuffling."""
+
+    def __init__(self, windows, batch_size: int = 32, shuffle: bool = False,
+                 seed: int = 0, max_batches: Optional[int] = None):
+        self.windows = windows
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.max_batches = max_batches
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = -(-len(self.windows) // self.batch_size)
+        return min(n, self.max_batches) if self.max_batches else n
+
+    def __iter__(self) -> Iterator:
+        order = np.arange(len(self.windows))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        batches_yielded = 0
+        for start in range(0, len(order), self.batch_size):
+            if self.max_batches and batches_yielded >= self.max_batches:
+                return
+            idx = order[start:start + self.batch_size]
+            items = [self.windows[i] for i in idx]
+            if isinstance(items[0], tuple):
+                xs = np.stack([it[0] for it in items])
+                ys = np.stack([it[1] for it in items])
+                yield xs, ys
+            else:
+                yield np.stack(items)
+            batches_yielded += 1

@@ -1,0 +1,59 @@
+"""Random masking for the imputation task (Table V protocol).
+
+The paper "randomly mask[s] the time points with a ratio of
+{12.5%, 25%, 37.5%, 50%}": masks are drawn uniformly over (time, channel)
+positions, masked inputs are zero-filled, and the loss/metrics are computed
+on masked positions only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+MASK_RATIOS = (0.125, 0.25, 0.375, 0.5)
+
+
+def random_mask(shape: Tuple[int, ...], ratio: float,
+                rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Boolean mask of ``shape`` with ~``ratio`` of entries True (= missing)."""
+    if not 0.0 <= ratio < 1.0:
+        raise ValueError(f"mask ratio must be in [0, 1), got {ratio}")
+    rng = rng or np.random.default_rng()
+    return rng.random(shape) < ratio
+
+
+def apply_mask(x: np.ndarray, mask: np.ndarray,
+               fill_value: float = 0.0) -> np.ndarray:
+    """Zero-fill the masked (missing) positions of ``x``."""
+    if mask.shape != x.shape:
+        raise ValueError(f"mask shape {mask.shape} != data shape {x.shape}")
+    out = x.copy()
+    out[mask] = fill_value
+    return out
+
+
+def mask_batch(x: np.ndarray, ratio: float,
+               rng: Optional[np.random.Generator] = None,
+               fill: str = "zero") -> Tuple[np.ndarray, np.ndarray]:
+    """Mask a (B, T, C) batch; returns ``(masked_input, mask)``.
+
+    ``fill`` controls the placeholder written at missing positions:
+
+    * ``"zero"`` — plain zero-fill;
+    * ``"mean"`` — each channel's *observed* per-window mean, which avoids
+      injecting artificial level shifts into decomposition-based models
+      (all models receive the same fill, keeping the comparison fair).
+    """
+    mask = random_mask(x.shape, ratio, rng=rng)
+    if fill == "zero":
+        return apply_mask(x, mask), mask
+    if fill == "mean":
+        observed = np.where(mask, np.nan, x)
+        with np.errstate(invalid="ignore"):
+            means = np.nanmean(observed, axis=-2, keepdims=True)
+        means = np.nan_to_num(means)                     # all-masked channel -> 0
+        filled = np.where(mask, np.broadcast_to(means, x.shape), x)
+        return filled, mask
+    raise ValueError(f"unknown fill strategy {fill!r}")

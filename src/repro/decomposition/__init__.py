@@ -1,0 +1,13 @@
+"""Triple decomposition: trend + spectrum-gradient decompositions."""
+
+from .trend import DEFAULT_KERNELS, SeriesDecomposition, decompose_trend_array
+from .spectrum_gradient import (
+    SGDResult, SpectrumGradientDecomposition, chunk_gradient,
+)
+from .triple import TripleDecomposition, TripleDecompositionResult, decompose_array
+
+__all__ = [
+    "DEFAULT_KERNELS", "SeriesDecomposition", "decompose_trend_array",
+    "SGDResult", "SpectrumGradientDecomposition", "chunk_gradient",
+    "TripleDecomposition", "TripleDecompositionResult", "decompose_array",
+]

@@ -1,0 +1,125 @@
+"""Spectrum-Gradient Decomposition (S-GD), Eq. 9-11.
+
+Pipeline per the paper, for a seasonal input ``X_seasonal`` of shape
+(B, T, C):
+
+1. expand into the temporal-frequency tensor ``X_2D = Amp(WT(X))`` of shape
+   (B, C, lambda, T) via the CWT operator (Eq. 7-8);
+2. split ``X_2D`` along time into ``u = ceil(T / T_f)`` non-overlapping
+   sub-series of length ``T_f`` (the dominant FFT period);
+3. the spectrum gradient of sub-series ``i`` is
+   ``Delta^i = S^i - S^{i-1}`` with ``S^0 = 0`` (Eq. 9);
+4. ``Delta_1D = IWT(Delta_2D)`` collapses the gradient back to 1-D;
+5. ``X_regular = X_seasonal - Delta_1D`` and ``X_fluctuant = Delta_2D``
+   (Eq. 10), so ``X_regular + Delta_1D == X_seasonal`` exactly.
+
+The whole operation is differentiable (fixed linear CWT/IWT + slicing), so
+the same layer is reused between TF-Blocks inside TS3Net (Eq. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..autodiff import Tensor, ops
+from ..nn.module import Module
+from ..spectral.cwt import CWTOperator
+from ..spectral.periods import dominant_period
+
+
+def chunk_gradient(x2d: Tensor, period: int, first_chunk_zero: bool = True) -> Tensor:
+    """Difference of consecutive length-``period`` chunks along the last axis.
+
+    ``x2d`` is (..., T). Output has the same shape; positions in chunk ``i``
+    hold ``S^i - S^{i-1}``. With ``first_chunk_zero=True`` (the paper's
+    ``S^0 = 0``), chunk 1's gradient is its own spectrum; otherwise chunk 1
+    is zero (an ablation knob).
+    """
+    t = x2d.shape[-1]
+    period = max(1, min(period, t))
+    u = -(-t // period)                               # ceil division
+    pad_len = u * period - t
+    x = x2d
+    if pad_len:
+        widths = [(0, 0)] * (x.ndim - 1) + [(0, pad_len)]
+        x = ops.pad(x, widths)
+    lead = x.shape[:-1]
+    chunked = x.reshape(*lead, u, period)
+
+    if u == 1:
+        delta = chunked if first_chunk_zero else chunked * 0.0
+    else:
+        diffs = chunked[..., 1:, :] - chunked[..., :-1, :]
+        first = chunked[..., :1, :]
+        if not first_chunk_zero:
+            first = first * 0.0
+        delta = ops.concat([first, diffs], axis=-2)
+
+    delta = delta.reshape(*lead, u * period)
+    if pad_len:
+        index = [slice(None)] * delta.ndim
+        index[-1] = slice(0, t)
+        delta = delta[tuple(index)]
+    return delta
+
+
+@dataclass
+class SGDResult:
+    """Output bundle of one S-GD application."""
+
+    regular: Tensor          # (B, T, C) — X_seasonal minus the 1-D gradient
+    fluctuant: Tensor        # (B, C, lambda, T) — the spectrum gradient Delta_2D
+    delta_1d: Tensor         # (B, T, C) — IWT(Delta_2D)
+    tf_distribution: Tensor  # (B, C, lambda, T) — Amp(WT(X)), for analysis
+    period: int              # the T_f used for chunking
+
+
+class SpectrumGradientDecomposition(Module):
+    """The S-GD layer (Eq. 11): ``S-GD(X_seasonal) = [X_regular, X_fluctuant]``.
+
+    Parameters
+    ----------
+    seq_len:
+        Series length T the operator is built for.
+    num_scales:
+        The hyper-parameter ``lambda`` (spectral sub-bands).
+    wavelet:
+        Mother wavelet name; the paper's default is the complex Gaussian.
+    period:
+        Fixed sub-series length ``T_f``. When None, the dominant FFT period
+        of each batch is detected on the fly (Eq. 2 with k=1).
+    first_chunk_zero:
+        Paper-faithful ``S^0 = 0`` when True.
+    """
+
+    def __init__(self, seq_len: int, num_scales: int, wavelet: str = "cgau1",
+                 period: Optional[int] = None, first_chunk_zero: bool = True):
+        super().__init__()
+        self.seq_len = seq_len
+        self.num_scales = num_scales
+        self.operator = CWTOperator.cached(seq_len, num_scales, wavelet)
+        self.period = period
+        self.first_chunk_zero = first_chunk_zero
+
+    def forward(self, x: Tensor, period: Optional[int] = None) -> SGDResult:
+        """Decompose (B, T, C) into regular/fluctuant parts.
+
+        ``period`` overrides the sub-series length T_f for this call (TS3Net
+        detects the period once on the raw input and shares it across its
+        internal S-GD layers).
+        """
+        if x.shape[-2] != self.seq_len:
+            raise ValueError(
+                f"S-GD built for T={self.seq_len}, got series of length {x.shape[-2]}")
+        period = (period or self.period
+                  or dominant_period(x.data if x.ndim == 3 else x.data[None]))
+
+        x_t = x.swapaxes(-2, -1)                              # (B, C, T)
+        tf = self.operator.amplitude(x_t)                     # (B, C, lam, T)
+        delta2d = chunk_gradient(tf, period, self.first_chunk_zero)
+        delta1d = self.operator.inverse(delta2d)              # (B, C, T)
+        delta1d = delta1d.swapaxes(-2, -1)                    # (B, T, C)
+        regular = x - delta1d
+        return SGDResult(regular=regular, fluctuant=delta2d, delta_1d=delta1d,
+                         tf_distribution=tf, period=period)

@@ -1,0 +1,81 @@
+"""Trend decomposition (Eq. 1): X_trend = AvgPool(Padding(X)), seasonal = X - trend.
+
+This is the "recently popular decoupling approach" the paper adopts from
+MICN/FEDformer/Autoformer: moving averages at several window sizes with
+replicate padding (so the output keeps length T), averaged across windows.
+Works on autodiff tensors, so it can also sit inside model blocks
+(Autoformer uses it between attention layers).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..autodiff.ops import avg_pool1d
+from ..nn.module import Module
+
+DEFAULT_KERNELS = (13, 17)
+
+
+class SeriesDecomposition(Module):
+    """Multi-scale moving-average trend/seasonal split on (B, T, C) tensors."""
+
+    def __init__(self, kernel_sizes: Sequence[int] = DEFAULT_KERNELS):
+        super().__init__()
+        for k in kernel_sizes:
+            if k < 1 or k % 2 == 0:
+                raise ValueError(f"kernel sizes must be odd and >= 1, got {k}")
+        self.kernel_sizes = tuple(kernel_sizes)
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        """Return ``(seasonal, trend)`` with ``seasonal + trend == x``."""
+        x_t = x.swapaxes(-2, -1)                      # (B, C, T)
+        trends = []
+        for k in self.kernel_sizes:
+            pooled = avg_pool1d(x_t, k, stride=1, padding=(k - 1) // 2,
+                                pad_mode="edge")
+            trends.append(pooled)
+        trend = trends[0]
+        for t in trends[1:]:
+            trend = trend + t
+        trend = trend / float(len(trends))
+        trend = trend.swapaxes(-2, -1)                # (B, T, C)
+        return x - trend, trend
+
+
+def decompose_trend_array(x: np.ndarray,
+                          kernel_sizes: Sequence[int] = DEFAULT_KERNELS
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """NumPy fast path for data-level use: returns ``(seasonal, trend)``.
+
+    Accepts (T,), (T, C) or (B, T, C); the trend is the average of centred
+    moving averages with replicate padding at each window size.
+    """
+    x = np.asarray(x, dtype=float)
+    squeeze_channels = x.ndim == 1
+    if squeeze_channels:
+        x = x[:, None]
+    squeeze_batch = x.ndim == 2
+    if squeeze_batch:
+        x = x[None]
+
+    b, t, c = x.shape
+    trend = np.zeros_like(x)
+    for k in kernel_sizes:
+        half = (k - 1) // 2
+        padded = np.pad(x, ((0, 0), (half, half), (0, 0)), mode="edge")
+        kernel = np.ones(k) / k
+        smoothed = np.apply_along_axis(
+            lambda s: np.convolve(s, kernel, mode="valid"), 1, padded)
+        trend += smoothed
+    trend /= len(kernel_sizes)
+
+    seasonal = x - trend
+    if squeeze_batch:
+        seasonal, trend = seasonal[0], trend[0]
+    if squeeze_channels:
+        seasonal, trend = seasonal[..., 0], trend[..., 0]
+    return seasonal, trend

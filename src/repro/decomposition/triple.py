@@ -1,0 +1,79 @@
+"""Triple Decomposition (TD) — the paper's headline contribution.
+
+``TripleDecomposition`` chains the two stages of Fig. 1:
+
+1. trend decomposition: ``X = X_trend + X_seasonal`` (Eq. 1);
+2. spectrum-gradient decomposition of the seasonal part:
+   ``S-GD(X_seasonal) = [X_regular, X_fluctuant]`` (Eq. 9-11).
+
+The invariants, both enforced by tests:
+
+* ``trend + seasonal == x`` exactly;
+* ``regular + delta_1d == seasonal`` exactly (Eq. 10 defines regular by
+  subtraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..nn.module import Module
+from .spectrum_gradient import SGDResult, SpectrumGradientDecomposition
+from .trend import DEFAULT_KERNELS, SeriesDecomposition
+
+
+@dataclass
+class TripleDecompositionResult:
+    """The three components (plus diagnostics) of one decomposition."""
+
+    trend: Tensor            # (B, T, C)
+    seasonal: Tensor         # (B, T, C) — intermediate, = regular + delta_1d
+    regular: Tensor          # (B, T, C)
+    fluctuant: Tensor        # (B, C, lambda, T) spectrum-gradient tensor
+    delta_1d: Tensor         # (B, T, C) — the 1-D image of the fluctuant part
+    tf_distribution: Tensor  # (B, C, lambda, T) — Amp(WT(seasonal))
+    period: int
+
+
+class TripleDecomposition(Module):
+    """Decouple (B, T, C) series into trend / regular / fluctuant parts."""
+
+    def __init__(self, seq_len: int, num_scales: int = 16,
+                 wavelet: str = "cgau1",
+                 trend_kernels: Sequence[int] = DEFAULT_KERNELS,
+                 period: Optional[int] = None,
+                 first_chunk_zero: bool = True):
+        super().__init__()
+        self.trend_decomp = SeriesDecomposition(trend_kernels)
+        self.sgd = SpectrumGradientDecomposition(
+            seq_len, num_scales, wavelet=wavelet, period=period,
+            first_chunk_zero=first_chunk_zero)
+
+    def forward(self, x: Tensor) -> TripleDecompositionResult:
+        seasonal, trend = self.trend_decomp(x)
+        sgd: SGDResult = self.sgd(seasonal)
+        return TripleDecompositionResult(
+            trend=trend, seasonal=seasonal, regular=sgd.regular,
+            fluctuant=sgd.fluctuant, delta_1d=sgd.delta_1d,
+            tf_distribution=sgd.tf_distribution, period=sgd.period)
+
+
+def decompose_array(x: np.ndarray, num_scales: int = 16,
+                    wavelet: str = "cgau1",
+                    trend_kernels: Sequence[int] = DEFAULT_KERNELS,
+                    period: Optional[int] = None) -> TripleDecompositionResult:
+    """Convenience NumPy entry point: triple-decompose a (T,), (T, C) or
+    (B, T, C) array, returning tensors whose ``.data`` holds the components.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = x[:, None]
+    if x.ndim == 2:
+        x = x[None]
+    td = TripleDecomposition(seq_len=x.shape[1], num_scales=num_scales,
+                             wavelet=wavelet, period=period)
+    return td(Tensor(x))

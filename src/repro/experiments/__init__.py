@@ -1,0 +1,14 @@
+"""Experiment harness: one module per paper table/figure."""
+
+from .configs import SCALES, Scale, format_table3, get_scale
+from .results import ResultTable
+from .runner import get_dataset, run_forecast_cell, run_imputation_cell
+from . import table2, table4, table5, table6, table7, table8, table9
+from . import figures, sensitivity
+
+__all__ = [
+    "SCALES", "Scale", "format_table3", "get_scale", "ResultTable",
+    "get_dataset", "run_forecast_cell", "run_imputation_cell",
+    "table2", "table4", "table5", "table6", "table7", "table8", "table9",
+    "figures", "sensitivity",
+]

@@ -1,0 +1,175 @@
+"""Figure reproductions.
+
+* :func:`figure3` — prediction showcase on Electricity at the longest
+  horizon (the paper's Fig. 3, per-variable forecast vs. ground truth);
+* :func:`figure4` — the same showcase for one normalised channel of ETTm2
+  (Fig. 4);
+* :func:`figure5` — visualisation of the triple decomposition on
+  ETTh1/ETTh2: the original window, its TF distribution, the spectrum
+  gradient, and the trend/regular/fluctuant curves (Fig. 5).
+
+Each returns the underlying arrays and an ASCII rendering; CSVs can be
+saved for replotting with a real plotting stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..autodiff import Tensor, no_grad
+from ..baselines.registry import build_model
+from ..decomposition import decompose_array
+from ..tasks.forecasting import ForecastTask, run_forecast
+from ..utils import set_seed
+from .configs import get_scale
+from .plotting import ascii_heatmap, ascii_lineplot, save_csv
+from .runner import get_dataset, _train_config, _model_overrides
+
+
+@dataclass
+class ShowcaseResult:
+    """A trained model's prediction on one test window."""
+
+    dataset: str
+    channel: int
+    lookback: np.ndarray      # (seq_len,)
+    truth: np.ndarray         # (pred_len,)
+    prediction: np.ndarray    # (pred_len,)
+
+    def render(self) -> str:
+        full_truth = np.concatenate([self.lookback, self.truth])
+        pred_padded = np.concatenate([np.full_like(self.lookback, np.nan),
+                                      self.prediction])
+        # ASCII plot cannot show NaN; plot horizon region only for both.
+        series = {
+            "GroundTruth": full_truth[-2 * len(self.truth):],
+            "Prediction": np.concatenate([
+                full_truth[-2 * len(self.truth):-len(self.truth)],
+                self.prediction]),
+        }
+        head = (f"{self.dataset} channel {self.channel}: lookback tail + "
+                f"horizon ({len(self.truth)} steps)")
+        return head + "\n" + ascii_lineplot(series)
+
+
+def _forecast_showcase(dataset: str, scale: str, channel: int,
+                       seed: int = 0) -> ShowcaseResult:
+    sc = get_scale(scale)
+    seq_len, horizons = sc.windows_for(dataset)
+    pred_len = horizons[-1]
+    split = get_dataset(dataset, sc, seed=seed)
+
+    set_seed(seed)
+    model = build_model("TS3Net", seq_len=seq_len, pred_len=pred_len,
+                        c_in=split.train.shape[1], preset=sc.preset,
+                        **_model_overrides(sc))
+    task = ForecastTask(seq_len=seq_len, pred_len=pred_len,
+                        batch_size=sc.batch_size,
+                        max_train_batches=sc.max_train_batches,
+                        max_eval_batches=sc.max_eval_batches, seed=seed)
+    run_forecast(model, split, task, _train_config(sc))
+
+    window = split.test[:seq_len + pred_len]
+    x, y = window[:seq_len], window[seq_len:]
+    model.eval()
+    with no_grad():
+        pred = model(Tensor(x[None])).data[0]
+    return ShowcaseResult(dataset=dataset, channel=channel,
+                          lookback=x[:, channel], truth=y[:, channel],
+                          prediction=pred[:, channel])
+
+
+def figure3(scale: str = "tiny", channel: int = 0, seed: int = 0,
+            csv_path: Optional[str] = None) -> ShowcaseResult:
+    """Fig. 3 — Electricity showcase at the longest horizon."""
+    result = _forecast_showcase("Electricity", scale, channel, seed)
+    if csv_path:
+        save_csv(csv_path, {"truth": result.truth,
+                            "prediction": result.prediction})
+    return result
+
+
+def figure4(scale: str = "tiny", channel: int = 6, seed: int = 0,
+            csv_path: Optional[str] = None) -> ShowcaseResult:
+    """Fig. 4 — ETTm2 normalised-OT showcase (last channel = OT)."""
+    result = _forecast_showcase("ETTm2", scale, channel, seed)
+    if csv_path:
+        save_csv(csv_path, {"truth": result.truth,
+                            "prediction": result.prediction})
+    return result
+
+
+@dataclass
+class DecompositionFigure:
+    """Fig. 5 panels for one dataset window."""
+
+    dataset: str
+    original: np.ndarray          # (T,)
+    tf_distribution: np.ndarray   # (lambda, T)
+    spectrum_gradient: np.ndarray  # (lambda, T)
+    trend: np.ndarray
+    regular: np.ndarray
+    fluctuant_1d: np.ndarray
+
+    def render(self) -> str:
+        parts = [
+            f"=== Fig. 5 panel: {self.dataset} (window length {len(self.original)}) ===",
+            "Original series:",
+            ascii_lineplot({"x": self.original}, height=8),
+            ascii_heatmap(self.tf_distribution, label="TF distribution |WT|"),
+            ascii_heatmap(self.spectrum_gradient, label="Spectrum gradient"),
+            "Decomposed parts (t=Trend, r=Regular, f=Fluctuant):",
+            ascii_lineplot({"trend": self.trend, "regular": self.regular,
+                            "fluct": self.fluctuant_1d}, height=10),
+        ]
+        return "\n".join(parts)
+
+
+def figure5(dataset: str = "ETTh1", scale: str = "tiny", window_len: int = 192,
+            channel: int = 0, num_scales: int = 16, seed: int = 0,
+            csv_path: Optional[str] = None) -> DecompositionFigure:
+    """Fig. 5 — triple decomposition visualisation of one window."""
+    sc = get_scale(scale)
+    split = get_dataset(dataset, sc, seed=seed)
+    window_len = min(window_len, len(split.test))
+    x = split.test[:window_len, channel]
+
+    res = decompose_array(x, num_scales=num_scales)
+    fig = DecompositionFigure(
+        dataset=dataset,
+        original=x,
+        tf_distribution=res.tf_distribution.data[0, 0],
+        spectrum_gradient=res.fluctuant.data[0, 0],
+        trend=res.trend.data[0, :, 0],
+        regular=res.regular.data[0, :, 0],
+        fluctuant_1d=res.delta_1d.data[0, :, 0],
+    )
+    if csv_path:
+        save_csv(csv_path, {"original": fig.original, "trend": fig.trend,
+                            "regular": fig.regular,
+                            "fluctuant": fig.fluctuant_1d})
+    return fig
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figure", choices=["fig3", "fig4", "fig5"])
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument("--dataset", default="ETTh1", help="fig5 only")
+    parser.add_argument("--csv", default=None)
+    args = parser.parse_args(argv)
+    if args.figure == "fig3":
+        print(figure3(scale=args.scale, csv_path=args.csv).render())
+    elif args.figure == "fig4":
+        print(figure4(scale=args.scale, csv_path=args.csv).render())
+    else:
+        print(figure5(dataset=args.dataset, scale=args.scale,
+                      csv_path=args.csv).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Terminal plotting helpers for the figure reproductions.
+
+No plotting library is available offline, so figures render as ASCII line
+charts and heat maps plus CSV files a user can replot elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+_HEAT_CHARS = " .:-=+*#%@"
+
+
+def ascii_lineplot(series: Dict[str, np.ndarray], width: int = 72,
+                   height: int = 14) -> str:
+    """Overlay named series on one character grid (first letter = marker)."""
+    all_vals = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    lo, hi = float(all_vals.min()), float(all_vals.max())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    for name, values in series.items():
+        values = np.asarray(values, dtype=float)
+        marker = name[0]
+        xs = np.linspace(0, len(values) - 1, width).astype(int)
+        for col, xi in enumerate(xs):
+            frac = (values[xi] - lo) / (hi - lo)
+            row = height - 1 - int(round(frac * (height - 1)))
+            grid[row][col] = marker
+
+    lines = ["".join(row) for row in grid]
+    legend = "   ".join(f"{name[0]} = {name}" for name in series)
+    footer = f"y in [{lo:.2f}, {hi:.2f}], x = time steps | {legend}"
+    return "\n".join(lines + [footer])
+
+
+def ascii_heatmap(matrix: np.ndarray, width: int = 72, height: int = 12,
+                  label: str = "") -> str:
+    """Render a 2-D array (rows = frequency, cols = time) as a char density map."""
+    m = np.asarray(matrix, dtype=float)
+    lo, hi = float(m.min()), float(m.max())
+    scale = (hi - lo) if hi > lo else 1.0
+
+    rows = np.linspace(0, m.shape[0] - 1, height).astype(int)
+    cols = np.linspace(0, m.shape[1] - 1, width).astype(int)
+    lines = []
+    for r in rows:
+        chars = []
+        for c in cols:
+            level = int((m[r, c] - lo) / scale * (len(_HEAT_CHARS) - 1))
+            chars.append(_HEAT_CHARS[level])
+        lines.append("".join(chars))
+    if label:
+        lines.append(f"{label}  (rows: low->high frequency, cols: time; "
+                     f"values in [{lo:.2f}, {hi:.2f}])")
+    return "\n".join(lines)
+
+
+def save_csv(path: str, columns: Dict[str, Sequence[float]]) -> None:
+    """Write named columns (equal length) as a CSV for external replotting."""
+    names = list(columns)
+    arrays = [np.asarray(columns[n], dtype=float).reshape(-1) for n in names]
+    length = max(len(a) for a in arrays)
+    with open(path, "w") as fh:
+        fh.write(",".join(names) + "\n")
+        for i in range(length):
+            cells = [f"{a[i]:.6f}" if i < len(a) else "" for a in arrays]
+            fh.write(",".join(cells) + "\n")

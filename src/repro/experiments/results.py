@@ -1,0 +1,157 @@
+"""Result tables in the paper's layout.
+
+A :class:`ResultTable` collects (row, column) -> {mse, mae} cells, where a
+row is typically ``(dataset, horizon)`` and a column a model name, and can
+render itself the way Tables IV-IX are printed: MSE/MAE pairs, per-dataset
+averages, bold-winner (marked ``*``) and first-place counts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+Cell = Dict[str, float]
+RowKey = Tuple[str, object]          # (dataset, horizon-or-setting)
+
+
+class ResultTable:
+    """Nested (dataset, setting) x model results with paper-style rendering."""
+
+    def __init__(self, title: str, metric_names: Tuple[str, ...] = ("mse", "mae")):
+        self.title = title
+        self.metric_names = metric_names
+        self._cells: "OrderedDict[RowKey, OrderedDict[str, Cell]]" = OrderedDict()
+        self._columns: List[str] = []
+
+    # ------------------------------------------------------------------
+    def add(self, dataset: str, setting, model: str, metrics: Cell) -> None:
+        key = (dataset, setting)
+        row = self._cells.setdefault(key, OrderedDict())
+        row[model] = {m: float(metrics[m]) for m in self.metric_names}
+        if model not in self._columns:
+            self._columns.append(model)
+
+    def get(self, dataset: str, setting, model: str) -> Cell:
+        return self._cells[(dataset, setting)][model]
+
+    @property
+    def datasets(self) -> List[str]:
+        seen: List[str] = []
+        for ds, _ in self._cells:
+            if ds not in seen:
+                seen.append(ds)
+        return seen
+
+    @property
+    def models(self) -> List[str]:
+        return list(self._columns)
+
+    def rows_for(self, dataset: str) -> List[RowKey]:
+        return [k for k in self._cells if k[0] == dataset]
+
+    # ------------------------------------------------------------------
+    def average_row(self, dataset: str) -> Dict[str, Cell]:
+        """Per-model metric averages over a dataset's settings."""
+        rows = self.rows_for(dataset)
+        out: Dict[str, Cell] = {}
+        for model in self.models:
+            sums = {m: 0.0 for m in self.metric_names}
+            count = 0
+            for key in rows:
+                cell = self._cells[key].get(model)
+                if cell is None:
+                    continue
+                for m in self.metric_names:
+                    sums[m] += cell[m]
+                count += 1
+            if count:
+                out[model] = {m: sums[m] / count for m in self.metric_names}
+        return out
+
+    def winners(self, key: RowKey, metric: str) -> str:
+        row = self._cells[key]
+        return min(row, key=lambda m: row[m][metric])
+
+    def first_place_counts(self) -> Dict[str, int]:
+        """Number of cells (row x metric) each model wins — the "1st Count"."""
+        counts = {m: 0 for m in self.models}
+        for key in self._cells:
+            for metric in self.metric_names:
+                counts[self.winners(key, metric)] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def render(self, float_fmt: str = "{:.3f}") -> str:
+        """Paper-style text rendering with ``*`` marking per-metric winners."""
+        col_w = max(12, *(len(m) + 2 for m in self.models)) if self.models else 12
+        header = f"{'Dataset':>12s} {'Setting':>8s} " + " ".join(
+            f"{m:>{col_w}s}" for m in self.models)
+        sub = f"{'':>12s} {'':>8s} " + " ".join(
+            f"{'MSE  MAE':>{col_w}s}" for _ in self.models)
+        lines = [self.title, "=" * len(header), header, sub, "-" * len(header)]
+
+        for dataset in self.datasets:
+            for key in self.rows_for(dataset):
+                row = self._cells[key]
+                best = {m: self.winners(key, m) for m in self.metric_names}
+                cells = []
+                for model in self.models:
+                    cell = row.get(model)
+                    if cell is None:
+                        cells.append(f"{'-':>{col_w}s}")
+                        continue
+                    marks = ["*" if best[m] == model else " "
+                             for m in self.metric_names]
+                    text = " ".join(
+                        float_fmt.format(cell[m]) + marks[i]
+                        for i, m in enumerate(self.metric_names))
+                    cells.append(f"{text:>{col_w}s}")
+                lines.append(f"{dataset:>12s} {str(key[1]):>8s} " + " ".join(cells))
+            avg = self.average_row(dataset)
+            if avg:
+                cells = []
+                best_avg = {m: min(avg, key=lambda mod: avg[mod][m])
+                            for m in self.metric_names}
+                for model in self.models:
+                    cell = avg.get(model)
+                    if cell is None:
+                        cells.append(f"{'-':>{col_w}s}")
+                        continue
+                    text = " ".join(
+                        float_fmt.format(cell[m])
+                        + ("*" if best_avg[m] == model else " ")
+                        for m in self.metric_names)
+                    cells.append(f"{text:>{col_w}s}")
+                lines.append(f"{dataset:>12s} {'Avg':>8s} " + " ".join(cells))
+            lines.append("-" * len(header))
+
+        counts = self.first_place_counts()
+        lines.append("1st Count: " + "  ".join(
+            f"{m}={counts[m]}" for m in self.models))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "title": self.title,
+            "metrics": list(self.metric_names),
+            "cells": [
+                {"dataset": ds, "setting": setting, "model": model, **cell}
+                for (ds, setting), row in self._cells.items()
+                for model, cell in row.items()
+            ],
+        }
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, default=str)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ResultTable":
+        table = cls(payload["title"], tuple(payload["metrics"]))
+        for cell in payload["cells"]:
+            metrics = {m: cell[m] for m in payload["metrics"]}
+            table.add(cell["dataset"], cell["setting"], cell["model"], metrics)
+        return table

@@ -1,0 +1,98 @@
+"""Experiment cell runner: one (model, dataset, setting) measurement.
+
+Handles seeding, dataset caching, window-size resolution (ILI uses short
+windows), model construction via the registry, and task execution — so the
+per-table modules stay declarative.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional
+
+from ..baselines.registry import build_model
+from ..data.dataset import SplitData, load_dataset
+from ..data.noise import inject_noise
+from ..tasks.forecasting import ForecastTask, run_forecast
+from ..tasks.imputation import ImputationTask, run_imputation
+from ..tasks.trainer import TrainConfig
+from ..utils import set_seed
+from .configs import Scale, get_scale
+
+import numpy as np
+
+
+@lru_cache(maxsize=32)
+def _cached_dataset(name: str, n_steps: Optional[int], seed: int) -> SplitData:
+    return load_dataset(name, n_steps=n_steps, seed=seed)
+
+
+def get_dataset(name: str, scale: Scale, seed: int = 0) -> SplitData:
+    """Load (with caching) the synthetic dataset at this scale."""
+    return _cached_dataset(name, scale.steps_for(name), seed)
+
+
+def _train_config(scale: Scale) -> TrainConfig:
+    return TrainConfig(epochs=scale.epochs, lr=scale.lr, patience=scale.patience)
+
+
+def _model_overrides(scale: Scale) -> Dict:
+    return {"num_scales": scale.num_scales} if scale.num_scales else {}
+
+
+def run_forecast_cell(model_name: str, dataset: str, pred_len: int,
+                      scale: str = "tiny", seed: int = 0,
+                      noise_rho: float = 0.0,
+                      model_overrides: Optional[Dict] = None) -> Dict[str, float]:
+    """Train + evaluate one Table IV cell; returns ``{"mse", "mae"}``.
+
+    ``noise_rho`` reproduces the Table VIII robustness protocol (noise
+    injected into the training inputs).
+    """
+    sc = get_scale(scale)
+    seq_len, _ = sc.windows_for(dataset)
+    split = get_dataset(dataset, sc, seed=seed)
+    if noise_rho > 0.0:
+        rng = np.random.default_rng(seed + 777)
+        split = SplitData(train=inject_noise(split.train, noise_rho, rng),
+                          val=split.val, test=split.test,
+                          scaler=split.scaler, name=split.name)
+
+    set_seed(seed)
+    overrides = dict(_model_overrides(sc))
+    overrides.update(model_overrides or {})
+    model = build_model(model_name, seq_len=seq_len, pred_len=pred_len,
+                        c_in=split.train.shape[1], task="forecast",
+                        preset=sc.preset, **overrides)
+
+    task = ForecastTask(seq_len=seq_len, pred_len=pred_len,
+                        batch_size=sc.batch_size,
+                        max_train_batches=sc.max_train_batches,
+                        max_eval_batches=sc.max_eval_batches, seed=seed)
+    result = run_forecast(model, split, task, _train_config(sc))
+    return {"mse": result.mse, "mae": result.mae,
+            "epochs": result.epochs_run, "seconds": result.seconds}
+
+
+def run_imputation_cell(model_name: str, dataset: str, mask_ratio: float,
+                        scale: str = "tiny", seed: int = 0,
+                        model_overrides: Optional[Dict] = None) -> Dict[str, float]:
+    """Train + evaluate one Table V cell; returns ``{"mse", "mae"}``."""
+    sc = get_scale(scale)
+    seq_len, _ = sc.windows_for(dataset)
+    split = get_dataset(dataset, sc, seed=seed)
+
+    set_seed(seed)
+    overrides = dict(_model_overrides(sc))
+    overrides.update(model_overrides or {})
+    model = build_model(model_name, seq_len=seq_len, pred_len=seq_len,
+                        c_in=split.train.shape[1], task="imputation",
+                        preset=sc.preset, **overrides)
+
+    task = ImputationTask(seq_len=seq_len, mask_ratio=mask_ratio,
+                          batch_size=sc.batch_size,
+                          max_train_batches=sc.max_train_batches,
+                          max_eval_batches=sc.max_eval_batches, seed=seed)
+    result = run_imputation(model, split, task, _train_config(sc))
+    return {"mse": result.mse, "mae": result.mae,
+            "epochs": result.epochs_run, "seconds": result.seconds}

@@ -1,0 +1,79 @@
+"""Extended design-choice ablations (beyond the paper's Table IX).
+
+DESIGN.md calls out the remaining knobs the paper fixes without sweeping;
+this module sweeps them with the same harness:
+
+* number of stacked TF-Blocks (the paper defaults to 2, mentions 3);
+* number of wavelet branches ``m``;
+* ``S^0 = 0`` vs. ``S^0 = S^1`` in the spectrum gradient (Eq. 9's choice);
+* top-k periods used for S-GD chunking.
+
+Usage::
+
+    python -m repro.experiments.sensitivity --knob num_blocks --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Optional, Sequence
+
+from .configs import get_scale
+from .results import ResultTable
+from .runner import run_forecast_cell
+
+KNOBS: Dict[str, Sequence] = {
+    "num_blocks": (1, 2, 3),
+    "num_branches": (1, 2, 3),
+    "first_chunk_zero": (True, False),
+    "top_k_periods": (1, 2, 3),
+}
+
+DEFAULT_DATASETS = ("ETTh1", "Exchange")
+
+
+def run(knob: str, scale: str = "tiny",
+        datasets: Optional[Sequence[str]] = None,
+        pred_lens: Optional[Sequence[int]] = None,
+        values: Optional[Sequence] = None, seed: int = 0,
+        verbose: bool = False) -> ResultTable:
+    if knob not in KNOBS:
+        raise KeyError(f"unknown knob {knob!r}; choose from {sorted(KNOBS)}")
+    sc = get_scale(scale)
+    datasets = list(datasets or DEFAULT_DATASETS)
+    values = list(values if values is not None else KNOBS[knob])
+
+    table = ResultTable(f"Sensitivity of TS3Net to {knob} (scale={scale})")
+    for dataset in datasets:
+        _, horizon_list = sc.windows_for(dataset)
+        horizons = list(pred_lens or horizon_list[:1])
+        for pred_len in horizons:
+            for value in values:
+                metrics = run_forecast_cell(
+                    "TS3Net", dataset, pred_len, scale=scale, seed=seed,
+                    model_overrides={knob: value})
+                table.add(dataset, pred_len, f"{knob}={value}", metrics)
+                if verbose:
+                    print(f"{dataset:>12s} h={pred_len:<4d} {knob}={value} "
+                          f"mse={metrics['mse']:.3f}")
+    return table
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--knob", required=True, choices=sorted(KNOBS))
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument("--datasets", nargs="*", default=None)
+    parser.add_argument("--pred-lens", nargs="*", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--save", default=None)
+    args = parser.parse_args(argv)
+    table = run(knob=args.knob, scale=args.scale, datasets=args.datasets,
+                pred_lens=args.pred_lens, seed=args.seed, verbose=True)
+    print(table.render())
+    if args.save:
+        table.save_json(args.save)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Computed summaries of result tables (ranks, win rates, degradations).
+
+These power ``scripts/summarize_results.py`` (which fills EXPERIMENTS.md)
+and are usable directly for programmatic shape checks on any
+:class:`~repro.experiments.results.ResultTable`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from .results import ResultTable
+
+
+def mean_rank(table: ResultTable, metric: str = "mse") -> Dict[str, float]:
+    """Average rank of each model over all rows (1 = best)."""
+    totals: Dict[str, float] = defaultdict(float)
+    count = 0
+    for dataset in table.datasets:
+        for key in table.rows_for(dataset):
+            row = {m: table.get(dataset, key[1], m)[metric]
+                   for m in table.models}
+            for rank, model in enumerate(sorted(row, key=row.get), start=1):
+                totals[model] += rank
+            count += 1
+    if count == 0:
+        return {}
+    return {m: totals[m] / count for m in table.models}
+
+
+def win_rate(table: ResultTable, model: str) -> Tuple[int, int]:
+    """(wins, comparisons) of ``model`` over every row x metric."""
+    wins = 0
+    total = 0
+    for dataset in table.datasets:
+        for key in table.rows_for(dataset):
+            for metric in table.metric_names:
+                total += 1
+                wins += table.winners(key, metric) == model
+    return wins, total
+
+
+def degradation_vs(table: ResultTable, reference: str,
+                   metric: str = "mse") -> Dict[str, Dict[str, float]]:
+    """Per-dataset relative change of each column's average vs. ``reference``.
+
+    Returns ``{dataset: {column: fraction}}`` where a positive fraction
+    means the column is *worse* than the reference (larger error).
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for dataset in table.datasets:
+        avg = table.average_row(dataset)
+        if reference not in avg:
+            continue
+        base = avg[reference][metric]
+        out[dataset] = {
+            model: (cell[metric] - base) / base if base else float("nan")
+            for model, cell in avg.items() if model != reference
+        }
+    return out
+
+
+def monotone_fraction(table: ResultTable, model: str,
+                      metric: str = "mse") -> Tuple[int, int]:
+    """On how many datasets the model's error is non-decreasing across the
+    row settings (used for Table V's mask-ratio monotonicity)."""
+    grows = 0
+    total = 0
+    for dataset in table.datasets:
+        rows = table.rows_for(dataset)
+        if len(rows) < 2:
+            continue
+        first = table.get(dataset, rows[0][1], model)[metric]
+        last = table.get(dataset, rows[-1][1], model)[metric]
+        grows += last >= first
+        total += 1
+    return grows, total
+
+
+def ordered_by_rank(table: ResultTable, metric: str = "mse") -> List[str]:
+    ranks = mean_rank(table, metric)
+    return sorted(ranks, key=ranks.get)

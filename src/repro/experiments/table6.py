@@ -1,0 +1,66 @@
+"""Table VI — architecture ablations.
+
+Removes the Triple Decomposition (TD) and/or the wavelet TF expansion from
+TS3Net ("w/o TD", "w/o TF-Block", "w/o Both") on ETTm1, Electricity,
+Traffic, and Exchange. Expected shape: full TS3Net best everywhere,
+removing TD hurts more than replacing the TF expansion, removing both
+hurts most.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from .configs import get_scale
+from .results import ResultTable
+from .runner import run_forecast_cell
+
+ABLATION_COLUMNS = ("w/o TD", "w/o TF-Block", "w/o Both", "TS3Net")
+_COLUMN_TO_MODEL = {
+    "w/o TD": "TS3Net-w/o-TD",
+    "w/o TF-Block": "TS3Net-w/o-TFBlock",
+    "w/o Both": "TS3Net-w/o-Both",
+    "TS3Net": "TS3Net",
+}
+DEFAULT_DATASETS = ("ETTm1", "Electricity", "Traffic", "Exchange")
+
+
+def run(scale: str = "tiny", datasets: Optional[Sequence[str]] = None,
+        pred_lens: Optional[Sequence[int]] = None, seed: int = 0,
+        verbose: bool = False) -> ResultTable:
+    sc = get_scale(scale)
+    datasets = list(datasets or DEFAULT_DATASETS)
+
+    table = ResultTable(f"Table VI — Ablations on model architecture (scale={scale})")
+    for dataset in datasets:
+        _, horizon_list = sc.windows_for(dataset)
+        horizons = list(pred_lens or horizon_list)
+        for pred_len in horizons:
+            for column in ABLATION_COLUMNS:
+                metrics = run_forecast_cell(_COLUMN_TO_MODEL[column], dataset,
+                                            pred_len, scale=scale, seed=seed)
+                table.add(dataset, pred_len, column, metrics)
+                if verbose:
+                    print(f"{dataset:>12s} h={pred_len:<4d} {column:<14s} "
+                          f"mse={metrics['mse']:.3f} mae={metrics['mae']:.3f}")
+    return table
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument("--datasets", nargs="*", default=None)
+    parser.add_argument("--pred-lens", nargs="*", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--save", default=None)
+    args = parser.parse_args(argv)
+    table = run(scale=args.scale, datasets=args.datasets,
+                pred_lens=args.pred_lens, seed=args.seed, verbose=True)
+    print(table.render())
+    if args.save:
+        table.save_json(args.save)
+
+
+if __name__ == "__main__":
+    main()

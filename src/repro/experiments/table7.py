@@ -1,0 +1,60 @@
+"""Table VII — triple decomposition vs. trend-seasonal decomposition.
+
+Compares TS3Net with two trend-seasonal controls: TSD-CNN (same conv
+backbone, no S-GD) and TSD-Trans (vanilla Transformer backbone), on
+ETTm1, ETTm2, and Exchange. Expected shape: TS3Net best on most of the
+15 comparisons.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from .configs import get_scale
+from .results import ResultTable
+from .runner import run_forecast_cell
+
+MODELS = ("TSD-CNN", "TSD-Trans", "TS3Net")
+DEFAULT_DATASETS = ("ETTm1", "ETTm2", "Exchange")
+
+
+def run(scale: str = "tiny", datasets: Optional[Sequence[str]] = None,
+        pred_lens: Optional[Sequence[int]] = None, seed: int = 0,
+        verbose: bool = False) -> ResultTable:
+    sc = get_scale(scale)
+    datasets = list(datasets or DEFAULT_DATASETS)
+
+    table = ResultTable(
+        f"Table VII — Triple vs. trend-seasonal decomposition (scale={scale})")
+    for dataset in datasets:
+        _, horizon_list = sc.windows_for(dataset)
+        horizons = list(pred_lens or horizon_list)
+        for pred_len in horizons:
+            for model in MODELS:
+                metrics = run_forecast_cell(model, dataset, pred_len,
+                                            scale=scale, seed=seed)
+                table.add(dataset, pred_len, model, metrics)
+                if verbose:
+                    print(f"{dataset:>12s} h={pred_len:<4d} {model:<10s} "
+                          f"mse={metrics['mse']:.3f} mae={metrics['mae']:.3f}")
+    return table
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument("--datasets", nargs="*", default=None)
+    parser.add_argument("--pred-lens", nargs="*", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--save", default=None)
+    args = parser.parse_args(argv)
+    table = run(scale=args.scale, datasets=args.datasets,
+                pred_lens=args.pred_lens, seed=args.seed, verbose=True)
+    print(table.render())
+    if args.save:
+        table.save_json(args.save)
+
+
+if __name__ == "__main__":
+    main()

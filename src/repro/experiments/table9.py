@@ -1,0 +1,66 @@
+"""Table IX — sensitivity to lambda (number of spectral sub-bands).
+
+TS3Net is retrained at several values of lambda on ETTh1/ETTh2/Exchange.
+The paper sweeps {50, 100, 150, 200}; at reduced scales the sweep covers
+the proportional range. Expected shape: too-small lambda is slightly worse,
+then performance plateaus — the model is insensitive above a threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from .configs import get_scale
+from .results import ResultTable
+from .runner import run_forecast_cell
+
+DEFAULT_DATASETS = ("ETTh1", "ETTh2", "Exchange")
+PAPER_LAMBDAS = (50, 100, 150, 200)
+TINY_LAMBDAS = (4, 8, 16)
+
+
+def run(scale: str = "tiny", datasets: Optional[Sequence[str]] = None,
+        pred_lens: Optional[Sequence[int]] = None,
+        lambdas: Optional[Sequence[int]] = None, seed: int = 0,
+        verbose: bool = False) -> ResultTable:
+    sc = get_scale(scale)
+    datasets = list(datasets or DEFAULT_DATASETS)
+    if lambdas is None:
+        lambdas = PAPER_LAMBDAS if scale == "paper" else TINY_LAMBDAS
+
+    table = ResultTable(f"Table IX — lambda sensitivity (scale={scale})")
+    for dataset in datasets:
+        _, horizon_list = sc.windows_for(dataset)
+        horizons = list(pred_lens or horizon_list)
+        for pred_len in horizons:
+            for lam in lambdas:
+                metrics = run_forecast_cell(
+                    "TS3Net", dataset, pred_len, scale=scale, seed=seed,
+                    model_overrides={"num_scales": int(lam)})
+                table.add(dataset, pred_len, f"lambda={lam}", metrics)
+                if verbose:
+                    print(f"{dataset:>12s} h={pred_len:<4d} lambda={lam:<4d} "
+                          f"mse={metrics['mse']:.3f} mae={metrics['mae']:.3f}")
+    return table
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument("--datasets", nargs="*", default=None)
+    parser.add_argument("--pred-lens", nargs="*", type=int, default=None)
+    parser.add_argument("--lambdas", nargs="*", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--save", default=None)
+    args = parser.parse_args(argv)
+    table = run(scale=args.scale, datasets=args.datasets,
+                pred_lens=args.pred_lens, lambdas=args.lambdas,
+                seed=args.seed, verbose=True)
+    print(table.render())
+    if args.save:
+        table.save_json(args.save)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Neural-network layer library on the autodiff substrate."""
+
+from .module import Module, ModuleList, Parameter, Sequential
+from .layers import (
+    BatchNorm2d, Conv1d, Conv2d, Dropout, GELU, Identity, LayerNorm, Linear,
+    ReLU, RevIN, Sigmoid, Tanh,
+)
+from .embedding import (
+    DataEmbedding, LinearEmbedding, PositionalEmbedding, TokenEmbedding,
+    sinusoidal_position_encoding,
+)
+from .attention import (
+    AutoCorrelation, MultiHeadAttention, ProbSparseAttention,
+    scaled_dot_attention,
+)
+from .inception import ConvBackbone2d, InceptionBlock2d
+from .transformer import EncoderLayer, FeedForward, TransformerEncoder
+from .serialization import load_checkpoint, peek_metadata, save_checkpoint
+from . import init
+
+__all__ = [
+    "Module", "ModuleList", "Parameter", "Sequential",
+    "BatchNorm2d", "Conv1d", "Conv2d", "Dropout", "GELU", "Identity",
+    "LayerNorm", "Linear", "ReLU", "RevIN", "Sigmoid", "Tanh",
+    "DataEmbedding", "LinearEmbedding", "PositionalEmbedding",
+    "TokenEmbedding", "sinusoidal_position_encoding",
+    "AutoCorrelation", "MultiHeadAttention", "ProbSparseAttention",
+    "scaled_dot_attention", "ConvBackbone2d", "InceptionBlock2d",
+    "EncoderLayer", "FeedForward", "TransformerEncoder", "init",
+    "load_checkpoint", "peek_metadata", "save_checkpoint",
+]

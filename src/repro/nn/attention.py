@@ -1,0 +1,176 @@
+"""Attention mechanisms for the Transformer-family baselines.
+
+Implements full scaled-dot-product attention, the ProbSparse-style top-u
+attention used by Informer, de-stationary attention (Non-stationary
+Transformer), and the auto-correlation mechanism of Autoformer — each in a
+reduced but faithful form on the NumPy autodiff substrate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..autodiff import Tensor, ops
+from .layers import Dropout, Linear
+from .module import Module
+
+
+def scaled_dot_attention(q: Tensor, k: Tensor, v: Tensor,
+                         scale: Optional[float] = None,
+                         tau: Optional[Tensor] = None,
+                         delta: Optional[Tensor] = None) -> Tensor:
+    """Attention over (B, H, L, D) tensors.
+
+    ``tau``/``delta`` are the de-stationary factors of the Non-stationary
+    Transformer: scores become ``tau * QK^T + delta``.
+    """
+    d = q.shape[-1]
+    scale = scale or 1.0 / math.sqrt(d)
+    scores = (q @ k.swapaxes(-1, -2)) * scale
+    if tau is not None:
+        scores = scores * tau
+    if delta is not None:
+        scores = scores + delta
+    attn = ops.softmax(scores, axis=-1)
+    return attn @ v
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head self/cross attention on (B, L, D) tensors."""
+
+    def __init__(self, d_model: int, n_heads: int, dropout: float = 0.0):
+        super().__init__()
+        if d_model % n_heads:
+            raise ValueError(f"d_model={d_model} not divisible by n_heads={n_heads}")
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        self.w_q = Linear(d_model, d_model)
+        self.w_k = Linear(d_model, d_model)
+        self.w_v = Linear(d_model, d_model)
+        self.w_o = Linear(d_model, d_model)
+        self.dropout = Dropout(dropout)
+
+    def _split(self, x: Tensor) -> Tensor:
+        b, l, _ = x.shape
+        return x.reshape(b, l, self.n_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def _join(self, x: Tensor) -> Tensor:
+        b, h, l, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, l, h * d)
+
+    def forward(self, query: Tensor, key: Optional[Tensor] = None,
+                value: Optional[Tensor] = None,
+                tau: Optional[Tensor] = None,
+                delta: Optional[Tensor] = None) -> Tensor:
+        key = key if key is not None else query
+        value = value if value is not None else query
+        q = self._split(self.w_q(query))
+        k = self._split(self.w_k(key))
+        v = self._split(self.w_v(value))
+        out = scaled_dot_attention(q, k, v, tau=tau, delta=delta)
+        return self.dropout(self.w_o(self._join(out)))
+
+
+class ProbSparseAttention(Module):
+    """Informer-style attention: only the top-u most "active" queries attend.
+
+    The remaining queries output the mean of the values, as in the paper's
+    lazy-query approximation.
+    """
+
+    def __init__(self, d_model: int, n_heads: int, factor: int = 5,
+                 dropout: float = 0.0):
+        super().__init__()
+        self.inner = MultiHeadAttention(d_model, n_heads, dropout=dropout)
+        self.factor = factor
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, l, d = x.shape
+        h = self.inner.n_heads
+        q = self.inner._split(self.inner.w_q(x))
+        k = self.inner._split(self.inner.w_k(x))
+        v = self.inner._split(self.inner.w_v(x))
+
+        u = min(l, max(1, int(self.factor * math.ceil(math.log1p(l)))))
+        scores = (q @ k.swapaxes(-1, -2)) / math.sqrt(self.inner.d_head)
+        # Sparsity measurement: max - mean of each query's score row.
+        sparsity = scores.data.max(axis=-1) - scores.data.mean(axis=-1)   # (B,H,L)
+        top_idx = np.argsort(-sparsity, axis=-1)[..., :u]                  # (B,H,u)
+
+        attn = ops.softmax(scores, axis=-1)
+        full = attn @ v                                                    # (B,H,L,Dh)
+        # Lazy queries get mean(v); active queries keep their attention output.
+        mean_v = v.mean(axis=2, keepdims=True)                             # (B,H,1,Dh)
+        active = np.zeros((b, h, l, 1), dtype=bool)
+        bi = np.arange(b)[:, None, None]
+        hi = np.arange(h)[None, :, None]
+        active[bi, hi, top_idx, 0] = True
+        out = ops.where(active, full, mean_v * Tensor(np.ones_like(full.data)))
+        return self.inner.dropout(self.inner.w_o(self.inner._join(out)))
+
+
+class AutoCorrelation(Module):
+    """Autoformer's auto-correlation: aggregate top-k period-lag rolls.
+
+    Correlations are estimated per (batch, head, channel) via FFT; the top-k
+    lags are selected on the detached correlation and the values are rolled
+    and combined with softmax weights.
+    """
+
+    def __init__(self, d_model: int, n_heads: int, factor: int = 1,
+                 dropout: float = 0.0):
+        super().__init__()
+        if d_model % n_heads:
+            raise ValueError("d_model must divide n_heads")
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        self.factor = factor
+        self.w_q = Linear(d_model, d_model)
+        self.w_k = Linear(d_model, d_model)
+        self.w_v = Linear(d_model, d_model)
+        self.w_o = Linear(d_model, d_model)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, l, d = x.shape
+        q = self.w_q(x)
+        k = self.w_k(x)
+        v = self.w_v(x)
+
+        # Lag *selection* is discrete, so it runs on detached activations via
+        # FFT correlation; the lag *weights* are then recomputed
+        # differentiably, so gradients reach Q and K.
+        q_f = np.fft.rfft(q.data, axis=1)
+        k_f = np.fft.rfft(k.data, axis=1)
+        corr = np.fft.irfft(q_f * np.conj(k_f), n=l, axis=1)    # (B, L, D)
+        mean_corr = corr.mean(axis=(0, 2))                      # (L,)
+        top_k = max(1, int(self.factor * math.log1p(l)))
+        lags = np.argsort(-mean_corr)[:top_k]
+
+        # Differentiable correlation score per selected lag.
+        scores = [
+            (q * _roll(k, -int(lag))).mean(axis=(1, 2)).reshape(b, 1)
+            for lag in lags
+        ]
+        from ..autodiff.ops import concat, softmax
+        weights = softmax(concat(scores, axis=1) * math.sqrt(l), axis=1)  # (B, k)
+
+        agg = None
+        for idx, lag in enumerate(lags):
+            rolled = _roll(v, -int(lag))
+            term = rolled * weights[:, idx:idx + 1].reshape(b, 1, 1)
+            agg = term if agg is None else agg + term
+        return self.dropout(self.w_o(agg))
+
+
+def _roll(x: Tensor, shift: int) -> Tensor:
+    """Differentiable circular roll along axis 1 (same sign as ``np.roll``)."""
+    length = x.shape[1]
+    shift = shift % length
+    if shift == 0:
+        return x
+    split = length - shift
+    return ops.concat([x[:, split:, :], x[:, :split, :]], axis=1)

@@ -1,0 +1,81 @@
+"""Input embeddings shared by TS3Net and every baseline.
+
+The paper states: "For a fair comparison, we design the same input embedding
+and final prediction layer for all base models." This module is that shared
+embedding: a token (value) embedding via 1-D convolution plus a fixed
+sinusoidal positional encoding, i.e. the standard ``DataEmbedding`` of the
+TimesNet/Autoformer code family (without calendar features, which the
+synthetic datasets do not carry).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..autodiff import Tensor
+from .layers import Conv1d, Dropout, Linear
+from .module import Module
+
+
+def sinusoidal_position_encoding(length: int, d_model: int) -> np.ndarray:
+    """The classic fixed sin/cos positional table of shape (length, d_model)."""
+    position = np.arange(length)[:, None].astype(float)
+    div = np.exp(np.arange(0, d_model, 2) * (-math.log(10000.0) / d_model))
+    table = np.zeros((length, d_model))
+    table[:, 0::2] = np.sin(position * div)
+    table[:, 1::2] = np.cos(position * div[: table[:, 1::2].shape[1]])
+    return table
+
+
+class TokenEmbedding(Module):
+    """Value embedding: circular 1-D conv from C input channels to d_model."""
+
+    def __init__(self, c_in: int, d_model: int, kernel_size: int = 3):
+        super().__init__()
+        self.conv = Conv1d(c_in, d_model, kernel_size, padding=kernel_size // 2,
+                           bias=False)
+
+    def forward(self, x: Tensor) -> Tensor:
+        # x: (B, T, C) -> conv over time -> (B, T, d_model)
+        out = self.conv(x.transpose(0, 2, 1))
+        return out.transpose(0, 2, 1)
+
+
+class PositionalEmbedding(Module):
+    """Fixed sinusoidal positional encoding (not trained)."""
+
+    def __init__(self, d_model: int, max_len: int = 4096):
+        super().__init__()
+        self._table = sinusoidal_position_encoding(max_len, d_model)
+
+    def forward(self, x: Tensor) -> Tensor:
+        length = x.shape[1]
+        return Tensor(self._table[:length][None, :, :])
+
+
+class DataEmbedding(Module):
+    """TokenEmbedding + PositionalEmbedding + dropout, on (B, T, C) input."""
+
+    def __init__(self, c_in: int, d_model: int, dropout: float = 0.1):
+        super().__init__()
+        self.value = TokenEmbedding(c_in, d_model)
+        self.position = PositionalEmbedding(d_model)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.value(x) + self.position(x)
+        return self.dropout(out)
+
+
+class LinearEmbedding(Module):
+    """Lightweight per-timestep linear embedding (used by MLP baselines)."""
+
+    def __init__(self, c_in: int, d_model: int, dropout: float = 0.0):
+        super().__init__()
+        self.proj = Linear(c_in, d_model)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.proj(x))

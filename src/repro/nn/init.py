@@ -1,0 +1,50 @@
+"""Weight initialisers (Xavier/Kaiming), seeded through ``repro.utils``."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..utils import get_rng
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:                       # Linear: (in, out) layout used here
+        return shape[0], shape[1]
+    if len(shape) >= 3:                       # Conv: (out, in, *kernel)
+        receptive = int(np.prod(shape[2:]))
+        return shape[1] * receptive, shape[0] * receptive
+    return shape[0], shape[0]
+
+
+def xavier_uniform(shape: Tuple[int, ...], gain: float = 1.0,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or get_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], a: float = math.sqrt(5.0),
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """PyTorch's default Linear/Conv init (uniform He with a=sqrt(5))."""
+    rng = rng or get_rng()
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def bias_uniform(shape: Tuple[int, ...], fan_in: int,
+                 rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or get_rng()
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.02,
+           rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or get_rng()
+    return rng.normal(0.0, std, size=shape)

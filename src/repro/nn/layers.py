@@ -1,0 +1,201 @@
+"""Core layers: Linear, Conv1d/2d, normalisation, dropout, activations.
+
+These mirror the PyTorch layers the original TS3Net implementation uses,
+running on the :mod:`repro.autodiff` substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..autodiff import Tensor, ops
+from ..autodiff.ops import conv1d as _conv1d
+from ..autodiff.ops import conv2d as _conv2d
+from ..utils import get_rng
+from . import init
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map on the last axis: ``y = x @ W + b`` with W of (in, out)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((in_features, out_features)))
+        if bias:
+            self.bias = Parameter(init.bias_uniform((out_features,), in_features))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self):
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Conv1d(Module):
+    """1-D convolution over (N, C, L) tensors."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True):
+        super().__init__()
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size)
+        self.weight = Parameter(init.kaiming_uniform(shape))
+        fan_in = in_channels * kernel_size
+        self.bias = Parameter(init.bias_uniform((out_channels,), fan_in)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return _conv1d(x, self.weight, self.bias, stride=self.stride,
+                       padding=self.padding)
+
+
+class Conv2d(Module):
+    """2-D convolution over (N, C, H, W) tensors."""
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 kernel_size: Union[int, Tuple[int, int]],
+                 stride: int = 1, padding: Union[int, Tuple[int, int]] = 0,
+                 bias: bool = True):
+        super().__init__()
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, *kernel_size)
+        self.weight = Parameter(init.kaiming_uniform(shape))
+        fan_in = in_channels * kernel_size[0] * kernel_size[1]
+        self.bias = Parameter(init.bias_uniform((out_channels,), fan_in)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return _conv2d(x, self.weight, self.bias, stride=self.stride,
+                       padding=self.padding)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape))
+        self.bias = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.weight + self.bias
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation for NCHW tensors with running statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mu = x.mean(axis=(0, 2, 3), keepdims=True)
+            centered = x - mu
+            var = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+            self.running_mean = ((1 - self.momentum) * self.running_mean
+                                 + self.momentum * mu.data.reshape(-1))
+            self.running_var = ((1 - self.momentum) * self.running_var
+                                + self.momentum * var.data.reshape(-1))
+        else:
+            mu = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+            centered = x - mu
+        normed = centered / (var + self.eps).sqrt()
+        w = self.weight.reshape(1, -1, 1, 1)
+        b = self.bias.reshape(1, -1, 1, 1)
+        return normed * w + b
+
+
+class Dropout(Module):
+    """Inverted dropout, active only in training mode."""
+
+    def __init__(self, p: float = 0.1):
+        super().__init__()
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.dropout(x, self.p, self.training, rng=get_rng())
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.gelu(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.sigmoid(x)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class RevIN(Module):
+    """Reversible instance normalisation (Non-stationary Transformer trick).
+
+    Normalises each series instance by its own mean/std on the way in and
+    de-normalises predictions on the way out. Shapes are (B, T, C).
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, affine: bool = False):
+        super().__init__()
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.ones(num_features))
+            self.bias = Parameter(np.zeros(num_features))
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def normalize(self, x: Tensor) -> Tensor:
+        self._mean = x.data.mean(axis=1, keepdims=True)
+        self._std = np.sqrt(x.data.var(axis=1, keepdims=True) + self.eps)
+        out = (x - Tensor(self._mean)) / Tensor(self._std)
+        if self.affine:
+            out = out * self.weight + self.bias
+        return out
+
+    def denormalize(self, x: Tensor) -> Tensor:
+        if self._mean is None:
+            raise RuntimeError("denormalize() called before normalize()")
+        if self.affine:
+            x = (x - self.bias) / (self.weight + self.eps)
+        return x * Tensor(self._std) + Tensor(self._mean)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.normalize(x)

@@ -1,0 +1,54 @@
+"""Checkpoint saving/loading for modules (``.npz`` format).
+
+A checkpoint stores every named parameter plus optional user metadata
+(config dicts, epoch counters). Loading validates names and shapes via
+``Module.load_state_dict``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .module import Module
+
+_META_KEY = "__repro_meta__"
+
+
+def save_checkpoint(model: Module, path: str,
+                    metadata: Optional[Dict[str, Any]] = None) -> None:
+    """Write the model's parameters (and JSON-serialisable metadata) to ``path``."""
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name {_META_KEY!r} is reserved")
+    payload = dict(state)
+    meta = dict(metadata or {})
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **payload)
+
+
+def load_checkpoint(model: Module, path: str) -> Dict[str, Any]:
+    """Load parameters from ``path`` into ``model``; returns the metadata.
+
+    Raises ``KeyError``/``ValueError`` on name or shape mismatches, so a
+    checkpoint can never be silently loaded into the wrong architecture.
+    """
+    with np.load(path) as archive:
+        meta_raw = archive[_META_KEY] if _META_KEY in archive.files else None
+        state = {name: archive[name] for name in archive.files
+                 if name != _META_KEY}
+    model.load_state_dict(state)
+    if meta_raw is None:
+        return {}
+    return json.loads(bytes(meta_raw.tobytes()).decode("utf-8"))
+
+
+def peek_metadata(path: str) -> Dict[str, Any]:
+    """Read only the metadata of a checkpoint (no model needed)."""
+    with np.load(path) as archive:
+        if _META_KEY not in archive.files:
+            return {}
+        return json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))

@@ -1,0 +1,65 @@
+"""Vanilla Transformer encoder building blocks used by several baselines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..autodiff import Tensor
+from .attention import MultiHeadAttention
+from .layers import Dropout, GELU, LayerNorm, Linear
+from .module import Module, ModuleList, Sequential
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network (Linear - GELU - Linear)."""
+
+    def __init__(self, d_model: int, d_ff: Optional[int] = None,
+                 dropout: float = 0.1):
+        super().__init__()
+        d_ff = d_ff or 4 * d_model
+        self.net = Sequential(
+            Linear(d_model, d_ff), GELU(), Dropout(dropout),
+            Linear(d_ff, d_model), Dropout(dropout),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class EncoderLayer(Module):
+    """Pre-norm Transformer encoder layer."""
+
+    def __init__(self, d_model: int, n_heads: int, d_ff: Optional[int] = None,
+                 dropout: float = 0.1, attention: Optional[Module] = None):
+        super().__init__()
+        self.attn = attention or MultiHeadAttention(d_model, n_heads, dropout)
+        self.ff = FeedForward(d_model, d_ff, dropout)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+
+    def forward(self, x: Tensor, **attn_kwargs) -> Tensor:
+        x = x + self.attn(self.norm1(x), **attn_kwargs)
+        x = x + self.ff(self.norm2(x))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of encoder layers with a final LayerNorm."""
+
+    def __init__(self, d_model: int, n_heads: int, num_layers: int = 2,
+                 d_ff: Optional[int] = None, dropout: float = 0.1,
+                 attention_factory=None):
+        super().__init__()
+        self.layers = ModuleList([
+            EncoderLayer(
+                d_model, n_heads, d_ff, dropout,
+                attention=attention_factory() if attention_factory else None,
+            )
+            for _ in range(num_layers)
+        ])
+        self.norm = LayerNorm(d_model)
+
+    def forward(self, x: Tensor, **attn_kwargs) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, **attn_kwargs)
+        return self.norm(x)

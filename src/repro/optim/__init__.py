@@ -1,0 +1,9 @@
+"""Optimisers, LR schedulers, and early stopping."""
+
+from .optimizers import Adam, Optimizer, SGD, clip_grad_norm
+from .schedulers import CosineDecay, EarlyStopping, ExponentialDecay, LRScheduler
+
+__all__ = [
+    "Adam", "Optimizer", "SGD", "clip_grad_norm",
+    "CosineDecay", "EarlyStopping", "ExponentialDecay", "LRScheduler",
+]

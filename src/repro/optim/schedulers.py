@@ -1,0 +1,90 @@
+"""Learning-rate schedulers and early stopping.
+
+The paper trains with an initial LR of 1e-3/1e-4 and stops early with
+patience 3 when validation loss stops improving; ``EarlyStopping`` mirrors
+that protocol (including keeping the best weights, as the TimesNet harness
+does via checkpointing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from .optimizers import Optimizer
+
+
+class LRScheduler:
+    """Base LR scheduler; call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+
+class ExponentialDecay(LRScheduler):
+    """``lr = base * gamma^epoch`` — the 'type1' schedule of the TimesNet code."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.5):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** self.epoch)
+
+
+class CosineDecay(LRScheduler):
+    """Cosine annealing to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 min_lr: float = 0.0):
+        super().__init__(optimizer)
+        self.total_epochs = max(total_epochs, 1)
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        t = min(self.epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + np.cos(np.pi * t))
+
+
+class EarlyStopping:
+    """Patience-based early stopping that snapshots the best weights.
+
+    Mirrors the paper: "training is early stopped after three epochs
+    (patience=3) if there is no loss degradation on the valid set".
+    """
+
+    def __init__(self, patience: int = 3, min_delta: float = 0.0):
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_loss = float("inf")
+        self.counter = 0
+        self.should_stop = False
+        self._best_state: Optional[Dict[str, np.ndarray]] = None
+
+    def update(self, val_loss: float, model: Module) -> bool:
+        """Record an epoch's validation loss; returns True if it improved."""
+        if val_loss < self.best_loss - self.min_delta:
+            self.best_loss = val_loss
+            self.counter = 0
+            self._best_state = model.state_dict()
+            return True
+        self.counter += 1
+        if self.counter >= self.patience:
+            self.should_stop = True
+        return False
+
+    def restore_best(self, model: Module) -> None:
+        """Load the weights from the best validation epoch back into ``model``."""
+        if self._best_state is not None:
+            model.load_state_dict(self._best_state)

@@ -1,0 +1,10 @@
+"""Spectral substrate: wavelets, CWT/IWT operators, FFT period detection."""
+
+from .wavelets import Wavelet, default_branch_wavelets, get_wavelet
+from .cwt import CWTOperator, make_scales
+from .periods import detect_periods, dominant_period
+
+__all__ = [
+    "Wavelet", "default_branch_wavelets", "get_wavelet",
+    "CWTOperator", "make_scales", "detect_periods", "dominant_period",
+]

@@ -1,0 +1,72 @@
+"""FFT-based multi-periodicity detection (Eq. 2).
+
+Finds the top-k frequencies with the largest FFT amplitude and converts
+them to period lengths ``p_i = ceil(T / f_i)`` — the same procedure as
+TimesNet's ``FFT_for_Period``, which the paper adopts for its
+multi-periodicity patterns (Sec. III-B2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def detect_periods(x: np.ndarray, k: int = 1,
+                   min_period: int = 2) -> Tuple[np.ndarray, np.ndarray]:
+    """Top-k latent periods of a batch of series.
+
+    Parameters
+    ----------
+    x:
+        Array shaped (T,), (T, C) or (B, T, C); amplitude spectra are
+        averaged over batch and channels as in the reference protocol.
+    k:
+        Number of periodic patterns (the hyper-parameter ``k`` of Eq. 2).
+    min_period:
+        Lower bound on returned period lengths (frequencies above T/min_period
+        are noise at these resolutions).
+
+    Returns
+    -------
+    (periods, weights):
+        ``periods`` — int array of ``k`` period lengths, sorted by spectral
+        energy (strongest first); ``weights`` — the corresponding mean
+        amplitudes, usable for amplitude-weighted aggregation.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = x[:, None]
+    if x.ndim == 2:
+        x = x[None]
+    if x.ndim != 3:
+        raise ValueError(f"expected (B, T, C)-shaped input, got {x.shape}")
+
+    t = x.shape[1]
+    spectrum = np.abs(np.fft.rfft(x, axis=1))        # (B, T//2+1, C)
+    amplitude = spectrum.mean(axis=(0, 2))           # (T//2+1,)
+    amplitude[0] = 0.0                               # drop DC (trend already removed)
+
+    # Frequencies whose implied period would be shorter than min_period are
+    # zeroed out rather than clipped, so ties cannot alias to one period.
+    freqs = np.arange(len(amplitude))
+    with np.errstate(divide="ignore"):
+        implied = np.where(freqs > 0, np.ceil(t / np.maximum(freqs, 1)), np.inf)
+    amplitude[(implied < min_period)] = 0.0
+
+    k = min(k, max(1, len(amplitude) - 1))
+    top = np.argsort(-amplitude)[:k]
+    top = top[amplitude[top] > 0.0]
+    if len(top) == 0:                                # flat/degenerate input
+        return np.array([t], dtype=int), np.array([1.0])
+
+    periods = np.ceil(t / top).astype(int)
+    periods = np.clip(periods, min_period, t)
+    return periods, amplitude[top]
+
+
+def dominant_period(x: np.ndarray, min_period: int = 2) -> int:
+    """The single strongest latent period ``T_f`` used by the S-GD layer."""
+    periods, _ = detect_periods(x, k=1, min_period=min_period)
+    return int(periods[0])

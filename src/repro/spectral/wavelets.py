@@ -1,0 +1,144 @@
+"""Wavelet generating functions.
+
+The paper's S-GD layer uses the Complex Gaussian wavelet (Eq. 3):
+
+    psi(t) = C_p * e^{-it} * e^{-t^2}
+
+and the TF-Block's multi-branch structure uses "different wavelet generating
+functions". We provide the complex Gaussian family (derivative orders 1..8,
+matching pywt's ``cgauN``) plus the complex Morlet, which together supply the
+``m`` mother wavelets of Eq. 13.
+
+Each wavelet knows its *central frequency* ``F_c`` (cycles per unit time at
+scale 1), estimated from the FFT peak of the sampled waveform — the same
+method ``pywt.central_frequency`` uses. The scale set of Eq. 6 then maps
+scale ``s_i = 2*lambda/i`` to analysed frequency ``F_i = F_c / s_i``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+# Support of the sampled mother wavelet: the Gaussian envelope e^{-t^2}
+# is below 1e-7 outside |t| > 4, so [-5, 5] loses nothing.
+SUPPORT = 5.0
+
+
+def _complex_gaussian(order: int) -> Callable[[np.ndarray], np.ndarray]:
+    """Return psi(t) = C_p * d^p/dt^p [ e^{-it} e^{-t^2} ], unit energy.
+
+    Derivatives are computed symbolically via the recurrence on polynomial
+    coefficients: if f_p(t) = P_p(t) e^{-it} e^{-t^2}, then
+    P_{p+1}(t) = P_p'(t) - (i + 2t) P_p(t).
+    """
+    # Polynomial coefficients in t (low order first), complex.
+    poly = np.array([1.0 + 0j])
+    for _ in range(order):
+        deriv = poly[1:] * np.arange(1, len(poly))
+        term_i = -1j * poly
+        term_t = -2.0 * np.concatenate([[0.0], poly])
+        n = max(len(deriv), len(term_i), len(term_t))
+        new = np.zeros(n, dtype=complex)
+        new[:len(deriv)] += deriv
+        new[:len(term_i)] += term_i
+        new[:len(term_t)] += term_t
+        poly = new
+
+    def psi(t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        p = np.zeros_like(t, dtype=complex)
+        for k, c in enumerate(poly):
+            p = p + c * t ** k
+        return p * np.exp(-1j * t) * np.exp(-t ** 2)
+
+    return psi
+
+
+def _morlet(omega0: float = 5.0) -> Callable[[np.ndarray], np.ndarray]:
+    """Complex Morlet wavelet e^{i w0 t} e^{-t^2/2} (admissible for w0 >= 5)."""
+
+    def psi(t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        return np.exp(1j * omega0 * t) * np.exp(-0.5 * t ** 2)
+
+    return psi
+
+
+@dataclass
+class Wavelet:
+    """A sampled, unit-energy mother wavelet with a known central frequency."""
+
+    name: str
+    _fn: Callable[[np.ndarray], np.ndarray]
+    resolution: int = 1024
+    support: float = SUPPORT
+    central_frequency: float = field(init=False)
+    _grid: np.ndarray = field(init=False, repr=False)
+    _values: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self):
+        self._grid = np.linspace(-self.support, self.support, self.resolution)
+        raw = self._fn(self._grid)
+        dt = self._grid[1] - self._grid[0]
+        energy = np.sum(np.abs(raw) ** 2) * dt
+        self._values = raw / math.sqrt(energy)       # the C_p normalisation
+        self.central_frequency = self._estimate_central_frequency()
+
+    def _estimate_central_frequency(self) -> float:
+        """FFT-peak frequency of the sampled waveform, in cycles/unit-time."""
+        n = self.resolution
+        dt = 2.0 * self.support / (n - 1)
+        spectrum = np.abs(np.fft.fft(self._values))
+        freqs = np.fft.fftfreq(n, d=dt)
+        # Exclude the DC bin; take the dominant magnitude.
+        idx = int(np.argmax(spectrum[1:])) + 1
+        return abs(float(freqs[idx]))
+
+    def __call__(self, t: np.ndarray) -> np.ndarray:
+        """Evaluate the (unit-energy) wavelet by linear interpolation."""
+        t = np.asarray(t, dtype=float)
+        real = np.interp(t, self._grid, self._values.real, left=0.0, right=0.0)
+        imag = np.interp(t, self._grid, self._values.imag, left=0.0, right=0.0)
+        return real + 1j * imag
+
+    def sample(self, scale: float, length: int) -> np.ndarray:
+        """Sample psi((t)/scale)/sqrt(scale) on integer offsets centred at 0.
+
+        Returns a complex filter of ``length`` taps — the discrete wavelet
+        psi_i of Eq. 7, "uniformly sampled from psi with frequency F_c".
+        """
+        offsets = np.arange(length) - (length - 1) / 2.0
+        return self(offsets / scale) / math.sqrt(scale)
+
+
+_FAMILIES: Dict[str, Callable[[], Callable[[np.ndarray], np.ndarray]]] = {
+    **{f"cgau{p}": (lambda p=p: _complex_gaussian(p)) for p in range(1, 9)},
+    "morlet": _morlet,
+}
+
+_cache: Dict[str, Wavelet] = {}
+
+
+def get_wavelet(name: str) -> Wavelet:
+    """Fetch (and cache) a mother wavelet by name: ``cgau1..cgau8``, ``morlet``."""
+    if name not in _FAMILIES:
+        raise KeyError(f"unknown wavelet {name!r}; choose from {sorted(_FAMILIES)}")
+    if name not in _cache:
+        _cache[name] = Wavelet(name, _FAMILIES[name]())
+    return _cache[name]
+
+
+def default_branch_wavelets(m: int) -> Tuple[str, ...]:
+    """The mother wavelets used by the TF-Block's ``m`` branches.
+
+    Branch 1 is the paper's complex Gaussian; further branches add higher
+    derivative orders and the Morlet for spectral diversity.
+    """
+    order = ("cgau1", "cgau2", "morlet", "cgau3", "cgau4", "cgau5")
+    if m > len(order):
+        raise ValueError(f"at most {len(order)} branches supported, got {m}")
+    return order[:m]

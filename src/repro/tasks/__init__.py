@@ -1,0 +1,21 @@
+"""Task drivers: training loop, metrics, forecasting, imputation."""
+
+from .metrics import evaluate_all, mae, mape, mse, rmse
+from .trainer import FitResult, TrainConfig, Trainer
+from .forecasting import ForecastTask, forecast_step, predict, run_forecast
+from .imputation import ImputationTask, imputation_step, run_imputation
+from .anomaly import AnomalyResult, detect_anomalies, score_series
+from .classification import (
+    ClassificationResult, SeriesClassifier, make_classification_dataset,
+    run_classification,
+)
+
+__all__ = [
+    "evaluate_all", "mae", "mape", "mse", "rmse",
+    "FitResult", "TrainConfig", "Trainer",
+    "ForecastTask", "forecast_step", "predict", "run_forecast",
+    "ImputationTask", "imputation_step", "run_imputation",
+    "AnomalyResult", "detect_anomalies", "score_series",
+    "ClassificationResult", "SeriesClassifier",
+    "make_classification_dataset", "run_classification",
+]

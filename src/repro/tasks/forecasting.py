@@ -1,0 +1,80 @@
+"""Long-term forecasting task driver (Table IV protocol).
+
+Given a model that maps a (B, seq_len, C) lookback window to a
+(B, pred_len, C) horizon, this module wires up the windowed loaders, MSE
+training, and test-set MSE/MAE evaluation on standardised data — the exact
+measurement the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..autodiff import Tensor, mse_loss
+from ..data.dataset import DataLoader, ForecastWindows, SplitData
+from ..nn.module import Module
+from .trainer import FitResult, TrainConfig, Trainer
+
+
+@dataclass
+class ForecastTask:
+    """One forecasting configuration: window sizes + loader limits."""
+
+    seq_len: int = 96
+    pred_len: int = 96
+    batch_size: int = 32
+    stride: int = 1
+    max_train_batches: Optional[int] = None
+    max_eval_batches: Optional[int] = None
+    seed: int = 0
+
+    def loaders(self, split: SplitData):
+        train = DataLoader(
+            ForecastWindows(split.train, self.seq_len, self.pred_len, self.stride),
+            batch_size=self.batch_size, shuffle=True, seed=self.seed,
+            max_batches=self.max_train_batches)
+        val = DataLoader(
+            ForecastWindows(split.val, self.seq_len, self.pred_len, self.stride),
+            batch_size=self.batch_size, max_batches=self.max_eval_batches)
+        test = DataLoader(
+            ForecastWindows(split.test, self.seq_len, self.pred_len, self.stride),
+            batch_size=self.batch_size, max_batches=self.max_eval_batches)
+        return train, val, test
+
+
+def forecast_step(model: Module):
+    """Build the trainer step function for forecasting batches ``(x, y)``."""
+
+    def step(batch):
+        x, y = batch
+        pred = model(Tensor(x))
+        loss = mse_loss(pred, y)
+        return loss, pred.data, y, None
+
+    return step
+
+
+def run_forecast(model: Module, split: SplitData, task: ForecastTask,
+                 train_cfg: Optional[TrainConfig] = None) -> FitResult:
+    """Train ``model`` on ``split`` and return test MSE/MAE in the result."""
+    train_loader, val_loader, test_loader = task.loaders(split)
+    trainer = Trainer(model, train_cfg)
+    step = forecast_step(model)
+    result = trainer.fit(train_loader, val_loader, step)
+    result.mse, result.mae = trainer.evaluate(test_loader, step)
+    return result
+
+
+def predict(model: Module, x: np.ndarray) -> np.ndarray:
+    """Convenience inference helper: (T, C) or (B, T, C) -> predictions."""
+    from ..autodiff import no_grad
+    squeeze = x.ndim == 2
+    if squeeze:
+        x = x[None]
+    model.eval()
+    with no_grad():
+        out = model(Tensor(np.asarray(x, dtype=float)))
+    return out.data[0] if squeeze else out.data

@@ -1,0 +1,45 @@
+"""Evaluation metrics: MSE and MAE (the paper's two), plus common extras."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def mse(pred: np.ndarray, target: np.ndarray,
+        mask: Optional[np.ndarray] = None) -> float:
+    """Mean squared error; with ``mask``, only True positions count."""
+    pred, target = np.asarray(pred), np.asarray(target)
+    err = (pred - target) ** 2
+    if mask is not None:
+        sel = err[np.asarray(mask, dtype=bool)]
+        return float(sel.mean()) if sel.size else 0.0
+    return float(err.mean())
+
+
+def mae(pred: np.ndarray, target: np.ndarray,
+        mask: Optional[np.ndarray] = None) -> float:
+    """Mean absolute error; with ``mask``, only True positions count."""
+    pred, target = np.asarray(pred), np.asarray(target)
+    err = np.abs(pred - target)
+    if mask is not None:
+        sel = err[np.asarray(mask, dtype=bool)]
+        return float(sel.mean()) if sel.size else 0.0
+    return float(err.mean())
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    return float(np.sqrt(mse(pred, target)))
+
+
+def mape(pred: np.ndarray, target: np.ndarray, eps: float = 1e-8) -> float:
+    """Mean absolute percentage error (guarded against zero targets)."""
+    pred, target = np.asarray(pred), np.asarray(target)
+    return float(np.mean(np.abs((pred - target) / (np.abs(target) + eps))))
+
+
+def evaluate_all(pred: np.ndarray, target: np.ndarray,
+                 mask: Optional[np.ndarray] = None) -> Dict[str, float]:
+    """MSE/MAE bundle in the shape the experiment tables expect."""
+    return {"mse": mse(pred, target, mask), "mae": mae(pred, target, mask)}

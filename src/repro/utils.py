@@ -1,0 +1,22 @@
+"""Shared utilities: global seeding and small helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_global_rng = np.random.default_rng(0)
+
+
+def set_seed(seed: int) -> None:
+    """Seed the library-wide RNG used for weight init, dropout, and shuffling.
+
+    Call before building a model to make an experiment fully reproducible,
+    mirroring ``torch.manual_seed`` in the original code base.
+    """
+    global _global_rng
+    _global_rng = np.random.default_rng(seed)
+
+
+def get_rng() -> np.random.Generator:
+    """Return the library-wide RNG (see :func:`set_seed`)."""
+    return _global_rng

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.utils import set_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    """Make weight init / dropout / shuffling deterministic per test."""
+    set_seed(1234)
+    yield
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def tiny_series(rng):
+    """A (B, T, C) batch with planted periodicity for decomposition tests."""
+    t = np.arange(48)
+    base = (np.sin(2 * np.pi * t / 12)[None, :, None]
+            + 0.4 * np.sin(2 * np.pi * t / 24)[None, :, None]
+            + 0.02 * t[None, :, None])
+    return base + 0.05 * rng.standard_normal((2, 48, 3))

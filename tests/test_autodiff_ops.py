@@ -1,0 +1,222 @@
+"""Unit tests for functional ops: joins, padding, conv, pooling, losses."""
+
+import numpy as np
+import pytest
+from scipy.signal import correlate2d
+
+from repro.autodiff import (
+    Tensor, avg_pool1d, avg_pool2d, check_gradients, concat, conv1d, conv2d,
+    dropout, gelu, leaky_relu, mae_loss, masked_mse_loss, max_pool2d,
+    mse_loss, pad, relu, sigmoid, softmax, stack, where,
+)
+from repro.autodiff.ops import fold2d, unfold2d, window_view
+
+
+class TestJoin:
+    def test_concat_values(self):
+        out = concat([Tensor([1.0]), Tensor([2.0, 3.0])])
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 3.0])
+
+    def test_concat_grad(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        check_gradients(lambda a, b: concat([a, b], axis=1) * 2, [a, b])
+
+    def test_stack_values_and_grad(self, rng):
+        a = Tensor(rng.standard_normal((3,)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3,)), requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        check_gradients(lambda a, b: stack([a, b], axis=1), [a, b])
+
+
+class TestPad:
+    def test_constant_values(self):
+        out = pad(Tensor([[1.0]]), ((1, 1), (0, 2)), value=7.0)
+        assert out.shape == (3, 3)
+        assert out.data[0, 0] == 7.0
+
+    @pytest.mark.parametrize("mode", ["constant", "edge", "reflect"])
+    def test_grad_all_modes(self, rng, mode):
+        a = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        check_gradients(lambda a: pad(a, ((2, 1), (1, 2)), mode=mode), [a])
+
+    def test_edge_matches_numpy(self, rng):
+        x = rng.standard_normal((3, 4))
+        out = pad(Tensor(x), ((1, 1), (2, 2)), mode="edge")
+        np.testing.assert_allclose(out.data, np.pad(x, ((1, 1), (2, 2)), mode="edge"))
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            a = Tensor(np.zeros((2, 2)), requires_grad=True)
+            out = pad(a, ((1, 1), (0, 0)), mode="wrap")
+            out.sum().backward()
+
+
+class TestNonlinearities:
+    def test_relu_values(self):
+        np.testing.assert_allclose(relu(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+
+    @pytest.mark.parametrize("fn", [relu, gelu, sigmoid,
+                                    lambda x: leaky_relu(x, 0.1),
+                                    lambda x: softmax(x, axis=-1)])
+    def test_grads(self, rng, fn):
+        a = Tensor(rng.standard_normal((3, 5)) + 0.1, requires_grad=True)
+        check_gradients(fn, [a])
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = softmax(Tensor(rng.standard_normal((4, 6))), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4), rtol=1e-12)
+
+    def test_softmax_shift_invariant(self, rng):
+        x = rng.standard_normal((2, 5))
+        np.testing.assert_allclose(softmax(Tensor(x)).data,
+                                   softmax(Tensor(x + 100.0)).data, rtol=1e-9)
+
+    def test_gelu_near_identity_for_large_positive(self):
+        out = gelu(Tensor([10.0]))
+        np.testing.assert_allclose(out.data, [10.0], atol=1e-4)
+
+    def test_where_grad_routes(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        cond = np.array([True, False, True])
+        where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((10, 10)))
+        out = dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_training_scales(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+        # Inverted dropout preserves the expectation.
+        assert abs(out.data.mean() - 1.0) < 0.05
+        kept = out.data != 0
+        assert abs(kept.mean() - 0.5) < 0.05
+
+    def test_grad_matches_mask(self, rng):
+        x = Tensor(rng.standard_normal(100), requires_grad=True)
+        out = dropout(x, 0.3, training=True, rng=np.random.default_rng(1))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, out.data / np.where(
+            x.data != 0, x.data, 1.0), rtol=1e-9)
+
+
+class TestConv:
+    def test_conv2d_matches_scipy(self, rng):
+        x = rng.standard_normal((1, 1, 6, 7))
+        w = rng.standard_normal((1, 1, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w))
+        ref = correlate2d(x[0, 0], w[0, 0], mode="valid")
+        np.testing.assert_allclose(out.data[0, 0], ref, rtol=1e-10)
+
+    def test_conv2d_shapes(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)))
+        w = Tensor(rng.standard_normal((5, 3, 3, 3)))
+        assert conv2d(x, w, padding=1).shape == (2, 5, 8, 8)
+        assert conv2d(x, w, stride=2).shape == (2, 5, 3, 3)
+
+    def test_conv2d_channel_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(rng.standard_normal((1, 2, 4, 4))),
+                   Tensor(rng.standard_normal((1, 3, 3, 3))))
+
+    def test_conv2d_grad_with_stride_and_pad(self, rng):
+        x = Tensor(rng.standard_normal((2, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2, 3, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(3), requires_grad=True)
+        check_gradients(lambda x, w, b: conv2d(x, w, b, stride=2, padding=1),
+                        [x, w, b])
+
+    def test_conv1d_shape_and_grad(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 10)), requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 3, 3)), requires_grad=True)
+        out = conv1d(x, w, padding=1)
+        assert out.shape == (2, 4, 10)
+        check_gradients(lambda x, w: conv1d(x, w, padding=1), [x, w])
+
+    def test_unfold_fold_adjoint(self, rng):
+        # fold is the adjoint of unfold: <unfold(x), y> == <x, fold(y)>
+        x = rng.standard_normal((1, 2, 5, 5))
+        y = rng.standard_normal((1, 2 * 3 * 3, 9))
+        lhs = float((unfold2d(x, 3, 3) * y).sum())
+        rhs = float((x * fold2d(y, x.shape, 3, 3)).sum())
+        assert abs(lhs - rhs) < 1e-9
+
+    def test_window_view_is_view(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4))
+        v = window_view(x, 2, 2)
+        assert v.shape == (1, 1, 3, 3, 2, 2)
+        np.testing.assert_allclose(v[0, 0, 1, 1], x[0, 0, 1:3, 1:3])
+
+
+class TestPooling:
+    def test_avg_pool1d_values(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(1, 1, 6))
+        out = avg_pool1d(x, 2)
+        np.testing.assert_allclose(out.data, [[[0.5, 2.5, 4.5]]])
+
+    def test_avg_pool1d_same_length_edge(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 11)))
+        out = avg_pool1d(x, 5, stride=1, padding=2, pad_mode="edge")
+        assert out.shape == (2, 3, 11)
+
+    def test_avg_pool1d_grad(self, rng):
+        x = Tensor(rng.standard_normal((2, 2, 8)), requires_grad=True)
+        check_gradients(lambda x: avg_pool1d(x, 3, stride=1, padding=1,
+                                             pad_mode="edge"), [x])
+
+    def test_avg_pool2d(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 4, 4)), requires_grad=True)
+        out = avg_pool2d(x, 2)
+        assert out.shape == (1, 2, 2, 2)
+        np.testing.assert_allclose(out.data[0, 0, 0, 0],
+                                   x.data[0, 0, :2, :2].mean())
+        check_gradients(lambda x: avg_pool2d(x, 2), [x])
+
+    def test_max_pool2d_values_and_grad(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)), requires_grad=True)
+        out = max_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0, 0, 0], x.data[0, 0, :2, :2].max())
+        check_gradients(lambda x: max_pool2d(x, 2), [x])
+
+
+class TestLosses:
+    def test_mse_value(self):
+        pred = Tensor([1.0, 2.0])
+        assert mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_mae_value(self):
+        pred = Tensor([1.0, -2.0])
+        assert mae_loss(pred, np.zeros(2)).item() == pytest.approx(1.5)
+
+    def test_masked_mse_only_masked(self):
+        pred = Tensor([[1.0, 5.0]])
+        target = np.array([[0.0, 0.0]])
+        mask = np.array([[True, False]])
+        assert masked_mse_loss(pred, target, mask).item() == pytest.approx(1.0)
+
+    def test_masked_mse_empty_mask_is_zero(self):
+        pred = Tensor([[1.0]])
+        assert masked_mse_loss(pred, np.zeros((1, 1)),
+                               np.zeros((1, 1), bool)).item() == 0.0
+
+    def test_loss_grads(self, rng):
+        pred = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        target = rng.standard_normal((3, 4))
+        mask = rng.random((3, 4)) > 0.5
+        check_gradients(lambda p: mse_loss(p, target), [pred])
+        check_gradients(lambda p: mae_loss(p, target + 10), [pred])
+        check_gradients(lambda p: masked_mse_loss(p, target, mask), [pred])
+
+    def test_target_never_gets_grad(self):
+        pred = Tensor([1.0], requires_grad=True)
+        target = Tensor([2.0], requires_grad=True)
+        mse_loss(pred, target).backward()
+        assert target.grad is None

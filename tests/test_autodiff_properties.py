@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for autodiff invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autodiff import Tensor, concat, relu, softmax, unbroadcast
+
+_floats = st.floats(min_value=-10, max_value=10, allow_nan=False,
+                    allow_infinity=False, width=64)
+
+
+def small_arrays(max_dims=3, max_side=5):
+    return arrays(np.float64,
+                  array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+                  elements=_floats)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_sum_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_mean_gradient_is_uniform(x):
+    t = Tensor(x, requires_grad=True)
+    t.mean().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, 1.0 / x.size))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(), st.floats(min_value=-3, max_value=3,
+                                 allow_nan=False, width=64))
+def test_addition_gradient_independent_of_constant(x, c):
+    t = Tensor(x, requires_grad=True)
+    (t + c).sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(), st.floats(min_value=-4, max_value=4,
+                                 allow_nan=False, width=64))
+def test_scaling_scales_gradient(x, c):
+    t = Tensor(x, requires_grad=True)
+    (t * c).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, c))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_relu_output_nonnegative_and_idempotent(x):
+    out = relu(Tensor(x))
+    assert (out.data >= 0).all()
+    np.testing.assert_allclose(relu(out).data, out.data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, array_shapes(min_dims=2, max_dims=2, min_side=2,
+                                       max_side=6), elements=_floats))
+def test_softmax_is_distribution(x):
+    out = softmax(Tensor(x), axis=-1).data
+    assert (out >= 0).all()
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(out.shape[0]),
+                               rtol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2), small_arrays(max_dims=2))
+def test_concat_preserves_content(a, b):
+    if a.ndim != b.ndim or a.shape[1:] != b.shape[1:]:
+        a = a.reshape(-1)
+        b = b.reshape(-1)
+    out = concat([Tensor(a), Tensor(b)], axis=0)
+    np.testing.assert_allclose(out.data, np.concatenate([a, b], axis=0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=3))
+def test_unbroadcast_roundtrip(x):
+    # Broadcasting to a bigger shape then unbroadcasting a ones-gradient
+    # yields the multiplicity of each element.
+    big = np.broadcast_to(x, (4,) + x.shape)
+    grad = unbroadcast(np.ones_like(big), x.shape)
+    np.testing.assert_allclose(grad, np.full_like(x, 4.0))
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_double_backward_chain_linearity(x):
+    # d/dx of (2x + 3x) == 5 everywhere, regardless of x.
+    t = Tensor(x, requires_grad=True)
+    (2.0 * t + 3.0 * t).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, 5.0))
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays(np.float64, st.tuples(st.integers(2, 5), st.integers(2, 5)),
+              elements=_floats))
+def test_transpose_involution(x):
+    t = Tensor(x, requires_grad=True)
+    out = t.transpose(1, 0).transpose(1, 0)
+    np.testing.assert_allclose(out.data, x)
+    out.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))

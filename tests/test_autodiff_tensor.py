@@ -1,0 +1,260 @@
+"""Unit tests for the autodiff Tensor core: arithmetic, shape ops, backward."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor, check_gradients, no_grad, ones, randn, tensor, unbroadcast, zeros,
+    zeros_like,
+)
+
+
+class TestConstruction:
+    def test_wraps_array(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_scalar(self):
+        t = Tensor(3.5)
+        assert t.shape == ()
+        assert t.item() == 3.5
+
+    def test_requires_grad_flag(self):
+        assert Tensor(1.0, requires_grad=True).requires_grad
+        assert not Tensor(1.0).requires_grad
+
+    def test_helpers(self):
+        assert zeros(2, 3).data.sum() == 0
+        assert ones(2, 3).data.sum() == 6
+        assert zeros_like(ones(4)).shape == (4,)
+        assert randn(5, rng=np.random.default_rng(0)).shape == (5,)
+        assert tensor([1.0]).shape == (1,)
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor(1.0, requires_grad=True))
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert len(t) == 3
+        assert t.size == 12
+        assert t.ndim == 2
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_scalar_broadcast(self):
+        out = Tensor([1.0, 2.0]) + 1.0
+        np.testing.assert_allclose(out.data, [2.0, 3.0])
+
+    def test_radd_rsub_rmul_rdiv(self):
+        t = Tensor([2.0])
+        np.testing.assert_allclose((1.0 + t).data, [3.0])
+        np.testing.assert_allclose((1.0 - t).data, [-1.0])
+        np.testing.assert_allclose((3.0 * t).data, [6.0])
+        np.testing.assert_allclose((4.0 / t).data, [2.0])
+
+    def test_pow_and_neg(self):
+        t = Tensor([2.0, 3.0])
+        np.testing.assert_allclose((t ** 2).data, [4.0, 9.0])
+        np.testing.assert_allclose((-t).data, [-2.0, -3.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.eye(3))
+        b = Tensor(np.arange(9, dtype=float).reshape(3, 3))
+        np.testing.assert_allclose((a @ b).data, b.data)
+
+    def test_comparisons_detached(self):
+        mask = Tensor([1.0, -1.0]) > 0
+        assert isinstance(mask, np.ndarray)
+        np.testing.assert_array_equal(mask, [True, False])
+        assert (Tensor([1.0]) < 2).all()
+        assert (Tensor([1.0]) >= 1).all()
+        assert (Tensor([1.0]) <= 1).all()
+
+
+class TestBackwardBasics:
+    def test_scalar_backward(self):
+        a = Tensor(2.0, requires_grad=True)
+        (a * a).backward()
+        np.testing.assert_allclose(a.grad, 4.0)
+
+    def test_backward_needs_scalar_or_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_with_explicit_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 3).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(a.grad, [3.0, 30.0])
+
+    def test_backward_on_non_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_grad_accumulates(self):
+        a = Tensor(1.0, requires_grad=True)
+        (a * 2).backward()
+        (a * 3).backward()
+        np.testing.assert_allclose(a.grad, 5.0)
+
+    def test_zero_grad(self):
+        a = Tensor(1.0, requires_grad=True)
+        (a * 2).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph(self):
+        # a used twice: d(a*a + a)/da = 2a + 1
+        a = Tensor(3.0, requires_grad=True)
+        (a * a + a).backward()
+        np.testing.assert_allclose(a.grad, 7.0)
+
+    def test_deep_chain(self):
+        a = Tensor(1.0, requires_grad=True)
+        out = a
+        for _ in range(50):
+            out = out * 1.1
+        out.backward()
+        np.testing.assert_allclose(a.grad, 1.1 ** 50, rtol=1e-10)
+
+    def test_no_grad_blocks_taping(self):
+        a = Tensor(1.0, requires_grad=True)
+        with no_grad():
+            b = a * 2
+        assert not b.requires_grad
+
+
+class TestBroadcastGradients:
+    def test_unbroadcast_sums_extra_axes(self):
+        grad = np.ones((2, 3, 4))
+        out = unbroadcast(grad, (4,))
+        np.testing.assert_allclose(out, np.full(4, 6.0))
+
+    def test_unbroadcast_keepdim_axes(self):
+        grad = np.ones((3, 4))
+        out = unbroadcast(grad, (3, 1))
+        np.testing.assert_allclose(out, np.full((3, 1), 4.0))
+
+    def test_broadcast_add_grad(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((1, 4)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full((1, 4), 3.0))
+
+    def test_gradcheck_mixed_ops(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3,)), requires_grad=True)
+        check_gradients(lambda a, b: (a * b - a / (b.abs() + 2)) ** 2, [a, b])
+
+    def test_gradcheck_matmul_batched(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        check_gradients(lambda a, b: a @ b, [a, b])
+
+    def test_gradcheck_matmul_both_batched(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 4, 5)), requires_grad=True)
+        check_gradients(lambda a, b: a @ b, [a, b])
+
+    def test_gradcheck_vector_matmul(self, rng):
+        a = Tensor(rng.standard_normal((3, 4, 2)), requires_grad=True)
+        w = Tensor(rng.standard_normal(2), requires_grad=True)
+        check_gradients(lambda a, w: a @ w, [a, w])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self, rng):
+        a = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        check_gradients(lambda a: a.reshape(3, 4).reshape(12), [a])
+
+    def test_transpose_grad(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        check_gradients(lambda a: a.transpose(2, 0, 1), [a])
+
+    def test_default_transpose_reverses(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.transpose().shape == (4, 3, 2)
+        assert a.T.shape == (4, 3, 2)
+
+    def test_swapaxes(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        assert a.swapaxes(0, 2).shape == (4, 3, 2)
+        check_gradients(lambda a: a.swapaxes(-2, -1), [a])
+
+    def test_getitem_grad(self, rng):
+        a = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        check_gradients(lambda a: a[1:3, ::2], [a])
+
+    def test_getitem_repeated_index_accumulates(self):
+        a = Tensor(np.zeros(3), requires_grad=True)
+        a[np.array([0, 0, 1])].sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 1.0, 0.0])
+
+    def test_squeeze_unsqueeze(self, rng):
+        a = Tensor(rng.standard_normal((2, 1, 3)), requires_grad=True)
+        assert a.squeeze(1).shape == (2, 3)
+        assert a.unsqueeze(0).shape == (1, 2, 1, 3)
+        check_gradients(lambda a: a.squeeze(1).unsqueeze(-1), [a])
+
+
+class TestReductions:
+    def test_sum_axes(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        check_gradients(lambda a: a.sum(axis=1), [a])
+        check_gradients(lambda a: a.sum(axis=(0, 2)), [a])
+        check_gradients(lambda a: a.sum(axis=2, keepdims=True), [a])
+
+    def test_mean_axes(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        check_gradients(lambda a: a.mean(), [a])
+        check_gradients(lambda a: a.mean(axis=(1, 2)), [a])
+
+    def test_var_matches_numpy(self, rng):
+        a = Tensor(rng.standard_normal((5, 7)))
+        np.testing.assert_allclose(a.var(axis=1).data,
+                                   a.data.var(axis=1), rtol=1e-10)
+
+    def test_max_min_grad(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        check_gradients(lambda a: a.max(axis=1), [a])
+        check_gradients(lambda a: a.min(axis=0), [a])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([2.0, 2.0, 1.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5, 0.0])
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("fn", [
+        lambda a: a.exp(), lambda a: (a.abs() + 1).log(),
+        lambda a: (a.abs() + 0.5).sqrt(), lambda a: a.tanh(),
+        lambda a: a.sin(), lambda a: a.cos(),
+    ])
+    def test_gradcheck(self, rng, fn):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        check_gradients(fn, [a])
+
+    def test_abs_grad_sign(self):
+        a = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        a.abs().sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0, 1.0])
+
+    def test_clip_grad_masks(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_clip_values(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]))
+        np.testing.assert_allclose(a.clip(-1, 1).data, [-1.0, 0.5, 1.0])

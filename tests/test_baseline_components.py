@@ -1,0 +1,115 @@
+"""Component-level tests inside the baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.baselines.fedformer import FourierBlock
+from repro.baselines.informer import DistillLayer
+from repro.baselines.lightts import IEBlock
+from repro.baselines.micn import ScaleBranch
+from repro.baselines.stationary import Projector
+from repro.baselines.timesnet import TimesBlock
+
+
+class TestFourierBlock:
+    def test_shape(self, rng):
+        block = FourierBlock(seq_len=32, d_model=8, modes=4)
+        out = block(Tensor(rng.standard_normal((2, 32, 8))))
+        assert out.shape == (2, 32, 8)
+
+    def test_modes_clamped_to_spectrum(self):
+        block = FourierBlock(seq_len=10, d_model=4, modes=100)
+        assert len(block.mode_idx) == 6     # rfft bins of length-10 signal
+
+    def test_bandlimiting(self, rng):
+        """Output lives in the span of the selected modes only."""
+        block = FourierBlock(seq_len=64, d_model=2, modes=3, seed=1)
+        x = Tensor(rng.standard_normal((1, 64, 2)))
+        out = block(x).data[0, :, 0]
+        spectrum = np.abs(np.fft.rfft(out))
+        keep = np.zeros_like(spectrum, dtype=bool)
+        keep[block.mode_idx] = True
+        assert spectrum[~keep].max() < 1e-6 * max(spectrum.max(), 1e-12) + 1e-9
+
+    def test_gradients(self, rng):
+        block = FourierBlock(seq_len=16, d_model=4, modes=3)
+        x = Tensor(rng.standard_normal((1, 16, 4)), requires_grad=True)
+        block(x).sum().backward()
+        assert x.grad is not None
+        assert block.w_real.grad is not None
+        assert block.w_imag.grad is not None
+
+    def test_different_seeds_select_different_modes(self):
+        a = FourierBlock(32, 4, modes=4, seed=0)
+        b = FourierBlock(32, 4, modes=4, seed=1)
+        assert not np.array_equal(a.mode_idx, b.mode_idx)
+
+
+class TestDistillLayer:
+    def test_halves_length(self, rng):
+        layer = DistillLayer(8)
+        out = layer(Tensor(rng.standard_normal((2, 10, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_odd_length(self, rng):
+        layer = DistillLayer(8)
+        out = layer(Tensor(rng.standard_normal((2, 9, 8))))
+        assert out.shape == (2, 5, 8)
+
+
+class TestIEBlock:
+    def test_shape_preserved(self, rng):
+        block = IEBlock(inner=4, outer=6, hidden=8)
+        x = Tensor(rng.standard_normal((2, 3, 6, 4)))
+        assert block(x).shape == (2, 3, 6, 4)
+
+
+class TestScaleBranch:
+    def test_output_length_restored(self, rng):
+        branch = ScaleBranch(seq_len=32, d_model=8, scale=4)
+        out = branch(Tensor(rng.standard_normal((2, 8, 32))))
+        assert out.shape == (2, 8, 32)
+
+    def test_isometric_kernel_spans_downsampled(self):
+        branch = ScaleBranch(seq_len=32, d_model=4, scale=4)
+        assert branch.down_len == 8
+        assert branch.iso.weight.shape[-1] == 8
+
+
+class TestProjector:
+    def test_factor_shape(self, rng):
+        proj = Projector(c_in=5, seq_len=24)
+        out = proj(rng.standard_normal((3, 24, 5)))
+        assert out.shape == (3, 1)
+
+    def test_uses_raw_statistics(self, rng):
+        proj = Projector(c_in=2, seq_len=16)
+        x = rng.standard_normal((2, 16, 2))
+        a = proj(x).data
+        b = proj(x * 5.0).data
+        assert not np.allclose(a, b)
+
+
+class TestTimesBlock:
+    def test_shape(self, rng):
+        block = TimesBlock(seq_len=24, d_model=8, d_ff=8, top_k=2,
+                           num_kernels=2)
+        out = block(Tensor(rng.standard_normal((2, 24, 8))))
+        assert out.shape == (2, 24, 8)
+
+    def test_periodic_input_processes(self, rng):
+        t = np.arange(24)
+        x = np.sin(2 * np.pi * t / 8)[None, :, None] * np.ones((2, 1, 8))
+        x = x + 0.01 * rng.standard_normal((2, 24, 8))
+        block = TimesBlock(seq_len=24, d_model=8, d_ff=8, top_k=1,
+                           num_kernels=2)
+        out = block(Tensor(x))
+        assert np.isfinite(out.data).all()
+
+    def test_gradients(self, rng):
+        block = TimesBlock(seq_len=12, d_model=4, d_ff=4, top_k=2,
+                           num_kernels=2)
+        x = Tensor(rng.standard_normal((1, 12, 4)), requires_grad=True)
+        block(x).sum().backward()
+        assert x.grad is not None

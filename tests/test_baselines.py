@@ -1,0 +1,149 @@
+"""Tests covering every baseline model through the registry."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, mse_loss
+from repro.baselines import (
+    ABLATION_NAMES, MODEL_NAMES, TSD_NAMES, build_model, paper_d_model,
+)
+from repro.baselines.common import InstanceNorm, TimeProjectionHead
+
+ALL_NAMES = MODEL_NAMES + TSD_NAMES + ABLATION_NAMES
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(3)
+    return rng.standard_normal((2, 32, 4))
+
+
+class TestRegistry:
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("LSTM", 32, 16, 4)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            build_model("DLinear", 32, 16, 4, preset="huge")
+
+    def test_paper_d_model_rule(self):
+        # Table III: d_model = min(max(2^ceil(log2 C), d_min), d_max)
+        assert paper_d_model(7) == 32           # 2^3=8 < d_min=32
+        assert paper_d_model(321) == 512        # 2^9=512
+        assert paper_d_model(862) == 512        # capped at d_max
+        assert paper_d_model(7, task="imputation") == 64
+        assert paper_d_model(321, task="imputation") == 128
+
+    def test_override_plumbs_through(self, batch):
+        m = build_model("TS3Net", 32, 16, 4, num_scales=5)
+        assert m.config.num_scales == 5
+
+
+class TestForecastShapes:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_output_shape(self, batch, name):
+        model = build_model(name, seq_len=32, pred_len=16, c_in=4)
+        out = model(Tensor(batch))
+        assert out.shape == (2, 16, 4), name
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_output_finite(self, batch, name):
+        model = build_model(name, seq_len=32, pred_len=16, c_in=4)
+        model.eval()
+        out = model(Tensor(batch))
+        assert np.isfinite(out.data).all(), name
+
+
+class TestImputationShapes:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_output_matches_window(self, batch, name):
+        model = build_model(name, seq_len=32, pred_len=32, c_in=4,
+                            task="imputation")
+        out = model(Tensor(batch))
+        assert out.shape == (2, 32, 4), name
+
+
+class TestTrainability:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_loss_backward_produces_gradients(self, batch, name):
+        model = build_model(name, seq_len=32, pred_len=8, c_in=4)
+        target = np.zeros((2, 8, 4))
+        loss = mse_loss(model(Tensor(batch)), target)
+        loss.backward()
+        with_grad = sum(1 for p in model.parameters() if p.grad is not None)
+        assert with_grad == len(model.parameters()), name
+
+    @pytest.mark.parametrize("name", ["DLinear", "PatchTST", "TimesNet",
+                                      "MICN", "TS3Net"])
+    def test_one_adam_step_changes_output(self, batch, name):
+        from repro.optim import Adam
+        model = build_model(name, seq_len=32, pred_len=8, c_in=4)
+        model.eval()
+        before = model(Tensor(batch)).data.copy()
+        model.train()
+        opt = Adam(model.parameters(), lr=1e-2)
+        loss = mse_loss(model(Tensor(batch)), np.zeros((2, 8, 4)))
+        model.zero_grad()
+        loss.backward()
+        opt.step()
+        model.eval()
+        after = model(Tensor(batch)).data
+        assert not np.allclose(before, after), name
+
+
+class TestCommonPieces:
+    def test_time_projection_head(self, rng):
+        head = TimeProjectionHead(seq_len=10, out_len=4, d_model=6, c_out=2)
+        out = head(Tensor(rng.standard_normal((3, 10, 6))))
+        assert out.shape == (3, 4, 2)
+
+    def test_instance_norm_roundtrip(self, rng):
+        norm = InstanceNorm()
+        x = Tensor(rng.standard_normal((2, 12, 3)) * 5 + 2)
+        normed = norm.normalize(x)
+        np.testing.assert_allclose(normed.data.mean(axis=1), 0.0, atol=1e-9)
+        restored = norm.denormalize(normed)
+        np.testing.assert_allclose(restored.data, x.data, rtol=1e-9)
+
+
+class TestModelSpecifics:
+    def test_dlinear_is_linear_in_input(self, rng):
+        """DLinear has no nonlinearity: f(2x) == 2 f(x) up to bias terms."""
+        model = build_model("DLinear", 24, 8, 2)
+        model.eval()
+        x = rng.standard_normal((1, 24, 2))
+        f_x = model(Tensor(x)).data
+        f_2x = model(Tensor(2 * x)).data
+        f_0 = model(Tensor(np.zeros_like(x))).data
+        np.testing.assert_allclose(f_2x - f_0, 2 * (f_x - f_0), rtol=1e-6)
+
+    def test_patchtst_patch_count(self):
+        model = build_model("PatchTST", 32, 8, 2, patch_len=16, stride=8)
+        assert model.num_patches == 3
+
+    def test_patchtst_short_sequence_clamps_patch(self):
+        model = build_model("PatchTST", 8, 4, 2, patch_len=16, stride=8)
+        out = model(Tensor(np.zeros((1, 8, 2))))
+        assert out.shape == (1, 4, 2)
+
+    def test_lightts_chunk_divisibility(self):
+        model = build_model("LightTS", 30, 8, 2, chunk_size=8)
+        # 30 % 8 != 0, so the model must fall back to a divisor.
+        assert 30 % model.chunk_size == 0
+
+    def test_micn_branch_scales(self):
+        model = build_model("MICN", 32, 8, 2, scales=(4, 8))
+        assert len(model.branches) == 2
+
+    def test_informer_distillation_shortens(self, batch):
+        model = build_model("Informer", 32, 8, 4, num_layers=2)
+        out = model(Tensor(batch))
+        assert out.shape == (2, 8, 4)
+
+    def test_ts3net_ablations_differ_from_full(self, batch):
+        full = build_model("TS3Net", 32, 8, 4)
+        wo_td = build_model("TS3Net-w/o-TD", 32, 8, 4)
+        assert full.config.use_td and not wo_td.config.use_td
+        wo_tf = build_model("TS3Net-w/o-TFBlock", 32, 8, 4)
+        assert wo_tf.config.tf_mode == "replicate"

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.model == "TS3Net"
+        assert args.task == "forecast"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "M5"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "TS3Net" in out and "ETTh1" in out
+
+    def test_train_forecast_and_reload(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "m.npz")
+        rc = main(["train", "--model", "DLinear", "--dataset", "ETTh2",
+                   "--seq-len", "24", "--pred-len", "8", "--n-steps", "600",
+                   "--epochs", "1", "--max-batches", "3", "--save", ckpt])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "test MSE=" in out
+
+        rc = main(["forecast", "--checkpoint", ckpt, "--n-steps", "600"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Prediction" in out
+
+    def test_train_imputation(self, capsys):
+        rc = main(["train", "--model", "DLinear", "--dataset", "Weather",
+                   "--task", "imputation", "--seq-len", "24",
+                   "--n-steps", "600", "--epochs", "1", "--max-batches", "3"])
+        assert rc == 0
+        assert "test MSE=" in capsys.readouterr().out
+
+    def test_forecast_without_metadata_fails(self, tmp_path, capsys):
+        from repro.nn import Linear
+        import numpy as _np
+        path = str(tmp_path / "bare.npz")
+        _np.savez(path, **{"weight": _np.zeros((2, 2))})
+        assert main(["forecast", "--checkpoint", path]) == 1
+
+    def test_decompose(self, capsys):
+        rc = main(["decompose", "--dataset", "ETTh1", "--window", "64",
+                   "--num-scales", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TF distribution" in out

@@ -1,0 +1,176 @@
+"""Tests for TS3Net, the TF-Block, and the prediction heads."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, mse_loss
+from repro.core import (
+    AutoregressionHead, PredictionHead, ReplicateBlock, TFBlock, TS3Net,
+    TS3NetConfig, WeightLearnedMerge,
+)
+from repro.optim import Adam
+
+
+def tiny_config(**overrides) -> TS3NetConfig:
+    base = dict(seq_len=32, pred_len=16, c_in=3, d_model=8, num_blocks=1,
+                num_scales=4, num_branches=2, d_ff=8, num_kernels=2,
+                dropout=0.0)
+    base.update(overrides)
+    return TS3NetConfig(**base)
+
+
+class TestHeads:
+    def test_prediction_head_shape(self, rng):
+        head = PredictionHead(seq_len=20, out_len=7, d_model=8, c_out=3)
+        out = head(Tensor(rng.standard_normal((2, 20, 8))))
+        assert out.shape == (2, 7, 3)
+
+    def test_autoregression_head_shape(self, rng):
+        head = AutoregressionHead(seq_len=20, out_len=9)
+        out = head(Tensor(rng.standard_normal((2, 20, 3))))
+        assert out.shape == (2, 9, 3)
+
+    def test_heads_trainable(self, rng):
+        head = PredictionHead(10, 5, 4, 2, dropout=0.0)
+        out = head(Tensor(rng.standard_normal((1, 10, 4))))
+        out.sum().backward()
+        assert all(p.grad is not None for p in head.parameters())
+
+
+class TestTFBlock:
+    def test_preserves_shape(self, rng):
+        block = TFBlock(seq_len=16, d_model=8, num_scales=4, num_branches=2,
+                        d_ff=8, num_kernels=2, dropout=0.0)
+        x = Tensor(rng.standard_normal((2, 16, 8)))
+        assert block(x).shape == (2, 16, 8)
+
+    def test_merge_weights_are_distribution(self):
+        merge = WeightLearnedMerge(3)
+        from repro.autodiff.ops import softmax
+        w = softmax(merge.logits.reshape(1, -1), axis=-1).data
+        np.testing.assert_allclose(w.sum(), 1.0)
+        np.testing.assert_allclose(w, 1.0 / 3.0)  # uniform at init
+
+    def test_merge_combines(self, rng):
+        merge = WeightLearnedMerge(2)
+        a = Tensor(np.ones((1, 4, 2)))
+        b = Tensor(np.zeros((1, 4, 2)))
+        out = merge([a, b])
+        np.testing.assert_allclose(out.data, 0.5)
+
+    def test_gradients_reach_all_branches(self, rng):
+        block = TFBlock(seq_len=12, d_model=4, num_scales=3, num_branches=2,
+                        d_ff=4, num_kernels=2, dropout=0.0)
+        x = Tensor(rng.standard_normal((1, 12, 4)), requires_grad=True)
+        block(x).sum().backward()
+        for name, p in block.named_parameters():
+            assert p.grad is not None, name
+
+    def test_replicate_block_shape(self, rng):
+        block = ReplicateBlock(seq_len=16, d_model=8, num_scales=4, d_ff=8,
+                               num_kernels=2, dropout=0.0)
+        x = Tensor(rng.standard_normal((2, 16, 8)))
+        assert block(x).shape == (2, 16, 8)
+
+
+class TestTS3NetForward:
+    def test_forecast_shape(self, rng):
+        model = TS3Net(tiny_config())
+        out = model(Tensor(rng.standard_normal((2, 32, 3))))
+        assert out.shape == (2, 16, 3)
+
+    def test_imputation_shape(self, rng):
+        model = TS3Net(tiny_config(task="imputation"))
+        out = model(Tensor(rng.standard_normal((2, 32, 3))))
+        assert out.shape == (2, 32, 3)
+
+    @pytest.mark.parametrize("kw", [
+        {"use_td": False},
+        {"tf_mode": "replicate"},
+        {"use_td": False, "tf_mode": "replicate"},
+        {"use_norm": False},
+        {"num_branches": 1},
+        {"num_blocks": 2},
+        {"first_chunk_zero": False},
+    ])
+    def test_variant_shapes(self, rng, kw):
+        model = TS3Net(tiny_config(**kw))
+        out = model(Tensor(rng.standard_normal((2, 32, 3))))
+        assert out.shape == (2, 16, 3)
+
+    def test_bad_tf_mode(self):
+        with pytest.raises(ValueError):
+            TS3Net(tiny_config(tf_mode="bogus"))
+
+    def test_config_xor_overrides(self):
+        with pytest.raises(ValueError):
+            TS3Net(tiny_config(), seq_len=10)
+
+    def test_kwargs_constructor(self, rng):
+        model = TS3Net(seq_len=16, pred_len=8, c_in=2, d_model=8,
+                       num_blocks=1, num_scales=4, d_ff=8, num_kernels=2)
+        out = model(Tensor(rng.standard_normal((1, 16, 2))))
+        assert out.shape == (1, 8, 2)
+
+    def test_out_len_property(self):
+        assert tiny_config().out_len == 16
+        assert tiny_config(task="imputation").out_len == 32
+
+
+class TestTS3NetTraining:
+    def test_all_parameters_receive_gradients(self, rng):
+        model = TS3Net(tiny_config())
+        x = Tensor(rng.standard_normal((2, 32, 3)))
+        loss = mse_loss(model(x), rng.standard_normal((2, 16, 3)))
+        loss.backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing, f"no grad for: {missing}"
+
+    def test_overfits_tiny_problem(self, rng):
+        """Sanity: the full model can fit a small deterministic mapping."""
+        model = TS3Net(tiny_config())
+        t = np.arange(48)
+        series = np.sin(2 * np.pi * t / 8)[None, :, None] * np.ones((4, 1, 3))
+        x, y = series[:, :32], series[:, 32:]
+        opt = Adam(model.parameters(), lr=5e-3)
+        first = None
+        for step in range(30):
+            model.zero_grad()
+            loss = mse_loss(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = float(loss.data)
+        assert float(loss.data) < 0.5 * first
+
+    def test_deterministic_given_seed(self, rng):
+        from repro.utils import set_seed
+        x = rng.standard_normal((1, 32, 3))
+        set_seed(7)
+        m1 = TS3Net(tiny_config())
+        m1.eval()
+        out1 = m1(Tensor(x)).data
+        set_seed(7)
+        m2 = TS3Net(tiny_config())
+        m2.eval()
+        out2 = m2(Tensor(x)).data
+        np.testing.assert_allclose(out1, out2)
+
+    def test_instance_norm_restores_scale(self, rng):
+        """With use_norm, shifting the input shifts the output (roughly)."""
+        model = TS3Net(tiny_config())
+        model.eval()
+        x = rng.standard_normal((1, 32, 3))
+        base = model(Tensor(x)).data
+        shifted = model(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(shifted - base, 100.0, atol=1.0)
+
+
+class TestDecomposeAPI:
+    def test_model_exposes_decomposition(self, rng):
+        model = TS3Net(tiny_config())
+        x = Tensor(rng.standard_normal((1, 32, 3)))
+        res = model.decompose(x)
+        np.testing.assert_allclose(
+            res.trend.data + res.regular.data + res.delta_1d.data,
+            x.data, rtol=1e-8)

@@ -1,0 +1,219 @@
+"""Tests for dataset specs, synthetic generators, and the windowing pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DataLoader, ForecastWindows, ImputationWindows, SPECS, StandardScaler,
+    chronological_split, generate, get_spec, load_dataset, paper_scale_steps,
+)
+from repro.data.specs import FORECAST_DATASETS, IMPUTATION_DATASETS, TINY_DIMS
+from repro.spectral import detect_periods
+
+
+class TestSpecs:
+    def test_all_table2_datasets_present(self):
+        for name in ("ETTm1", "ETTm2", "ETTh1", "ETTh2", "Electricity",
+                     "Traffic", "Weather", "Exchange", "ILI"):
+            assert name in SPECS
+
+    def test_paper_dimensions(self):
+        assert get_spec("ETTh1").dim == 7
+        assert get_spec("Electricity").dim == 321
+        assert get_spec("Traffic").dim == 862
+        assert get_spec("Weather").dim == 21
+        assert get_spec("Exchange").dim == 8
+
+    def test_paper_sizes(self):
+        assert get_spec("ETTm1").paper_sizes == (34465, 11521, 11521)
+        assert get_spec("ILI").paper_sizes == (617, 74, 170)
+
+    def test_unknown_spec(self):
+        with pytest.raises(KeyError):
+            get_spec("M4")
+
+    def test_imputation_subset_of_forecast(self):
+        assert set(IMPUTATION_DATASETS) <= set(FORECAST_DATASETS)
+
+    def test_paper_scale_steps(self):
+        assert paper_scale_steps("ETTh1") == 8545 + 2881 + 2881
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", FORECAST_DATASETS)
+    def test_shape_and_finiteness(self, name):
+        data = generate(name, n_steps=400)
+        assert data.shape == (400, TINY_DIMS[name])
+        assert np.isfinite(data).all()
+
+    def test_deterministic_per_seed(self):
+        a = generate("ETTh1", n_steps=300, seed=5)
+        b = generate("ETTh1", n_steps=300, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = generate("ETTh1", n_steps=300, seed=1)
+        b = generate("ETTh1", n_steps=300, seed=2)
+        assert not np.allclose(a, b)
+
+    def test_families_differ(self):
+        a = generate("ETTh1", n_steps=300)
+        b = generate("ETTh2", n_steps=300)
+        assert not np.allclose(a, b)
+
+    @pytest.mark.parametrize("name,period", [("ETTh1", 24), ("Weather", 144)])
+    def test_planted_periodicity_detectable(self, name, period):
+        data = generate(name, n_steps=2000)
+        detected, _ = detect_periods(data[None], k=3)
+        # Accept the planted period or a near multiple/harmonic.
+        assert any(abs(int(p) - period) <= max(2, period // 10)
+                   or abs(int(p) - period // 2) <= 2 for p in detected)
+
+    def test_exchange_is_heavy_tailed_walk(self):
+        data = generate("Exchange", n_steps=3000)
+        increments = np.diff(data, axis=0)
+        kurtosis = ((increments - increments.mean()) ** 4).mean() / increments.var() ** 2
+        assert kurtosis > 3.5     # heavier tails than a Gaussian
+
+    def test_ili_has_bursts(self):
+        data = generate("ILI", n_steps=500)
+        # Epidemic bursts: peak much larger than the median level.
+        ratio = np.percentile(data, 99) - np.percentile(data, 50)
+        assert ratio > 1.0
+
+    def test_custom_dim(self):
+        assert generate("Traffic", n_steps=100, dim=3).shape == (100, 3)
+
+    def test_deterministic_across_processes(self):
+        """Regression: the seed digest must not use Python's salted hash()."""
+        import subprocess
+        import sys
+        code = ("from repro.data import generate; "
+                "print(repr(float(generate('ETTh1', n_steps=40)[7, 0])))")
+        runs = {
+            subprocess.run([sys.executable, "-c", code], capture_output=True,
+                           text=True, timeout=120).stdout.strip()
+            for _ in range(2)
+        }
+        assert len(runs) == 1 and "" not in runs
+
+
+class TestSplitAndScaler:
+    def test_split_ratios(self):
+        tr, va, te = chronological_split(1000, style="ratio")
+        assert tr == slice(0, 700)
+        assert va == slice(700, 800)
+        assert te == slice(800, 1000)
+
+    def test_ett_split(self):
+        tr, va, te = chronological_split(1000, style="ett")
+        assert tr.stop == 600
+
+    def test_scaler_roundtrip(self, rng):
+        x = rng.standard_normal((100, 4)) * 3 + 7
+        scaler = StandardScaler().fit(x)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(x)),
+                                   x, rtol=1e-10)
+
+    def test_scaler_train_stats_only(self):
+        split = load_dataset("ETTh1", n_steps=1000)
+        np.testing.assert_allclose(split.train.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(split.train.std(axis=0), 1.0, atol=1e-9)
+        # Val/test are scaled with *train* stats, so not exactly standard.
+        assert abs(split.val.mean()) < 5.0
+
+    def test_scaler_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_scaler_constant_channel_guard(self):
+        x = np.ones((50, 2))
+        scaler = StandardScaler().fit(x)
+        out = scaler.transform(x)
+        assert np.isfinite(out).all()
+
+    def test_splits_are_chronological(self):
+        split = load_dataset("ETTh1", n_steps=900)
+        total = len(split.train) + len(split.val) + len(split.test)
+        assert total == 900
+
+
+class TestWindows:
+    def test_forecast_window_content(self):
+        data = np.arange(40, dtype=float)[:, None]
+        fw = ForecastWindows(data, seq_len=10, pred_len=5)
+        x, y = fw[3]
+        np.testing.assert_allclose(x[:, 0], np.arange(3, 13))
+        np.testing.assert_allclose(y[:, 0], np.arange(13, 18))
+
+    def test_forecast_window_count(self):
+        fw = ForecastWindows(np.zeros((40, 1)), seq_len=10, pred_len=5)
+        assert len(fw) == 26
+
+    def test_stride(self):
+        fw = ForecastWindows(np.zeros((40, 1)), 10, 5, stride=5)
+        assert len(fw) == 6
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            ForecastWindows(np.zeros((10, 1)), 10, 5)
+        with pytest.raises(ValueError):
+            ImputationWindows(np.zeros((5, 1)), 10)
+
+    def test_imputation_window(self):
+        data = np.arange(30, dtype=float)[:, None]
+        iw = ImputationWindows(data, seq_len=10)
+        assert len(iw) == 21
+        np.testing.assert_allclose(iw[2][:, 0], np.arange(2, 12))
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        fw = ForecastWindows(np.zeros((50, 3)), 10, 5)
+        dl = DataLoader(fw, batch_size=8)
+        x, y = next(iter(dl))
+        assert x.shape == (8, 10, 3)
+        assert y.shape == (8, 5, 3)
+
+    def test_len_and_max_batches(self):
+        fw = ForecastWindows(np.zeros((100, 1)), 10, 5)
+        dl = DataLoader(fw, batch_size=8, max_batches=3)
+        assert len(dl) == 3
+        assert sum(1 for _ in dl) == 3
+
+    def test_shuffle_deterministic_per_seed(self):
+        data = np.arange(60, dtype=float)[:, None]
+        fw = ForecastWindows(data, 5, 2)
+        a = [x[0, 0, 0] for x, _ in DataLoader(fw, 4, shuffle=True, seed=9)]
+        b = [x[0, 0, 0] for x, _ in DataLoader(fw, 4, shuffle=True, seed=9)]
+        assert a == b
+
+    def test_shuffle_changes_order(self):
+        data = np.arange(200, dtype=float)[:, None]
+        fw = ForecastWindows(data, 5, 2)
+        plain = [x[0, 0, 0] for x, _ in DataLoader(fw, 4)]
+        shuffled = [x[0, 0, 0] for x, _ in DataLoader(fw, 4, shuffle=True, seed=1)]
+        assert plain != shuffled
+
+    def test_imputation_loader_yields_arrays(self):
+        iw = ImputationWindows(np.zeros((30, 2)), 10)
+        batch = next(iter(DataLoader(iw, batch_size=4)))
+        assert batch.shape == (4, 10, 2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=30, max_value=200),
+       st.integers(min_value=2, max_value=10),
+       st.integers(min_value=1, max_value=10))
+def test_window_count_property(n, seq_len, pred_len):
+    data = np.zeros((n, 1))
+    if n < seq_len + pred_len:
+        with pytest.raises(ValueError):
+            ForecastWindows(data, seq_len, pred_len)
+        return
+    fw = ForecastWindows(data, seq_len, pred_len)
+    # Last window must fit exactly inside the data.
+    x, y = fw[len(fw) - 1]
+    assert x.shape == (seq_len, 1) and y.shape == (pred_len, 1)

@@ -1,0 +1,184 @@
+"""Tests for trend, spectrum-gradient, and triple decomposition invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor
+from repro.decomposition import (
+    SeriesDecomposition, SpectrumGradientDecomposition, TripleDecomposition,
+    chunk_gradient, decompose_array, decompose_trend_array,
+)
+
+
+class TestTrendDecomposition:
+    def test_exact_additivity(self, tiny_series):
+        decomp = SeriesDecomposition((13,))
+        seasonal, trend = decomp(Tensor(tiny_series))
+        np.testing.assert_allclose(seasonal.data + trend.data, tiny_series,
+                                   rtol=1e-10)
+
+    def test_constant_series_is_pure_trend(self):
+        x = np.full((1, 30, 2), 5.0)
+        seasonal, trend = SeriesDecomposition((5,))(Tensor(x))
+        np.testing.assert_allclose(trend.data, x, rtol=1e-10)
+        np.testing.assert_allclose(seasonal.data, 0.0, atol=1e-10)
+
+    def test_linear_series_trend_captures_slope(self):
+        t = np.arange(40, dtype=float)
+        x = t[None, :, None].copy()
+        seasonal, trend = SeriesDecomposition((5,))(Tensor(x))
+        # Away from the edges, the moving average of a line is the line.
+        np.testing.assert_allclose(trend.data[0, 5:-5, 0], t[5:-5], rtol=1e-8)
+
+    def test_trend_smoother_than_input(self, tiny_series):
+        seasonal, trend = SeriesDecomposition((13,))(Tensor(tiny_series))
+        tv_x = np.abs(np.diff(tiny_series, axis=1)).mean()
+        tv_t = np.abs(np.diff(trend.data, axis=1)).mean()
+        assert tv_t < tv_x
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesDecomposition((4,))
+
+    def test_multi_kernel_average(self, tiny_series):
+        single_a = SeriesDecomposition((9,))(Tensor(tiny_series))[1].data
+        single_b = SeriesDecomposition((13,))(Tensor(tiny_series))[1].data
+        multi = SeriesDecomposition((9, 13))(Tensor(tiny_series))[1].data
+        np.testing.assert_allclose(multi, (single_a + single_b) / 2, rtol=1e-9)
+
+    def test_array_path_matches_tensor_path(self, tiny_series):
+        s_a, t_a = decompose_trend_array(tiny_series, (9, 13))
+        s_t, t_t = SeriesDecomposition((9, 13))(Tensor(tiny_series))
+        np.testing.assert_allclose(t_a, t_t.data, atol=1e-9)
+        np.testing.assert_allclose(s_a, s_t.data, atol=1e-9)
+
+    def test_array_path_rank_flexibility(self):
+        x = np.sin(np.arange(30) / 3.0)
+        s1, t1 = decompose_trend_array(x)
+        assert s1.shape == (30,)
+        s2, t2 = decompose_trend_array(x[:, None])
+        assert s2.shape == (30, 1)
+
+
+class TestChunkGradient:
+    def test_matches_manual_diff(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 12)))
+        out = chunk_gradient(x, period=4).data
+        chunks = x.data.reshape(2, 3, 3, 4)
+        np.testing.assert_allclose(out[..., :4], chunks[..., 0, :])
+        np.testing.assert_allclose(out[..., 4:8],
+                                   chunks[..., 1, :] - chunks[..., 0, :])
+        np.testing.assert_allclose(out[..., 8:],
+                                   chunks[..., 2, :] - chunks[..., 1, :])
+
+    def test_first_chunk_zero_option(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 12)))
+        out = chunk_gradient(x, period=4, first_chunk_zero=False).data
+        np.testing.assert_allclose(out[..., :4], 0.0)
+
+    def test_non_divisible_period_keeps_length(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 13)))
+        out = chunk_gradient(x, period=5)
+        assert out.shape == (1, 2, 13)
+
+    def test_period_longer_than_series(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 8)))
+        out = chunk_gradient(x, period=100)
+        np.testing.assert_allclose(out.data, x.data)  # single chunk = itself
+
+    def test_periodic_signal_has_small_gradient(self):
+        # A perfectly periodic sequence has near-zero chunk differences
+        # (after the first chunk).
+        t = np.arange(48)
+        x = Tensor(np.tile(np.sin(2 * np.pi * np.arange(12) / 12), 4)[None, None, :])
+        out = chunk_gradient(x, period=12).data
+        np.testing.assert_allclose(out[..., 12:], 0.0, atol=1e-12)
+
+    def test_gradient_flows(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 12)), requires_grad=True)
+        chunk_gradient(x, 4).sum().backward()
+        assert x.grad is not None
+
+
+class TestSpectrumGradientDecomposition:
+    def test_exact_reconstruction_invariant(self, tiny_series):
+        sgd = SpectrumGradientDecomposition(seq_len=48, num_scales=6)
+        res = sgd(Tensor(tiny_series))
+        np.testing.assert_allclose(res.regular.data + res.delta_1d.data,
+                                   tiny_series, rtol=1e-9)
+
+    def test_shapes(self, tiny_series):
+        sgd = SpectrumGradientDecomposition(seq_len=48, num_scales=6)
+        res = sgd(Tensor(tiny_series))
+        assert res.regular.shape == (2, 48, 3)
+        assert res.fluctuant.shape == (2, 3, 6, 48)
+        assert res.tf_distribution.shape == (2, 3, 6, 48)
+        assert res.delta_1d.shape == (2, 48, 3)
+
+    def test_period_override(self, tiny_series):
+        sgd = SpectrumGradientDecomposition(seq_len=48, num_scales=4)
+        res = sgd(Tensor(tiny_series), period=6)
+        assert res.period == 6
+
+    def test_fixed_period_configuration(self, tiny_series):
+        sgd = SpectrumGradientDecomposition(seq_len=48, num_scales=4, period=8)
+        assert sgd(Tensor(tiny_series)).period == 8
+
+    def test_wrong_length_raises(self, rng):
+        sgd = SpectrumGradientDecomposition(seq_len=48, num_scales=4)
+        with pytest.raises(ValueError):
+            sgd(Tensor(rng.standard_normal((1, 32, 2))))
+
+    def test_stationary_vs_modulated_fluctuation(self):
+        """The fluctuant part should be larger for amplitude-modulated series —
+        the defining behaviour of the spectrum gradient."""
+        t = np.arange(96)
+        stationary = np.sin(2 * np.pi * t / 12)
+        modulated = (1.0 + 0.8 * np.sin(2 * np.pi * t / 48)) * np.sin(2 * np.pi * t / 12)
+        sgd = SpectrumGradientDecomposition(seq_len=96, num_scales=8, period=12)
+        res_s = sgd(Tensor(stationary[None, :, None]))
+        res_m = sgd(Tensor(modulated[None, :, None]))
+        # Compare gradients beyond the first chunk (which is the raw spectrum).
+        tail_s = np.abs(res_s.fluctuant.data[..., 12:]).mean()
+        tail_m = np.abs(res_m.fluctuant.data[..., 12:]).mean()
+        assert tail_m > 2.0 * tail_s
+
+
+class TestTripleDecomposition:
+    def test_full_invariants(self, tiny_series):
+        td = TripleDecomposition(seq_len=48, num_scales=6)
+        res = td(Tensor(tiny_series))
+        np.testing.assert_allclose(res.trend.data + res.seasonal.data,
+                                   tiny_series, rtol=1e-9)
+        np.testing.assert_allclose(res.regular.data + res.delta_1d.data,
+                                   res.seasonal.data, rtol=1e-9)
+
+    def test_detected_period_recorded(self, tiny_series):
+        td = TripleDecomposition(seq_len=48, num_scales=6)
+        res = td(Tensor(tiny_series))
+        assert res.period in (12, 24)   # planted periods of the fixture
+
+    def test_decompose_array_entry_point(self):
+        x = np.sin(np.arange(64) / 4.0)
+        res = decompose_array(x, num_scales=4)
+        assert res.trend.shape == (1, 64, 1)
+        assert res.fluctuant.shape == (1, 1, 4, 64)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_reconstruction_property_random_series(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, 32, 2))
+        res = decompose_array(x, num_scales=4)
+        total = res.trend.data + res.regular.data + res.delta_1d.data
+        np.testing.assert_allclose(total, x, rtol=1e-8, atol=1e-8)
+
+    def test_differentiable_end_to_end(self, rng):
+        x = Tensor(rng.standard_normal((1, 24, 2)), requires_grad=True)
+        td = TripleDecomposition(seq_len=24, num_scales=4, period=6)
+        res = td(x)
+        (res.regular.sum() + res.fluctuant.sum() + res.trend.sum()).backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).max() > 0

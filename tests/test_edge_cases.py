@@ -1,0 +1,170 @@
+"""Edge cases and failure injection across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, concat, mse_loss
+from repro.baselines import build_model
+from repro.core import TS3Net, TS3NetConfig
+from repro.data import DataLoader, ForecastWindows, load_dataset
+from repro.optim import Adam, EarlyStopping
+from repro.spectral import CWTOperator
+from repro.decomposition import SpectrumGradientDecomposition
+
+
+class TestAutodiffEdges:
+    def test_zero_dim_tensor_ops(self):
+        a = Tensor(2.0, requires_grad=True)
+        out = (a.exp() * a).log()
+        out.backward()
+        assert np.isfinite(a.grad)
+
+    def test_single_element_reduction(self):
+        a = Tensor([[5.0]], requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [[1.0]])
+
+    def test_concat_single_tensor(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)))
+        out = concat([a], axis=0)
+        np.testing.assert_allclose(out.data, a.data)
+
+    def test_very_large_values_stable_softmax(self):
+        from repro.autodiff import softmax
+        out = softmax(Tensor([[1e6, 1e6 + 1]]))
+        assert np.isfinite(out.data).all()
+
+    def test_grad_through_long_concat_chain(self, rng):
+        a = Tensor(rng.standard_normal((1, 2)), requires_grad=True)
+        pieces = [a * float(i) for i in range(20)]
+        concat(pieces, axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((1, 2), sum(range(20))))
+
+
+class TestSpectralEdges:
+    def test_single_scale_operator(self, rng):
+        op = CWTOperator(seq_len=16, num_scales=1)
+        out = op.amplitude_array(rng.standard_normal(16))
+        assert out.shape == (1, 16)
+
+    def test_short_series(self, rng):
+        op = CWTOperator(seq_len=4, num_scales=2)
+        out = op.amplitude_array(rng.standard_normal((3, 4)))
+        assert out.shape == (3, 2, 4)
+        assert np.isfinite(out).all()
+
+    def test_sgd_with_period_one(self, rng):
+        sgd = SpectrumGradientDecomposition(seq_len=16, num_scales=2, period=1)
+        res = sgd(Tensor(rng.standard_normal((1, 16, 2))))
+        assert np.isfinite(res.regular.data).all()
+
+    def test_sgd_constant_input(self):
+        sgd = SpectrumGradientDecomposition(seq_len=16, num_scales=2)
+        res = sgd(Tensor(np.ones((1, 16, 1))))
+        assert np.isfinite(res.fluctuant.data).all()
+
+
+class TestModelEdges:
+    def test_single_channel_series(self, rng):
+        model = TS3Net(TS3NetConfig(seq_len=16, pred_len=4, c_in=1,
+                                    d_model=8, num_blocks=1, num_scales=4,
+                                    num_branches=1, d_ff=8, num_kernels=2))
+        out = model(Tensor(rng.standard_normal((2, 16, 1))))
+        assert out.shape == (2, 4, 1)
+
+    def test_batch_of_one(self, rng):
+        model = build_model("TS3Net", 16, 4, 2, num_scales=4)
+        out = model(Tensor(rng.standard_normal((1, 16, 2))))
+        assert out.shape == (1, 4, 2)
+
+    def test_horizon_longer_than_lookback(self, rng):
+        model = build_model("DLinear", seq_len=8, pred_len=32, c_in=2)
+        out = model(Tensor(rng.standard_normal((2, 8, 2))))
+        assert out.shape == (2, 32, 2)
+
+    def test_constant_input_finite_output(self):
+        model = build_model("TS3Net", 16, 4, 2, num_scales=4)
+        model.eval()
+        out = model(Tensor(np.full((1, 16, 2), 3.0)))
+        assert np.isfinite(out.data).all()
+
+    def test_extreme_scale_input(self, rng):
+        """Instance norm must keep huge-magnitude inputs stable."""
+        model = build_model("TS3Net", 16, 4, 2, num_scales=4)
+        model.eval()
+        out = model(Tensor(rng.standard_normal((1, 16, 2)) * 1e6))
+        assert np.isfinite(out.data).all()
+
+    def test_paper_preset_constructs(self):
+        """Table III-sized TS3Net (lambda=100) builds without error."""
+        model = build_model("TS3Net", seq_len=96, pred_len=96, c_in=7,
+                            preset="paper")
+        assert model.config.num_scales == 100
+        assert model.config.d_model == 32       # Table III rule for C=7
+        assert model.num_parameters() > 100_000
+
+
+class TestTrainingEdges:
+    def test_early_stopping_with_nan_losses(self):
+        """NaN validation losses must not crash the stopper."""
+        from repro.nn import Linear
+        stopper = EarlyStopping(patience=2)
+        model = Linear(2, 2)
+        stopper.update(float("nan"), model)
+        stopper.update(float("nan"), model)
+        assert stopper.counter >= 1  # NaN never improves
+
+    def test_optimizer_with_partial_grads(self, rng):
+        """Parameters untouched by the loss keep their values."""
+        from repro.nn import Linear, Module
+
+        class TwoHeads(Module):
+            def __init__(self):
+                super().__init__()
+                self.used = Linear(2, 2)
+                self.unused = Linear(2, 2)
+
+            def forward(self, x):
+                return self.used(x)
+
+        model = TwoHeads()
+        before = model.unused.weight.data.copy()
+        opt = Adam(model.parameters(), lr=0.1)
+        loss = mse_loss(model(Tensor(rng.standard_normal((4, 2)))),
+                        np.zeros((4, 2)))
+        loss.backward()
+        opt.step()
+        np.testing.assert_array_equal(model.unused.weight.data, before)
+
+    def test_loader_stride_larger_than_data_guard(self):
+        fw = ForecastWindows(np.zeros((30, 1)), 10, 5, stride=100)
+        assert len(fw) == 1
+
+    def test_dataset_min_length_guard(self):
+        with pytest.raises(ValueError):
+            load_dataset("ETTh1", n_steps=900).train[:0]  # fine
+            ForecastWindows(np.zeros((5, 1)), 48, 24)
+
+
+class TestNumericalStability:
+    def test_deep_ts3net_gradient_magnitude(self, rng):
+        """Two stacked blocks: gradients neither vanish nor explode."""
+        model = TS3Net(TS3NetConfig(seq_len=24, pred_len=8, c_in=2,
+                                    d_model=8, num_blocks=2, num_scales=4,
+                                    num_branches=1, d_ff=8, num_kernels=2,
+                                    dropout=0.0))
+        x = Tensor(rng.standard_normal((2, 24, 2)))
+        loss = mse_loss(model(x), rng.standard_normal((2, 8, 2)))
+        loss.backward()
+        norms = [np.abs(p.grad).max() for p in model.parameters()
+                 if p.grad is not None]
+        assert max(norms) < 1e4
+        assert max(norms) > 1e-12
+
+    def test_repeated_forward_no_state_leak(self, rng):
+        model = build_model("TS3Net", 16, 4, 2, num_scales=4)
+        model.eval()
+        x = Tensor(rng.standard_normal((1, 16, 2)))
+        out1 = model(x).data.copy()
+        out2 = model(x).data
+        np.testing.assert_allclose(out1, out2)

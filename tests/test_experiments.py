@@ -1,0 +1,222 @@
+"""Tests for the experiment harness: scales, result tables, runner, figures."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ResultTable, SCALES, format_table3, get_scale, run_forecast_cell,
+    run_imputation_cell,
+)
+from repro.experiments import table2
+from repro.experiments.configs import Scale
+from repro.experiments.plotting import ascii_heatmap, ascii_lineplot, save_csv
+
+
+# A micro scale so runner tests finish in ~a second per cell.
+SCALES.setdefault("micro", Scale(
+    name="micro", n_steps=400, seq_len=24, pred_lens=(8,), ili_seq_len=24,
+    ili_pred_lens=(8,), epochs=1, batch_size=8, max_train_batches=2,
+    max_eval_batches=1, preset="tiny", lr=2e-3, num_scales=4))
+
+
+class TestScales:
+    def test_known_scales(self):
+        for name in ("tiny", "small", "paper"):
+            assert get_scale(name).name == name
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_paper_scale_matches_table3(self):
+        sc = get_scale("paper")
+        assert sc.seq_len == 96
+        assert sc.pred_lens == (96, 192, 336, 720)
+        assert sc.ili_pred_lens == (24, 36, 48, 60)
+        assert sc.num_scales == 100
+        assert sc.epochs == 10
+
+    def test_ili_windows(self):
+        sc = get_scale("paper")
+        seq, preds = sc.windows_for("ILI")
+        assert seq == 36 and preds == (24, 36, 48, 60)
+        seq, preds = sc.windows_for("ETTh1")
+        assert seq == 96
+
+    def test_paper_steps_from_split_sizes(self):
+        sc = get_scale("paper")
+        assert sc.steps_for("ETTh1") == 8545 + 2881 + 2881
+
+    def test_table3_renders(self):
+        text = format_table3()
+        assert "Imputation" in text and "100" in text
+
+
+class TestResultTable:
+    def make(self):
+        t = ResultTable("demo")
+        t.add("ETTh1", 96, "A", {"mse": 0.5, "mae": 0.4})
+        t.add("ETTh1", 96, "B", {"mse": 0.3, "mae": 0.6})
+        t.add("ETTh1", 192, "A", {"mse": 0.7, "mae": 0.5})
+        t.add("ETTh1", 192, "B", {"mse": 0.9, "mae": 0.8})
+        return t
+
+    def test_get(self):
+        t = self.make()
+        assert t.get("ETTh1", 96, "A")["mse"] == 0.5
+
+    def test_winners_per_metric(self):
+        t = self.make()
+        assert t.winners(("ETTh1", 96), "mse") == "B"
+        assert t.winners(("ETTh1", 96), "mae") == "A"
+
+    def test_first_place_counts(self):
+        t = self.make()
+        counts = t.first_place_counts()
+        assert counts["A"] == 3 and counts["B"] == 1
+
+    def test_average_row(self):
+        t = self.make()
+        avg = t.average_row("ETTh1")
+        assert avg["A"]["mse"] == pytest.approx(0.6)
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "demo" in text and "Avg" in text and "1st Count" in text
+
+    def test_missing_cells_render_dash(self):
+        t = self.make()
+        t.add("ETTh2", 96, "A", {"mse": 1.0, "mae": 1.0})
+        assert "-" in t.render()
+
+    def test_json_roundtrip(self, tmp_path):
+        t = self.make()
+        path = tmp_path / "results.json"
+        t.save_json(str(path))
+        loaded = ResultTable.from_dict(json.loads(path.read_text()))
+        assert loaded.get("ETTh1", 96, "B")["mae"] == 0.6
+        assert loaded.models == t.models
+
+
+class TestRunnerCells:
+    def test_forecast_cell(self):
+        out = run_forecast_cell("DLinear", "ETTh1", 8, scale="micro")
+        assert np.isfinite(out["mse"]) and np.isfinite(out["mae"])
+
+    def test_forecast_cell_with_noise(self):
+        out = run_forecast_cell("DLinear", "ETTh1", 8, scale="micro",
+                                noise_rho=0.05)
+        assert np.isfinite(out["mse"])
+
+    def test_forecast_cell_with_override(self):
+        out = run_forecast_cell("TS3Net", "ETTh1", 8, scale="micro",
+                                model_overrides={"num_scales": 3})
+        assert np.isfinite(out["mse"])
+
+    def test_imputation_cell(self):
+        out = run_imputation_cell("DLinear", "ETTm1", 0.25, scale="micro")
+        assert np.isfinite(out["mse"])
+
+    def test_cells_deterministic(self):
+        a = run_forecast_cell("DLinear", "ETTh2", 8, scale="micro", seed=4)
+        b = run_forecast_cell("DLinear", "ETTh2", 8, scale="micro", seed=4)
+        assert a["mse"] == pytest.approx(b["mse"], rel=1e-9)
+
+    def test_table2_describes_all(self):
+        text = table2.describe("micro")
+        for name in ("ETTm1", "Traffic", "ILI"):
+            assert name in text
+
+
+class TestTableModules:
+    def test_table4_slice(self):
+        from repro.experiments import table4
+        t = table4.run(scale="micro", datasets=["ETTh1"], pred_lens=[8],
+                       models=["DLinear", "LightTS"])
+        assert t.get("ETTh1", 8, "DLinear")["mse"] >= 0
+        assert len(t.models) == 2
+
+    def test_table5_slice(self):
+        from repro.experiments import table5
+        t = table5.run(scale="micro", datasets=["ETTm1"], mask_ratios=[0.25],
+                       models=["DLinear"])
+        assert len(t.models) == 1
+
+    def test_table6_slice(self):
+        from repro.experiments import table6
+        t = table6.run(scale="micro", datasets=["Exchange"], pred_lens=[8])
+        assert set(t.models) == {"w/o TD", "w/o TF-Block", "w/o Both", "TS3Net"}
+
+    def test_table7_slice(self):
+        from repro.experiments import table7
+        t = table7.run(scale="micro", datasets=["ETTm2"], pred_lens=[8])
+        assert "TSD-CNN" in t.models and "TS3Net" in t.models
+
+    def test_table8_slice(self):
+        from repro.experiments import table8
+        t = table8.run(scale="micro", datasets=["ETTh1"], pred_lens=[8],
+                       noise_ratios=[0.0, 0.05])
+        assert "rho=0%" in t.models and "rho=5%" in t.models
+
+    def test_table9_slice(self):
+        from repro.experiments import table9
+        t = table9.run(scale="micro", datasets=["ETTh1"], pred_lens=[8],
+                       lambdas=[3, 5])
+        assert "lambda=3" in t.models
+
+
+class TestPlotting:
+    def test_lineplot_renders(self, rng):
+        text = ascii_lineplot({"alpha": rng.standard_normal(50),
+                               "beta": rng.standard_normal(50)})
+        assert "alpha" in text and "\n" in text
+
+    def test_lineplot_constant_series(self):
+        text = ascii_lineplot({"c": np.ones(10)})
+        assert "c = c" in text
+
+    def test_heatmap_renders(self, rng):
+        text = ascii_heatmap(rng.random((20, 40)), label="demo")
+        assert "demo" in text
+
+    def test_save_csv(self, tmp_path, rng):
+        path = tmp_path / "out.csv"
+        save_csv(str(path), {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert len(lines) == 3
+
+
+class TestFigures:
+    def test_figure5_panels(self):
+        from repro.experiments.figures import figure5
+        fig = figure5(dataset="ETTh1", scale="micro", window_len=96,
+                      num_scales=4)
+        assert fig.tf_distribution.shape[0] == 4
+        # The window is clamped to the test split's length at micro scale.
+        assert 0 < len(fig.original) <= 96
+        assert fig.tf_distribution.shape[1] == len(fig.original)
+        rendered = fig.render()
+        assert "TF distribution" in rendered and "Spectrum gradient" in rendered
+
+    def test_figure5_reconstruction(self):
+        from repro.experiments.figures import figure5
+        fig = figure5(dataset="ETTh2", scale="micro", window_len=64,
+                      num_scales=4)
+        total = fig.trend + fig.regular + fig.fluctuant_1d
+        np.testing.assert_allclose(total, fig.original, rtol=1e-7, atol=1e-7)
+
+    def test_figure3_showcase(self):
+        from repro.experiments.figures import figure3
+        result = figure3(scale="micro")
+        assert result.prediction.shape == result.truth.shape
+        assert "Electricity" in result.render()
+
+    def test_figure4_showcase_csv(self, tmp_path):
+        from repro.experiments.figures import figure4
+        path = tmp_path / "fig4.csv"
+        result = figure4(scale="micro", channel=0, csv_path=str(path))
+        assert path.exists()
+        assert result.dataset == "ETTm2"

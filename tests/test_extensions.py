@@ -1,0 +1,145 @@
+"""Tests for beyond-paper extensions: encode API, top-k S-GD, anomaly task,
+and the extended sensitivity sweeps."""
+
+import numpy as np
+import pytest
+
+from repro import TS3Net, TS3NetConfig, Tensor, set_seed
+from repro.baselines import build_model
+from repro.tasks import AnomalyResult, detect_anomalies, score_series
+
+
+def tiny_model(**overrides):
+    base = dict(seq_len=32, pred_len=8, c_in=3, d_model=8, num_blocks=1,
+                num_scales=4, num_branches=1, d_ff=8, num_kernels=2,
+                dropout=0.0)
+    base.update(overrides)
+    return TS3Net(TS3NetConfig(**base))
+
+
+class TestEncodeAPI:
+    def test_shape(self, rng):
+        model = tiny_model()
+        feats = model.encode(Tensor(rng.standard_normal((2, 32, 3))))
+        assert feats.shape == (2, 32, 8)
+
+    def test_encode_without_td(self, rng):
+        model = tiny_model(use_td=False)
+        feats = model.encode(Tensor(rng.standard_normal((2, 32, 3))))
+        assert feats.shape == (2, 32, 8)
+
+    def test_features_distinguish_inputs(self, rng):
+        model = tiny_model()
+        model.eval()
+        a = model.encode(Tensor(rng.standard_normal((1, 32, 3)))).data
+        b = model.encode(Tensor(rng.standard_normal((1, 32, 3)))).data
+        assert not np.allclose(a, b)
+
+    def test_encode_is_differentiable(self, rng):
+        model = tiny_model()
+        x = Tensor(rng.standard_normal((1, 32, 3)), requires_grad=True)
+        model.encode(x).sum().backward()
+        assert x.grad is not None
+
+
+class TestTopKPeriods:
+    def test_forward_with_topk(self, rng):
+        model = tiny_model(top_k_periods=3)
+        out = model(Tensor(rng.standard_normal((2, 32, 3))))
+        assert out.shape == (2, 8, 3)
+
+    def test_topk_changes_output(self, rng):
+        x = rng.standard_normal((1, 32, 3))
+        set_seed(3)
+        m1 = tiny_model(top_k_periods=1)
+        m1.eval()
+        set_seed(3)
+        m3 = tiny_model(top_k_periods=3)
+        m3.eval()
+        a = m1(Tensor(x)).data
+        b = m3(Tensor(x)).data
+        assert not np.allclose(a, b)
+
+    def test_topk_gradients_flow(self, rng):
+        model = tiny_model(top_k_periods=2)
+        out = model(Tensor(rng.standard_normal((1, 32, 3))))
+        out.sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestAnomalyTask:
+    @pytest.fixture
+    def scored_setup(self, rng):
+        data = np.sin(np.arange(200) / 5.0)[:, None] * np.ones((1, 3))
+        data = data + 0.05 * rng.standard_normal((200, 3))
+        # Plant a large spike anomaly.
+        data[120:123] += 6.0
+        model = build_model("DLinear", seq_len=40, pred_len=40, c_in=3,
+                            task="imputation")
+        return model, data
+
+    def test_score_shape_and_coverage(self, scored_setup):
+        model, data = scored_setup
+        scores = score_series(model, data, seq_len=40, stride=20)
+        assert scores.shape == (200,)
+        assert (scores >= 0).all()
+
+    def test_detect_returns_result(self, scored_setup):
+        model, data = scored_setup
+        result = detect_anomalies(model, data, seq_len=40, anomaly_ratio=0.05)
+        assert isinstance(result, AnomalyResult)
+        assert result.detections.shape == (200,)
+        assert 0.0 <= result.detection_rate() <= 0.2
+
+    def test_invalid_ratio(self, scored_setup):
+        model, data = scored_setup
+        with pytest.raises(ValueError):
+            detect_anomalies(model, data, seq_len=40, anomaly_ratio=1.5)
+
+    def test_trained_model_flags_planted_spike(self, rng):
+        """After training on clean data, the spike region scores highest."""
+        from repro.data.dataset import SplitData, StandardScaler
+        from repro.tasks import ImputationTask, TrainConfig, run_imputation
+
+        t = np.arange(600)
+        clean = np.sin(2 * np.pi * t / 20)[:, None] * np.ones((1, 3))
+        clean = clean + 0.05 * rng.standard_normal((600, 3))
+        scaler = StandardScaler().fit(clean[:400])
+        split = SplitData(train=scaler.transform(clean[:400]),
+                          val=scaler.transform(clean[400:500]),
+                          test=scaler.transform(clean[500:]),
+                          scaler=scaler, name="clean")
+        set_seed(0)
+        model = build_model("DLinear", seq_len=40, pred_len=40, c_in=3,
+                            task="imputation")
+        run_imputation(model, split, ImputationTask(
+            seq_len=40, mask_ratio=0.25, batch_size=8, max_train_batches=10,
+            max_eval_batches=2), TrainConfig(epochs=2, lr=5e-3))
+
+        test = split.test.copy()
+        test[40:43] += 8.0                      # inject the anomaly
+        scores = score_series(model, test, seq_len=40, stride=10)
+        spike_score = scores[40:43].mean()
+        normal_score = np.concatenate([scores[:30], scores[60:]]).mean()
+        assert spike_score > 2.0 * normal_score
+
+
+class TestSensitivityModule:
+    def test_unknown_knob(self):
+        from repro.experiments import sensitivity
+        with pytest.raises(KeyError):
+            sensitivity.run("learning_rate_warmup", scale="micro")
+
+    def test_num_branches_sweep(self):
+        from repro.experiments import sensitivity
+        table = sensitivity.run("num_branches", scale="micro",
+                                datasets=["ETTh1"], pred_lens=[8],
+                                values=[1, 2])
+        assert "num_branches=1" in table.models
+        assert "num_branches=2" in table.models
+
+    def test_first_chunk_zero_sweep(self):
+        from repro.experiments import sensitivity
+        table = sensitivity.run("first_chunk_zero", scale="micro",
+                                datasets=["Exchange"], pred_lens=[8])
+        assert len(table.models) == 2

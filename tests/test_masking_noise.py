@@ -1,0 +1,113 @@
+"""Tests for imputation masking and robustness noise injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    MASK_RATIOS, NOISE_RATIOS, apply_mask, inject_noise, mask_batch,
+    random_mask,
+)
+
+
+class TestRandomMask:
+    def test_ratio_approximate(self):
+        rng = np.random.default_rng(0)
+        mask = random_mask((100, 100), 0.25, rng)
+        assert abs(mask.mean() - 0.25) < 0.02
+
+    def test_zero_ratio_empty(self):
+        mask = random_mask((50, 50), 0.0, np.random.default_rng(0))
+        assert not mask.any()
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            random_mask((5,), 1.5)
+        with pytest.raises(ValueError):
+            random_mask((5,), -0.1)
+
+    def test_paper_ratios_constant(self):
+        assert MASK_RATIOS == (0.125, 0.25, 0.375, 0.5)
+
+
+class TestApplyMask:
+    def test_masked_positions_filled(self, rng):
+        x = rng.standard_normal((10, 3)) + 10
+        mask = random_mask(x.shape, 0.5, rng)
+        out = apply_mask(x, mask)
+        assert (out[mask] == 0).all()
+        np.testing.assert_allclose(out[~mask], x[~mask])
+
+    def test_original_untouched(self, rng):
+        x = np.ones((5, 2))
+        apply_mask(x, np.ones((5, 2), dtype=bool))
+        assert (x == 1).all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_mask(np.zeros((2, 2)), np.zeros((3, 3), dtype=bool))
+
+
+class TestMaskBatch:
+    def test_zero_fill(self, rng):
+        x = rng.standard_normal((4, 20, 3)) + 5
+        masked, mask = mask_batch(x, 0.3, rng, fill="zero")
+        assert (masked[mask] == 0).all()
+
+    def test_mean_fill_uses_observed_mean(self, rng):
+        x = rng.standard_normal((2, 50, 3)) + 5
+        masked, mask = mask_batch(x, 0.3, rng, fill="mean")
+        for b in range(2):
+            for c in range(3):
+                obs = x[b, ~mask[b, :, c], c]
+                filled_vals = masked[b, mask[b, :, c], c]
+                if filled_vals.size:
+                    np.testing.assert_allclose(filled_vals, obs.mean(),
+                                               rtol=1e-9)
+
+    def test_unknown_fill(self, rng):
+        with pytest.raises(ValueError):
+            mask_batch(np.zeros((1, 4, 1)), 0.2, rng, fill="interp")
+
+    def test_observed_values_preserved(self, rng):
+        x = rng.standard_normal((2, 10, 2))
+        masked, mask = mask_batch(x, 0.4, rng, fill="mean")
+        np.testing.assert_allclose(masked[~mask], x[~mask])
+
+
+class TestNoiseInjection:
+    def test_zero_rho_identity(self, rng):
+        x = rng.standard_normal((20, 3))
+        out = inject_noise(x, 0.0, rng)
+        np.testing.assert_array_equal(out, x)
+        assert out is not x  # copy, not alias
+
+    def test_fraction_perturbed(self, rng):
+        x = rng.standard_normal((200, 50))
+        out = inject_noise(x, 0.10, np.random.default_rng(1))
+        changed = (out != x).mean()
+        assert abs(changed - 0.10) < 0.02
+
+    def test_noise_scales_with_channel_std(self):
+        rng = np.random.default_rng(0)
+        x = np.stack([rng.standard_normal(5000) * 0.1,
+                      rng.standard_normal(5000) * 10.0], axis=1)
+        out = inject_noise(x, 1.0, np.random.default_rng(2))
+        dev = out - x
+        assert dev[:, 1].std() > 10 * dev[:, 0].std()
+
+    def test_invalid_rho(self, rng):
+        with pytest.raises(ValueError):
+            inject_noise(np.zeros((4, 2)), 1.5, rng)
+
+    def test_paper_ratios_constant(self):
+        assert NOISE_RATIOS == (0.0, 0.01, 0.05, 0.10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=0.0, max_value=0.9, allow_nan=False, width=64))
+def test_mask_ratio_property(ratio):
+    rng = np.random.default_rng(11)
+    mask = random_mask((64, 64), ratio, rng)
+    assert abs(mask.mean() - ratio) < 0.08

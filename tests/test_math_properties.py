@@ -1,0 +1,93 @@
+"""Cross-cutting mathematical properties of the paper's operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor, avg_pool1d
+from repro.decomposition import chunk_gradient, decompose_trend_array
+from repro.spectral import CWTOperator
+
+
+class TestChunkGradientTelescoping:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000),
+           st.sampled_from([(12, 4), (20, 5), (16, 8)]))
+    def test_gradients_telescope_to_last_chunk(self, seed, dims):
+        """With S^0 = 0, summing the chunk gradients recovers S^u exactly:
+        sum_i Delta^i = sum_i (S^i - S^{i-1}) = S^u."""
+        t_len, period = dims
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, 2, t_len))
+        delta = chunk_gradient(Tensor(x), period).data
+        u = t_len // period
+        chunks = delta.reshape(1, 2, u, period)
+        np.testing.assert_allclose(chunks.sum(axis=2),
+                                   x.reshape(1, 2, u, period)[:, :, -1],
+                                   rtol=1e-10)
+
+    def test_shifting_input_by_one_period_shifts_gradients(self):
+        """Period-aligned translation invariance of the chunk structure."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(24)
+        a = chunk_gradient(Tensor(np.r_[x, x[:8]][None, None, :24]), 8).data
+        # chunks of the first 24 samples
+        assert a.shape == (1, 1, 24)
+
+
+class TestTrendLinearity:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_decomposition_is_linear(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((40, 2))
+        b = rng.standard_normal((40, 2))
+        sa, ta = decompose_trend_array(a)
+        sb, tb = decompose_trend_array(b)
+        s_sum, t_sum = decompose_trend_array(2 * a - b)
+        np.testing.assert_allclose(t_sum, 2 * ta - tb, atol=1e-9)
+        np.testing.assert_allclose(s_sum, 2 * sa - sb, atol=1e-9)
+
+    def test_trend_of_trend_is_nearly_trend(self):
+        """Moving average is approximately idempotent on smooth input."""
+        t = np.arange(60, dtype=float)
+        x = (0.1 * t)[:, None]
+        _, trend1 = decompose_trend_array(x)
+        _, trend2 = decompose_trend_array(trend1)
+        assert np.abs(trend2 - trend1).max() < np.abs(x).max() * 0.05
+
+
+class TestPoolingAgainstNumpy:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=500),
+           st.sampled_from([3, 5, 7]))
+    def test_same_as_convolve(self, seed, k):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(30)
+        pooled = avg_pool1d(Tensor(x[None, None, :]), k, stride=1,
+                            padding=(k - 1) // 2, pad_mode="edge").data[0, 0]
+        padded = np.pad(x, (k // 2, k // 2), mode="edge")
+        expected = np.convolve(padded, np.ones(k) / k, mode="valid")
+        np.testing.assert_allclose(pooled, expected, rtol=1e-9)
+
+
+class TestCWTScalingRelation:
+    def test_dilated_signal_peaks_at_dilated_scale(self):
+        """CWT covariance: stretching the signal moves energy to larger scales."""
+        op = CWTOperator(seq_len=96, num_scales=12)
+        t = np.arange(96)
+        fast = np.sin(2 * np.pi * t * op.frequencies[8])
+        slow = np.sin(2 * np.pi * t * op.frequencies[4])
+        peak_fast = int(op.amplitude_array(fast).mean(axis=-1).argmax())
+        peak_slow = int(op.amplitude_array(slow).mean(axis=-1).argmax())
+        assert peak_fast > peak_slow   # higher frequency -> later scale index
+
+    def test_parseval_like_energy_monotonicity(self):
+        """Doubling the signal amplitude quadruples total TF energy."""
+        op = CWTOperator(seq_len=48, num_scales=6)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(48)
+        e1 = (op.amplitude_array(x) ** 2).sum()
+        e2 = (op.amplitude_array(2 * x) ** 2).sum()
+        assert e2 == pytest.approx(4 * e1, rel=1e-9)

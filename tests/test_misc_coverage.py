@@ -1,0 +1,53 @@
+"""Remaining small-surface coverage: plotting edges, tensor copy semantics."""
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.experiments.plotting import ascii_heatmap, ascii_lineplot, save_csv
+
+
+class TestTensorCopySemantics:
+    def test_copy_is_independent(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = a.copy()
+        b.data[0] = 99.0
+        assert a.data[0] == 1.0
+        assert b.requires_grad
+
+    def test_detach_shares_data(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = a.detach()
+        b.data[0] = 7.0
+        assert a.data[0] == 7.0      # view semantics, like torch.detach
+        assert not b.requires_grad
+
+    def test_numpy_returns_underlying(self):
+        a = Tensor(np.arange(3.0))
+        assert a.numpy() is a.data
+
+
+class TestPlottingEdges:
+    def test_heatmap_constant_matrix(self):
+        text = ascii_heatmap(np.zeros((5, 5)), label="flat")
+        assert "flat" in text
+
+    def test_heatmap_small_matrix_upscales(self):
+        text = ascii_heatmap(np.eye(2), width=10, height=4)
+        assert len(text.splitlines()) == 4
+
+    def test_lineplot_short_series(self):
+        text = ascii_lineplot({"s": np.array([1.0, 2.0])}, width=20, height=5)
+        assert "s = s" in text
+
+    def test_save_csv_unequal_lengths(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        save_csv(str(path), {"long": [1.0, 2.0, 3.0], "short": [9.0]})
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "long,short"
+        assert len(lines) == 4
+        assert lines[2].endswith(",")   # padded empty cell
+
+    def test_save_csv_2d_column_flattened(self, tmp_path):
+        path = tmp_path / "flat.csv"
+        save_csv(str(path), {"m": np.ones((2, 2))})
+        assert len(path.read_text().strip().splitlines()) == 5

@@ -1,0 +1,123 @@
+"""Tests for attention mechanisms and the Transformer encoder."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import (
+    AutoCorrelation, EncoderLayer, FeedForward, MultiHeadAttention,
+    ProbSparseAttention, TransformerEncoder, scaled_dot_attention,
+)
+from repro.nn.attention import _roll
+
+
+class TestScaledDotAttention:
+    def test_output_shape(self, rng):
+        q = Tensor(rng.standard_normal((2, 4, 6, 8)))
+        out = scaled_dot_attention(q, q, q)
+        assert out.shape == (2, 4, 6, 8)
+
+    def test_uniform_attention_averages_values(self):
+        # Identical keys -> uniform weights -> output = mean of values.
+        q = Tensor(np.ones((1, 1, 3, 2)))
+        k = Tensor(np.ones((1, 1, 3, 2)))
+        v = Tensor(np.arange(6, dtype=float).reshape(1, 1, 3, 2))
+        out = scaled_dot_attention(q, k, v)
+        np.testing.assert_allclose(out.data[0, 0, 0], v.data[0, 0].mean(axis=0))
+
+    def test_tau_delta_accepted(self, rng):
+        q = Tensor(rng.standard_normal((1, 2, 4, 4)))
+        tau = Tensor(np.full((1, 1, 1, 1), 2.0))
+        delta = Tensor(np.zeros((1, 1, 1, 1)))
+        out = scaled_dot_attention(q, q, q, tau=tau, delta=delta)
+        assert out.shape == q.shape
+
+
+class TestMultiHeadAttention:
+    def test_shape(self, rng):
+        mha = MultiHeadAttention(16, 4)
+        x = Tensor(rng.standard_normal((2, 10, 16)))
+        assert mha(x).shape == (2, 10, 16)
+
+    def test_head_divisibility_check(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3)
+
+    def test_cross_attention(self, rng):
+        mha = MultiHeadAttention(8, 2)
+        q = Tensor(rng.standard_normal((1, 5, 8)))
+        kv = Tensor(rng.standard_normal((1, 9, 8)))
+        assert mha(q, kv, kv).shape == (1, 5, 8)
+
+    def test_gradients_reach_all_projections(self, rng):
+        mha = MultiHeadAttention(8, 2, dropout=0.0)
+        x = Tensor(rng.standard_normal((2, 6, 8)), requires_grad=True)
+        mha(x).sum().backward()
+        for name, p in mha.named_parameters():
+            assert p.grad is not None, name
+
+
+class TestProbSparse:
+    def test_shape(self, rng):
+        attn = ProbSparseAttention(8, 2, factor=2)
+        x = Tensor(rng.standard_normal((2, 12, 8)))
+        assert attn(x).shape == (2, 12, 8)
+
+    def test_gradients_flow(self, rng):
+        attn = ProbSparseAttention(8, 2, factor=1, dropout=0.0)
+        x = Tensor(rng.standard_normal((1, 10, 8)), requires_grad=True)
+        attn(x).sum().backward()
+        assert x.grad is not None
+
+
+class TestAutoCorrelation:
+    def test_shape(self, rng):
+        ac = AutoCorrelation(8, 2)
+        x = Tensor(rng.standard_normal((2, 16, 8)))
+        assert ac(x).shape == (2, 16, 8)
+
+    def test_gradients_reach_q_and_k(self, rng):
+        ac = AutoCorrelation(8, 2, dropout=0.0)
+        x = Tensor(rng.standard_normal((1, 12, 8)), requires_grad=True)
+        ac(x).sum().backward()
+        names = dict(ac.named_parameters())
+        assert names["w_q.weight"].grad is not None
+        assert names["w_k.weight"].grad is not None
+        assert names["w_v.weight"].grad is not None
+
+    def test_periodic_signal_finds_period_lag(self, rng):
+        # Strongly periodic input: top lag should be a multiple of the period.
+        t = np.arange(24)
+        x = np.sin(2 * np.pi * t / 8)[None, :, None] * np.ones((1, 1, 8))
+        ac = AutoCorrelation(8, 1, factor=1, dropout=0.0)
+        ac(Tensor(x))  # exercises the FFT lag selection without error
+
+    def test_roll_is_circular(self, rng):
+        x = Tensor(rng.standard_normal((1, 6, 2)))
+        rolled = _roll(x, -2)
+        np.testing.assert_allclose(rolled.data, np.roll(x.data, -2, axis=1))
+        assert _roll(x, 0) is x
+
+
+class TestTransformerEncoder:
+    def test_stack_shape(self, rng):
+        enc = TransformerEncoder(8, 2, num_layers=3, dropout=0.0)
+        x = Tensor(rng.standard_normal((2, 7, 8)))
+        assert enc(x).shape == (2, 7, 8)
+
+    def test_feedforward_default_width(self):
+        ff = FeedForward(8)
+        assert ff.net.layers[0].out_features == 32
+
+    def test_encoder_layer_residual_structure(self, rng):
+        layer = EncoderLayer(8, 2, dropout=0.0)
+        x = Tensor(rng.standard_normal((1, 5, 8)), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+
+    def test_custom_attention_factory(self, rng):
+        enc = TransformerEncoder(
+            8, 2, num_layers=2, dropout=0.0,
+            attention_factory=lambda: ProbSparseAttention(8, 2))
+        x = Tensor(rng.standard_normal((1, 9, 8)))
+        assert enc(x).shape == (1, 9, 8)

@@ -1,0 +1,123 @@
+"""Tests for the Module/Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import Linear, Module, ModuleList, Parameter, Sequential, ReLU
+
+
+class Net(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8)
+        self.fc2 = Linear(8, 2)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x)) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_collected(self):
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "fc1.weight" in names and "fc2.bias" in names and "scale" in names
+
+    def test_num_parameters(self):
+        net = Net()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2 + 1
+
+    def test_modules_walk(self):
+        net = Net()
+        kinds = [type(m).__name__ for m in net.modules()]
+        assert kinds.count("Linear") == 2
+
+    def test_parameter_always_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad
+
+    def test_register_parameter(self):
+        net = Net()
+        net.register_parameter("extra", Parameter(np.zeros(2)))
+        assert "extra" in dict(net.named_parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Net(), Net()
+        b.load_state_dict(a.state_dict())
+        for (n1, p1), (n2, p2) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(p1.data, p2.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = Net()
+        state = net.state_dict()
+        state["scale"][:] = 99.0
+        assert net.scale.data[0] != 99.0
+
+    def test_missing_key_raises(self):
+        net = Net()
+        state = net.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        net = Net()
+        net.eval()
+        assert not net.fc1.training
+        net.train()
+        assert net.fc2.training
+
+    def test_zero_grad_clears(self):
+        net = Net()
+        out = net(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert net.fc1.weight.grad is not None
+        net.zero_grad()
+        assert net.fc1.weight.grad is None
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestContainers:
+    def test_sequential_chains(self):
+        seq = Sequential(Linear(3, 5), ReLU(), Linear(5, 2))
+        out = seq(Tensor(np.ones((4, 3))))
+        assert out.shape == (4, 2)
+        assert len(seq) == 3
+        assert len(list(iter(seq))) == 3
+
+    def test_sequential_registers_params(self):
+        seq = Sequential(Linear(3, 5), Linear(5, 2))
+        assert len(seq.parameters()) == 4
+
+    def test_modulelist_registration_and_access(self):
+        ml = ModuleList([Linear(2, 2) for _ in range(3)])
+        assert len(ml) == 3
+        assert isinstance(ml[1], Linear)
+        assert len(ml.parameters()) == 6
+        ml.append(Linear(2, 2))
+        assert len(ml) == 4
+
+    def test_modulelist_not_callable(self):
+        with pytest.raises(RuntimeError):
+            ModuleList([])(1)

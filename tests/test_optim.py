@@ -1,0 +1,167 @@
+"""Tests for optimisers, schedulers, gradient clipping, and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import Linear, Module, Parameter
+from repro.optim import (
+    Adam, CosineDecay, EarlyStopping, ExponentialDecay, SGD, clip_grad_norm,
+)
+
+
+def quadratic_loss(p: Parameter) -> Tensor:
+    target = Tensor(np.array([3.0, -2.0]))
+    diff = p - target
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(2))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0, -2.0], atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def loss_after(momentum, steps=15):
+            p = Parameter(np.zeros(2))
+            opt = SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(steps):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return float(quadratic_loss(p).data)
+
+        assert loss_after(0.9) < loss_after(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert abs(p.data[0]) < 10.0
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.5)
+        opt.step()  # no grad — must not crash or move
+        np.testing.assert_allclose(p.data, [1.0, 1.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0, -2.0], atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction, |first update| == lr regardless of grad scale.
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.01)
+        opt.zero_grad()
+        (p * 1000.0).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(abs(p.data[0]), 0.01, rtol=1e-6)
+
+    def test_trains_a_linear_model(self, rng):
+        layer = Linear(3, 1)
+        x = rng.standard_normal((64, 3))
+        true_w = np.array([[1.0], [-2.0], [0.5]])
+        y = x @ true_w
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(150):
+            opt.zero_grad()
+            pred = layer(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=0.05)
+
+
+class TestClipGradNorm:
+    def test_reports_and_clips(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 3.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(6.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1])
+
+
+class TestSchedulers:
+    def test_exponential_decay(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=1.0)
+        sched = ExponentialDecay(opt, gamma=0.5)
+        sched.step()
+        assert opt.lr == 0.5
+        sched.step()
+        assert opt.lr == 0.25
+
+    def test_cosine_reaches_min(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=1.0)
+        sched = CosineDecay(opt, total_epochs=4, min_lr=0.1)
+        for _ in range(4):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+
+class _TinyModel(Module):
+    def __init__(self, value=0.0):
+        super().__init__()
+        self.p = Parameter(np.array([value]))
+
+    def forward(self, x):
+        return self.p
+
+
+class TestEarlyStopping:
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2)
+        m = _TinyModel()
+        assert stopper.update(1.0, m)
+        assert not stopper.update(1.5, m)
+        assert stopper.update(0.5, m)
+        assert stopper.counter == 0
+        assert not stopper.should_stop
+
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        m = _TinyModel()
+        stopper.update(1.0, m)
+        stopper.update(1.1, m)
+        stopper.update(1.2, m)
+        assert stopper.should_stop
+
+    def test_restore_best_weights(self):
+        stopper = EarlyStopping(patience=3)
+        m = _TinyModel(1.0)
+        stopper.update(0.5, m)          # best snapshot at p=1.0
+        m.p.data[:] = 99.0
+        stopper.update(0.9, m)          # worse — snapshot unchanged
+        stopper.restore_best(m)
+        assert m.p.data[0] == 1.0
+
+    def test_restore_without_update_is_noop(self):
+        m = _TinyModel(7.0)
+        EarlyStopping().restore_best(m)
+        assert m.p.data[0] == 7.0

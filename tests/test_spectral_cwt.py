@@ -1,0 +1,113 @@
+"""Tests for the CWT operator: scales, localisation, inverse, differentiability."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+from repro.spectral import CWTOperator, make_scales
+
+
+class TestScales:
+    def test_eq6_formula(self):
+        s = make_scales(8)
+        np.testing.assert_allclose(s, [2 * 8 / i for i in range(1, 9)])
+
+    def test_descending(self):
+        s = make_scales(16)
+        assert (np.diff(s) < 0).all()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            make_scales(0)
+
+
+@pytest.fixture(scope="module")
+def op():
+    return CWTOperator(seq_len=64, num_scales=8)
+
+
+class TestForward:
+    def test_shapes(self, op, rng):
+        x = rng.standard_normal((3, 64))
+        assert op.transform_array(x).shape == (3, 8, 64)
+        assert op.amplitude_array(x).shape == (3, 8, 64)
+
+    def test_frequency_localisation(self, op):
+        # A pure sinusoid's energy should peak at the nearest analysed scale.
+        t = np.arange(64)
+        target_f = op.frequencies[4]
+        x = np.sin(2 * np.pi * target_f * t)
+        profile = op.amplitude_array(x).mean(axis=-1)
+        assert abs(int(np.argmax(profile)) - 4) <= 1
+
+    def test_linearity(self, op, rng):
+        a = rng.standard_normal(64)
+        b = rng.standard_normal(64)
+        lhs = op.transform_array(2 * a + 3 * b)
+        rhs = 2 * op.transform_array(a) + 3 * op.transform_array(b)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9)
+
+    def test_amplitude_nonnegative(self, op, rng):
+        assert (op.amplitude_array(rng.standard_normal(64)) >= 0).all()
+
+    def test_zero_input_zero_output(self, op):
+        np.testing.assert_allclose(op.transform_array(np.zeros(64)), 0.0)
+
+
+class TestInverse:
+    def test_reconstruction_of_bandlimited_signal(self, op):
+        t = np.arange(64)
+        x = (np.sin(2 * np.pi * t / 16) + 0.5 * np.sin(2 * np.pi * t / 24))
+        recon = op.inverse_array(op.rotated_real_array(x))
+        err = np.linalg.norm(recon - x) / np.linalg.norm(x)
+        assert err < 0.25
+
+    def test_inverse_linearity(self, op, rng):
+        c1 = rng.standard_normal((8, 64))
+        c2 = rng.standard_normal((8, 64))
+        lhs = op.inverse_array(c1 + c2)
+        rhs = op.inverse_array(c1) + op.inverse_array(c2)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9)
+
+    def test_inverse_shape_batched(self, op, rng):
+        coeffs = rng.standard_normal((2, 3, 8, 64))
+        assert op.inverse_array(coeffs).shape == (2, 3, 64)
+
+    def test_tensor_and_array_paths_agree(self, op, rng):
+        coeffs = rng.standard_normal((2, 8, 64))
+        np.testing.assert_allclose(op.inverse(Tensor(coeffs)).data,
+                                   op.inverse_array(coeffs), rtol=1e-10)
+
+
+class TestDifferentiable:
+    def test_amplitude_matches_array_path(self, rng):
+        small = CWTOperator(seq_len=20, num_scales=4)
+        x = rng.standard_normal((2, 20))
+        np.testing.assert_allclose(small.amplitude(Tensor(x)).data,
+                                   small.amplitude_array(x), atol=1e-6)
+
+    def test_amplitude_gradcheck(self, rng):
+        small = CWTOperator(seq_len=12, num_scales=3)
+        x = Tensor(rng.standard_normal((2, 12)), requires_grad=True)
+        check_gradients(lambda x: small.amplitude(x), [x], atol=1e-3, rtol=1e-3)
+
+    def test_inverse_gradcheck(self, rng):
+        small = CWTOperator(seq_len=10, num_scales=3)
+        c = Tensor(rng.standard_normal((2, 3, 10)), requires_grad=True)
+        check_gradients(lambda c: small.inverse(c), [c])
+
+
+class TestCache:
+    def test_cached_returns_shared_instance(self):
+        a = CWTOperator.cached(32, 4)
+        b = CWTOperator.cached(32, 4)
+        assert a is b
+
+    def test_cache_key_includes_wavelet(self):
+        a = CWTOperator.cached(32, 4, "cgau1")
+        b = CWTOperator.cached(32, 4, "cgau2")
+        assert a is not b
+
+    def test_frequencies_below_nyquist(self):
+        op = CWTOperator.cached(32, 6)
+        assert (op.frequencies < 0.5).all()

@@ -1,0 +1,80 @@
+"""Tests for FFT-based period detection (Eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spectral import detect_periods, dominant_period
+
+
+def sine(period: int, t_len: int = 96, amp: float = 1.0) -> np.ndarray:
+    t = np.arange(t_len)
+    return amp * np.sin(2 * np.pi * t / period)
+
+
+class TestDetectPeriods:
+    def test_single_period(self):
+        periods, _ = detect_periods(sine(24), k=1)
+        assert periods[0] == 24
+
+    def test_topk_order_by_energy(self):
+        x = sine(24, amp=2.0) + sine(12, amp=0.5)
+        periods, weights = detect_periods(x, k=2)
+        assert periods[0] == 24
+        assert periods[1] == 12
+        assert weights[0] > weights[1]
+
+    def test_dc_component_ignored(self):
+        periods, _ = detect_periods(sine(16) + 100.0, k=1)
+        assert periods[0] == 16
+
+    def test_input_rank_flexibility(self):
+        x = sine(12)
+        p1, _ = detect_periods(x, k=1)
+        p2, _ = detect_periods(x[:, None], k=1)
+        p3, _ = detect_periods(x[None, :, None], k=1)
+        assert p1[0] == p2[0] == p3[0]
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            detect_periods(np.zeros((2, 2, 2, 2)))
+
+    def test_min_period_filters_fast_frequencies(self):
+        x = sine(3, amp=5.0) + sine(24, amp=1.0)
+        periods, _ = detect_periods(x, k=1, min_period=8)
+        assert periods[0] == 24
+
+    def test_flat_input_falls_back_to_length(self):
+        periods, weights = detect_periods(np.zeros(50), k=3)
+        assert periods[0] == 50
+        assert weights[0] == 1.0
+
+    def test_k_larger_than_spectrum(self):
+        periods, _ = detect_periods(sine(8, t_len=16), k=100)
+        assert len(periods) >= 1
+
+    def test_batch_averaging(self, rng):
+        batch = np.stack([sine(24) + 0.1 * rng.standard_normal(96)
+                          for _ in range(4)])[..., None]
+        periods, _ = detect_periods(batch, k=1)
+        assert periods[0] == 24
+
+
+class TestDominantPeriod:
+    def test_matches_topk_first(self):
+        x = sine(24) + 0.3 * sine(8)
+        assert dominant_period(x) == detect_periods(x, k=1)[0][0]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from([6, 8, 12, 16, 24, 32]))
+    def test_recovers_planted_period(self, period):
+        assert dominant_period(sine(period)) == period
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=20, max_value=200))
+    def test_always_within_bounds(self, t_len):
+        rng = np.random.default_rng(t_len)
+        x = rng.standard_normal(t_len)
+        p = dominant_period(x)
+        assert 2 <= p <= t_len

@@ -1,0 +1,82 @@
+"""Tests for the wavelet family and its central-frequency estimation."""
+
+import numpy as np
+import pytest
+
+from repro.spectral.wavelets import (
+    Wavelet, default_branch_wavelets, get_wavelet,
+)
+
+
+class TestWaveletFamily:
+    @pytest.mark.parametrize("name", ["cgau1", "cgau2", "cgau3", "morlet"])
+    def test_unit_energy(self, name):
+        w = get_wavelet(name)
+        dt = w._grid[1] - w._grid[0]
+        energy = np.sum(np.abs(w._values) ** 2) * dt
+        assert energy == pytest.approx(1.0, rel=1e-6)
+
+    @pytest.mark.parametrize("name", ["cgau1", "cgau2", "morlet"])
+    def test_central_frequency_positive(self, name):
+        assert get_wavelet(name).central_frequency > 0
+
+    def test_cgau_orders_increase_frequency(self):
+        # Higher derivative orders oscillate faster.
+        f1 = get_wavelet("cgau1").central_frequency
+        f4 = get_wavelet("cgau4").central_frequency
+        assert f4 > f1
+
+    def test_morlet_central_frequency_near_theory(self):
+        # Morlet with omega0=5: f_c = 5 / (2*pi) ~ 0.796.
+        assert get_wavelet("morlet").central_frequency == pytest.approx(
+            5.0 / (2 * np.pi), rel=0.02)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_wavelet("haar")
+
+    def test_cache_returns_same_object(self):
+        assert get_wavelet("cgau1") is get_wavelet("cgau1")
+
+    def test_evaluation_decays_outside_support(self):
+        w = get_wavelet("cgau1")
+        vals = w(np.array([-10.0, 10.0]))
+        np.testing.assert_allclose(np.abs(vals), 0.0, atol=1e-12)
+
+    def test_complex_valued(self):
+        w = get_wavelet("cgau1")
+        vals = w(np.linspace(-1, 1, 10))
+        assert np.iscomplexobj(vals)
+        assert np.abs(vals.imag).max() > 0
+
+
+class TestSampling:
+    def test_sample_length(self):
+        w = get_wavelet("cgau1")
+        assert len(w.sample(scale=2.0, length=33)) == 33
+
+    def test_sample_scale_normalisation(self):
+        # 1/sqrt(s) prefactor: doubling scale shrinks peak amplitude.
+        w = get_wavelet("morlet")
+        a1 = np.abs(w.sample(1.0, 65)).max()
+        a2 = np.abs(w.sample(4.0, 65)).max()
+        assert a2 < a1
+
+    def test_sample_centered(self):
+        w = get_wavelet("morlet")
+        taps = w.sample(1.0, 65)
+        # Gaussian envelope peaks at the centre tap.
+        assert int(np.argmax(np.abs(taps))) == 32
+
+
+class TestBranchSelection:
+    def test_first_branch_is_complex_gaussian(self):
+        assert default_branch_wavelets(1) == ("cgau1",)
+
+    def test_branches_are_distinct(self):
+        names = default_branch_wavelets(4)
+        assert len(set(names)) == 4
+
+    def test_too_many_branches_raises(self):
+        with pytest.raises(ValueError):
+            default_branch_wavelets(99)

@@ -1,0 +1,72 @@
+"""Tests for result-table summaries (ranks, win rates, degradations)."""
+
+import pytest
+
+from repro.experiments.results import ResultTable
+from repro.experiments.summaries import (
+    degradation_vs, mean_rank, monotone_fraction, ordered_by_rank, win_rate,
+)
+
+
+@pytest.fixture
+def table():
+    t = ResultTable("demo")
+    # A always best, B middle, C worst; two datasets x two settings.
+    for ds in ("D1", "D2"):
+        for i, setting in enumerate((96, 192)):
+            base = 0.1 * (i + 1)
+            t.add(ds, setting, "A", {"mse": base, "mae": base})
+            t.add(ds, setting, "B", {"mse": base * 2, "mae": base * 2})
+            t.add(ds, setting, "C", {"mse": base * 3, "mae": base * 3})
+    return t
+
+
+class TestMeanRank:
+    def test_strict_ordering(self, table):
+        ranks = mean_rank(table)
+        assert ranks["A"] == 1.0
+        assert ranks["B"] == 2.0
+        assert ranks["C"] == 3.0
+
+    def test_ordered_by_rank(self, table):
+        assert ordered_by_rank(table) == ["A", "B", "C"]
+
+    def test_empty_table(self):
+        assert mean_rank(ResultTable("empty")) == {}
+
+
+class TestWinRate:
+    def test_total_counts(self, table):
+        wins, total = win_rate(table, "A")
+        assert total == 8          # 4 rows x 2 metrics
+        assert wins == 8
+
+    def test_loser_has_zero(self, table):
+        wins, _ = win_rate(table, "C")
+        assert wins == 0
+
+
+class TestDegradation:
+    def test_relative_fractions(self, table):
+        deg = degradation_vs(table, reference="A")
+        assert deg["D1"]["B"] == pytest.approx(1.0)   # 2x worse
+        assert deg["D1"]["C"] == pytest.approx(2.0)   # 3x worse
+
+    def test_reference_excluded(self, table):
+        deg = degradation_vs(table, reference="A")
+        assert "A" not in deg["D1"]
+
+    def test_missing_reference_skipped(self, table):
+        deg = degradation_vs(table, reference="Z")
+        assert deg == {}
+
+
+class TestMonotone:
+    def test_increasing_settings(self, table):
+        grows, total = monotone_fraction(table, "A")
+        assert (grows, total) == (2, 2)    # 0.1 -> 0.2 on both datasets
+
+    def test_single_row_excluded(self):
+        t = ResultTable("one")
+        t.add("D", 1, "A", {"mse": 1.0, "mae": 1.0})
+        assert monotone_fraction(t, "A") == (0, 0)

@@ -1,0 +1,147 @@
+"""Tests for metrics, the trainer, and the forecasting/imputation drivers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_model
+from repro.data import load_dataset
+from repro.tasks import (
+    ForecastTask, ImputationTask, TrainConfig, Trainer, evaluate_all,
+    forecast_step, imputation_step, mae, mape, mse, predict, rmse,
+    run_forecast, run_imputation,
+)
+
+
+class TestMetrics:
+    def test_mse_known(self):
+        assert mse(np.array([1.0, 3.0]), np.array([0.0, 0.0])) == 5.0
+
+    def test_mae_known(self):
+        assert mae(np.array([1.0, -3.0]), np.zeros(2)) == 2.0
+
+    def test_rmse(self):
+        assert rmse(np.array([3.0]), np.array([0.0])) == 3.0
+
+    def test_mape_guards_zero(self):
+        assert np.isfinite(mape(np.array([1.0]), np.array([0.0])))
+
+    def test_masked_variants(self):
+        pred = np.array([[1.0, 100.0]])
+        target = np.zeros((1, 2))
+        mask = np.array([[True, False]])
+        assert mse(pred, target, mask) == 1.0
+        assert mae(pred, target, mask) == 1.0
+
+    def test_empty_mask_returns_zero(self):
+        assert mse(np.ones((2, 2)), np.zeros((2, 2)), np.zeros((2, 2), bool)) == 0.0
+
+    def test_evaluate_all_keys(self):
+        out = evaluate_all(np.ones(3), np.zeros(3))
+        assert set(out) == {"mse", "mae"}
+
+    def test_mse_identical_is_zero(self, rng):
+        x = rng.standard_normal(10)
+        assert mse(x, x) == 0.0
+
+
+@pytest.fixture(scope="module")
+def split():
+    return load_dataset("ETTh1", n_steps=600)
+
+
+def _tiny_model(task="forecast", pred_len=8):
+    return build_model("DLinear", seq_len=24, pred_len=pred_len, c_in=7,
+                       task=task)
+
+
+class TestTrainer:
+    def test_fit_runs_and_records(self, split):
+        model = _tiny_model()
+        task = ForecastTask(seq_len=24, pred_len=8, batch_size=8,
+                            max_train_batches=4, max_eval_batches=2)
+        cfg = TrainConfig(epochs=2, lr=1e-2)
+        result = run_forecast(model, split, task, cfg)
+        assert len(result.train_losses) == result.epochs_run
+        assert np.isfinite(result.mse) and np.isfinite(result.mae)
+
+    def test_training_reduces_loss(self, split):
+        model = _tiny_model()
+        task = ForecastTask(seq_len=24, pred_len=8, batch_size=8,
+                            max_train_batches=10, max_eval_batches=3)
+        result = run_forecast(model, split, task, TrainConfig(epochs=4, lr=5e-3))
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_early_stopping_restores_best(self, split):
+        """With an absurd LR the loss diverges; best weights must be restored."""
+        model = _tiny_model()
+        train, val, _ = ForecastTask(seq_len=24, pred_len=8, batch_size=8,
+                                     max_train_batches=3,
+                                     max_eval_batches=2).loaders(split)
+        trainer = Trainer(model, TrainConfig(epochs=6, lr=1e-2, patience=2))
+        result = trainer.fit(train, val, forecast_step(model))
+        # The final model's val loss equals the best recorded epoch.
+        best = min(result.val_losses)
+        final_val = trainer._run_epoch(val, forecast_step(model), train=False)
+        assert final_val == pytest.approx(best, rel=0.35)
+
+    def test_evaluate_matches_metrics(self, split):
+        model = _tiny_model()
+        task = ForecastTask(seq_len=24, pred_len=8, batch_size=8,
+                            max_eval_batches=2)
+        _, _, test = task.loaders(split)
+        trainer = Trainer(model, TrainConfig(epochs=1))
+        mse_v, mae_v = trainer.evaluate(test, forecast_step(model))
+        assert mse_v >= 0 and mae_v >= 0
+        assert mae_v ** 2 <= mse_v + 1e-9  # Jensen: (E|x|)^2 <= E x^2
+
+    def test_clip_norm_path(self, split):
+        model = _tiny_model()
+        task = ForecastTask(seq_len=24, pred_len=8, batch_size=8,
+                            max_train_batches=2, max_eval_batches=1)
+        cfg = TrainConfig(epochs=1, clip_norm=0.5)
+        result = run_forecast(model, split, task, cfg)
+        assert np.isfinite(result.mse)
+
+
+class TestForecastDriver:
+    def test_loaders_cover_three_splits(self, split):
+        task = ForecastTask(seq_len=24, pred_len=8)
+        train, val, test = task.loaders(split)
+        assert len(train) > 0 and len(val) > 0 and len(test) > 0
+
+    def test_predict_helper_shapes(self, split):
+        model = _tiny_model()
+        single = predict(model, split.test[:24])
+        assert single.shape == (8, 7)
+        batched = predict(model, split.test[None, :24])
+        assert batched.shape == (1, 8, 7)
+
+
+class TestImputationDriver:
+    def test_runs_and_scores_masked_only(self, split):
+        model = _tiny_model(task="imputation", pred_len=24)
+        task = ImputationTask(seq_len=24, mask_ratio=0.25, batch_size=8,
+                              max_train_batches=4, max_eval_batches=2)
+        result = run_imputation(model, split, task, TrainConfig(epochs=1))
+        assert np.isfinite(result.mse)
+
+    def test_step_masks_fraction(self, split):
+        model = _tiny_model(task="imputation", pred_len=24)
+        step = imputation_step(model, mask_ratio=0.5, seed=0)
+        window = split.train[None, :24]
+        loss, pred, target, mask = step(window)
+        assert 0.2 < mask.mean() < 0.8
+        assert pred.shape == target.shape
+
+    def test_eval_masks_deterministic(self, split):
+        """Two models must be scored on identical evaluation masks."""
+        task = ImputationTask(seq_len=24, mask_ratio=0.25, batch_size=8,
+                              max_train_batches=1, max_eval_batches=2, seed=3)
+        m1 = _tiny_model(task="imputation", pred_len=24)
+        m2 = _tiny_model(task="imputation", pred_len=24)
+        s1 = imputation_step(m1, 0.25, seed=10_003)
+        s2 = imputation_step(m2, 0.25, seed=10_003)
+        window = split.train[None, :24]
+        _, _, _, mask1 = s1(window)
+        _, _, _, mask2 = s2(window)
+        np.testing.assert_array_equal(mask1, mask2)
