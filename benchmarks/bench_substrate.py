@@ -1,11 +1,32 @@
-"""Micro-benchmarks of the substrate: CWT, conv, attention, TS3Net steps.
+"""Perf-regression harness for the substrate: CWT, conv, attention, models.
 
-These are classic repeated-timing benchmarks (unlike the table benches,
-which run an experiment once); they track the cost of the pieces the
-paper's model is built from.
+Two entry points share one suite of timed cases:
+
+* ``pytest benchmarks/bench_substrate.py --benchmark-only`` — classic
+  pytest-benchmark runs of each case;
+* ``python benchmarks/bench_substrate.py`` — times every case directly
+  (min/mean over rounds) and writes ``BENCH_substrate.json`` at the repo
+  root, so successive PRs can track the substrate's trajectory and
+  ``scripts/bench_compare.py`` can gate CI on >25% regressions.
+
+The CWT cases run at the paper-scale shape ``(B=32, T=96, lambda=100)`` and
+time both the FFT engine (the default) and the retained dense-matmul
+reference; the JSON records their agreement (max relative error) and the
+FFT speedup alongside the timings.
 """
 
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
 import numpy as np
+
+if __package__ is None and "repro" not in sys.modules:  # direct execution
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
 import pytest
 
 from repro.autodiff import Tensor, conv2d, mse_loss
@@ -15,23 +36,52 @@ from repro.spectral import CWTOperator
 from repro.utils import set_seed
 
 RNG = np.random.default_rng(0)
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_substrate.json")
+
+# Paper-scale CWT shape (Table III defaults: lookback 96, lambda = 100).
+CWT_BATCH, CWT_T, CWT_LAMBDA = 32, 96, 100
+# Long-lookback shape where the O(lambda*T^2) vs O(lambda*T*log T) gap is
+# decisive rather than marginal (336 is the common long-horizon lookback).
+CWT_T_LONG = 336
+
+BENCH_MODELS = ["TS3Net", "DLinear", "PatchTST", "TimesNet", "MICN"]
 
 
-def test_cwt_amplitude_forward(benchmark):
-    op = CWTOperator.cached(96, 16)
-    x = RNG.standard_normal((32, 96))
-    out = benchmark(op.amplitude_array, x)
-    assert out.shape == (32, 16, 96)
+# ---------------------------------------------------------------------------
+# Timed cases: each builder returns a zero-argument callable to time.
+# ---------------------------------------------------------------------------
+
+def case_cwt_amplitude_forward(engine: str, seq_len: int = CWT_T):
+    op = CWTOperator.cached(seq_len, CWT_LAMBDA, engine=engine)
+    x = RNG.standard_normal((CWT_BATCH, seq_len))
+    return lambda: op.amplitude_array(x)
 
 
-def test_cwt_inverse(benchmark):
-    op = CWTOperator.cached(96, 16)
-    coeffs = RNG.standard_normal((32, 16, 96))
-    out = benchmark(op.inverse_array, coeffs)
-    assert out.shape == (32, 96)
+def case_cwt_amplitude_forward_f32():
+    op = CWTOperator.cached(CWT_T, CWT_LAMBDA, engine="fft")
+    x = RNG.standard_normal((CWT_BATCH, CWT_T)).astype(np.float32)
+    return lambda: op.amplitude_array(x)
 
 
-def test_conv2d_forward_backward(benchmark):
+def case_cwt_amplitude_grad(engine: str):
+    op = CWTOperator.cached(CWT_T, CWT_LAMBDA, engine=engine)
+    x = Tensor(RNG.standard_normal((CWT_BATCH, CWT_T)), requires_grad=True)
+
+    def step():
+        x.zero_grad()
+        op.amplitude(x).sum().backward()
+
+    return step
+
+
+def case_cwt_inverse():
+    op = CWTOperator.cached(CWT_T, CWT_LAMBDA, engine="fft")
+    coeffs = RNG.standard_normal((CWT_BATCH, CWT_LAMBDA, CWT_T))
+    return lambda: op.inverse_array(coeffs)
+
+
+def case_conv2d_forward_backward():
     x = Tensor(RNG.standard_normal((8, 16, 8, 48)), requires_grad=True)
     w = Tensor(RNG.standard_normal((16, 16, 3, 3)), requires_grad=True)
 
@@ -40,22 +90,17 @@ def test_conv2d_forward_backward(benchmark):
         w.zero_grad()
         conv2d(x, w, padding=1).sum().backward()
 
-    benchmark(step)
-    assert x.grad is not None
+    return step
 
 
-def test_attention_forward(benchmark):
+def case_attention_forward():
     set_seed(0)
     mha = MultiHeadAttention(32, 4, dropout=0.0)
     x = Tensor(RNG.standard_normal((8, 96, 32)))
-    out = benchmark(mha, x)
-    assert out.shape == (8, 96, 32)
+    return lambda: mha(x)
 
 
-@pytest.mark.parametrize("name", ["TS3Net", "DLinear", "PatchTST",
-                                  "TimesNet", "MICN"])
-def test_model_training_step(benchmark, name):
-    """One optimiser-free forward+backward per model (Table IV cost driver)."""
+def case_model_train_step(name: str):
     set_seed(0)
     model = build_model(name, seq_len=48, pred_len=24, c_in=7, preset="tiny")
     x = RNG.standard_normal((16, 48, 7))
@@ -65,4 +110,146 @@ def test_model_training_step(benchmark, name):
         model.zero_grad()
         mse_loss(model(Tensor(x)), y).backward()
 
-    benchmark(step)
+    return step
+
+
+# name -> (builder, rounds); rounds trade precision against harness runtime.
+CASES = {
+    "cwt_amplitude_forward_fft": (lambda: case_cwt_amplitude_forward("fft"), 20),
+    "cwt_amplitude_forward_dense": (lambda: case_cwt_amplitude_forward("dense"), 20),
+    "cwt_amplitude_forward_fft_T336": (
+        lambda: case_cwt_amplitude_forward("fft", CWT_T_LONG), 10),
+    "cwt_amplitude_forward_dense_T336": (
+        lambda: case_cwt_amplitude_forward("dense", CWT_T_LONG), 5),
+    "cwt_amplitude_forward_fft_f32": (case_cwt_amplitude_forward_f32, 20),
+    "cwt_amplitude_grad_fft": (lambda: case_cwt_amplitude_grad("fft"), 10),
+    "cwt_inverse": (case_cwt_inverse, 20),
+    "conv2d_forward_backward": (case_conv2d_forward_backward, 10),
+    "attention_forward": (case_attention_forward, 10),
+    **{f"train_step_{name}": ((lambda name=name: case_model_train_step(name)), 3)
+       for name in BENCH_MODELS},
+}
+
+
+def _time_case(fn, rounds: int) -> dict:
+    fn()  # warmup (also JIT-warms FFT plans / einsum paths)
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "min_s": min(samples),
+        "mean_s": float(np.mean(samples)),
+        "rounds": rounds,
+    }
+
+
+def _verify_fft_vs_dense() -> dict:
+    """FFT/dense agreement + speedup facts recorded next to the timings."""
+    facts = {}
+    for tag, seq_len in (("", CWT_T), ("_T336", CWT_T_LONG)):
+        fft = CWTOperator.cached(seq_len, CWT_LAMBDA, engine="fft")
+        dense = CWTOperator.cached(seq_len, CWT_LAMBDA, engine="dense")
+        x = RNG.standard_normal((CWT_BATCH, seq_len))
+        a_fft, a_dense = fft.amplitude_array(x), dense.amplitude_array(x)
+        max_rel_err = float(np.max(np.abs(a_fft - a_dense) / np.abs(a_dense)))
+        facts[f"fft_dense_max_rel_err{tag}"] = max_rel_err
+        facts[f"fft_dense_agree_rtol_1e-8{tag}"] = bool(
+            np.allclose(a_fft, a_dense, rtol=1e-8, atol=1e-12))
+        facts[f"fft_bank_bytes{tag}"] = fft.nbytes
+        facts[f"dense_bank_bytes{tag}"] = dense.nbytes
+    return facts
+
+
+def run_suite(rounds_scale: float = 1.0) -> dict:
+    timings = {}
+    for name, (builder, rounds) in CASES.items():
+        fn = builder()
+        timings[name] = _time_case(fn, max(1, int(rounds * rounds_scale)))
+        print(f"  {name:35s} min {timings[name]['min_s'] * 1e3:9.3f} ms  "
+              f"mean {timings[name]['mean_s'] * 1e3:9.3f} ms")
+    verification = _verify_fft_vs_dense()
+    for tag in ("", "_T336"):
+        fwd_fft = timings[f"cwt_amplitude_forward_fft{tag}"]["min_s"]
+        fwd_dense = timings[f"cwt_amplitude_forward_dense{tag}"]["min_s"]
+        verification[f"cwt_amplitude_fft_speedup_vs_dense{tag}"] = (
+            fwd_dense / fwd_fft)
+    return {
+        "meta": {
+            "suite": "bench_substrate",
+            "shapes": {"cwt": {"batch": CWT_BATCH, "seq_len": CWT_T,
+                               "seq_len_long": CWT_T_LONG,
+                               "num_scales": CWT_LAMBDA}},
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "verification": verification,
+        "timings": timings,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=OUTPUT_PATH,
+                        help="where to write the JSON report")
+    parser.add_argument("--rounds-scale", type=float, default=1.0,
+                        help="multiply every case's round count (CI can "
+                             "lower this for speed)")
+    args = parser.parse_args(argv)
+    print("bench_substrate: timing substrate hot paths "
+          f"(CWT at B={CWT_BATCH}, T={CWT_T}, lambda={CWT_LAMBDA})")
+    report = run_suite(rounds_scale=args.rounds_scale)
+    for tag, label in (("", f"T={CWT_T}"), ("_T336", f"T={CWT_T_LONG}")):
+        speedup = report["verification"][
+            f"cwt_amplitude_fft_speedup_vs_dense{tag}"]
+        err = report["verification"][f"fft_dense_max_rel_err{tag}"]
+        print(f"  FFT vs dense CWT amplitude speedup ({label}): "
+              f"{speedup:.1f}x (max rel err {err:.2e})")
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"  wrote {args.output}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark wrappers over the same cases
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("engine", ["fft", "dense"])
+def test_cwt_amplitude_forward(benchmark, engine):
+    fn = case_cwt_amplitude_forward(engine)
+    out = benchmark(fn)
+    assert out.shape == (CWT_BATCH, CWT_LAMBDA, CWT_T)
+
+
+def test_cwt_amplitude_grad(benchmark):
+    benchmark(case_cwt_amplitude_grad("fft"))
+
+
+def test_cwt_inverse(benchmark):
+    fn = case_cwt_inverse()
+    out = benchmark(fn)
+    assert out.shape == (CWT_BATCH, CWT_T)
+
+
+def test_conv2d_forward_backward(benchmark):
+    benchmark(case_conv2d_forward_backward())
+
+
+def test_attention_forward(benchmark):
+    fn = case_attention_forward()
+    out = benchmark(fn)
+    assert out.shape == (8, 96, 32)
+
+
+@pytest.mark.parametrize("name", BENCH_MODELS)
+def test_model_training_step(benchmark, name):
+    """One optimiser-free forward+backward per model (Table IV cost driver)."""
+    benchmark(case_model_train_step(name))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

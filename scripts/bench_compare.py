@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""CI gate for substrate performance regressions.
+
+Diffs a freshly generated ``BENCH_substrate.json`` (see
+``benchmarks/bench_substrate.py``) against the committed baseline and exits
+non-zero when any tracked timing regresses by more than the threshold
+(default 25%).  Typical CI usage::
+
+    PYTHONPATH=src python benchmarks/bench_substrate.py
+    python scripts/bench_compare.py
+
+Timings are compared on ``min_s`` (the most noise-robust statistic a
+single-run harness produces); cases present on only one side are reported
+but never fail the gate, so adding or retiring benchmark cases does not
+require lock-step baseline updates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_CURRENT = os.path.join(REPO_ROOT, "BENCH_substrate.json")
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "BENCH_baseline.json")
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> int:
+    cur_t = current.get("timings", {})
+    base_t = baseline.get("timings", {})
+    shared = sorted(set(cur_t) & set(base_t))
+    regressions = []
+    print(f"{'case':38s} {'baseline':>10s} {'current':>10s} {'ratio':>7s}")
+    for name in shared:
+        base_ms = base_t[name]["min_s"] * 1e3
+        cur_ms = cur_t[name]["min_s"] * 1e3
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + threshold:
+            regressions.append((name, ratio))
+            flag = "  << REGRESSION"
+        print(f"{name:38s} {base_ms:8.3f}ms {cur_ms:8.3f}ms {ratio:6.2f}x{flag}")
+    for name in sorted(set(cur_t) - set(base_t)):
+        print(f"{name:38s} {'--':>10s} "
+              f"{cur_t[name]['min_s'] * 1e3:8.3f}ms    new")
+    for name in sorted(set(base_t) - set(cur_t)):
+        print(f"{name:38s} {base_t[name]['min_s'] * 1e3:8.3f}ms "
+              f"{'--':>10s}    retired")
+    if not shared:
+        print("error: no overlapping benchmark cases to compare",
+              file=sys.stderr)
+        return 2
+    if regressions:
+        worst = max(regressions, key=lambda item: item[1])
+        print(f"\nFAIL: {len(regressions)} case(s) regressed more than "
+              f"{threshold:.0%} (worst: {worst[0]} at {worst[1]:.2f}x)",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(shared)} case(s) within {threshold:.0%} of baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", default=DEFAULT_CURRENT,
+                        help="freshly generated benchmark report")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed reference report")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown before failing "
+                             "(0.25 = 25%%)")
+    args = parser.parse_args(argv)
+    for path in (args.current, args.baseline):
+        if not os.path.exists(path):
+            print(f"error: {path} not found", file=sys.stderr)
+            return 2
+    return compare(load(args.current), load(args.baseline), args.threshold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,7 +2,8 @@
 
 from .tensor import (
     Tensor, no_grad, is_grad_enabled, tensor, zeros, ones, zeros_like, randn,
-    unbroadcast, DEFAULT_DTYPE,
+    unbroadcast, DEFAULT_DTYPE, precision, resolve_dtype,
+    set_default_dtype, get_default_dtype,
 )
 from .ops import (
     concat, stack, pad, relu, gelu, sigmoid, softmax, leaky_relu, dropout,
@@ -14,7 +15,8 @@ from .grad_check import check_gradients, numerical_gradient
 
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones",
-    "zeros_like", "randn", "unbroadcast", "DEFAULT_DTYPE",
+    "zeros_like", "randn", "unbroadcast", "DEFAULT_DTYPE", "precision",
+    "resolve_dtype", "set_default_dtype", "get_default_dtype",
     "concat", "stack", "pad", "relu", "gelu", "sigmoid", "softmax",
     "leaky_relu", "dropout", "where", "conv2d", "conv1d", "avg_pool1d",
     "avg_pool2d", "max_pool2d", "mse_loss", "mae_loss", "masked_mse_loss",

@@ -212,7 +212,8 @@ def dropout(x: Tensor, p: float, training: bool,
     x = _as_tensor(x)
     rng = rng or np.random.default_rng()
     keep = 1.0 - p
-    mask = (rng.random(x.data.shape) < keep) / keep
+    mask = ((rng.random(x.data.shape) < keep) / keep).astype(x.data.dtype,
+                                                             copy=False)
     out_data = x.data * mask
 
     def backward(grad, sink):
@@ -293,12 +294,27 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
         sink(weight, grad_w)
         if bias is not None:
             sink(bias, grad.sum(axis=(0, 2, 3)))
-        grad_win = np.einsum("ockl,nohw->nchwkl", weight.data, grad, optimize=True)
-        grad_x = np.zeros((n, c, h, w), dtype=grad.dtype)
-        for i in range(kh):
-            for j in range(kw):
-                grad_x[:, :, i:i + stride * out_h:stride,
-                       j:j + stride * out_w:stride] += grad_win[:, :, :, :, i, j]
+        # Input gradient as a transposed convolution: dilate the output
+        # gradient by the stride, pad by kernel-1, and correlate with the
+        # spatially flipped kernel — one strided-view einsum, no Python
+        # scatter loop and no materialised (N, C, oh, ow, kh, kw) buffer.
+        if stride == 1:
+            dilated = grad
+        else:
+            dilated = np.zeros((n, o, (out_h - 1) * stride + 1,
+                                (out_w - 1) * stride + 1), dtype=grad.dtype)
+            dilated[:, :, ::stride, ::stride] = grad
+        padded = np.pad(dilated, ((0, 0), (0, 0), (kh - 1, kh - 1),
+                                  (kw - 1, kw - 1)))
+        flipped = weight.data[:, :, ::-1, ::-1]
+        grad_x = np.einsum("nohwkl,ockl->nchw", window_view(padded, kh, kw),
+                           flipped, optimize=True)
+        if grad_x.shape[2:] != (h, w):
+            # Rows/cols past the last window (when (h-kh) % stride != 0)
+            # never reached the output, so their gradient is zero.
+            full = np.zeros((n, c, h, w), dtype=grad.dtype)
+            full[:, :, :grad_x.shape[2], :grad_x.shape[3]] = grad_x
+            grad_x = full
         sink(x, grad_x)
 
     return Tensor._make(out_data, parents, backward)
@@ -334,7 +350,9 @@ def avg_pool1d(x: Tensor, kernel_size: int, stride: Optional[int] = None,
     length = x.data.shape[-1]
     out_len = (length - kernel_size) // stride + 1
     flat = x.reshape(int(np.prod(lead)) if lead else 1, 1, 1, length)
-    w = Tensor(np.full((1, 1, 1, kernel_size), 1.0 / kernel_size))
+    # _coerce pins the kernel to x's dtype (Tensor() would re-coerce to the
+    # ambient default dtype and silently promote float32 activations).
+    w = x._coerce(np.full((1, 1, 1, kernel_size), 1.0 / kernel_size))
     out = conv2d(flat, w, stride=stride)
     return out.reshape(*lead, out_len)
 
@@ -344,10 +362,10 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
     x = _as_tensor(x)
     stride = stride or kernel_size
     n, c, h, w = x.data.shape
-    weight = np.zeros((c, c, kernel_size, kernel_size))
+    weight = np.zeros((c, c, kernel_size, kernel_size), dtype=x.data.dtype)
     for ch in range(c):
         weight[ch, ch] = 1.0 / (kernel_size * kernel_size)
-    return conv2d(x, Tensor(weight), stride=stride)
+    return conv2d(x, x._coerce(weight), stride=stride)
 
 
 def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:

@@ -28,7 +28,68 @@ ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
 DEFAULT_DTYPE = np.float64
 
+_default_dtype = DEFAULT_DTYPE
+
 _grad_enabled = True
+
+_PRECISIONS = {
+    "float32": np.float32,
+    "float64": np.float64,
+    "f32": np.float32,
+    "f64": np.float64,
+    "single": np.float32,
+    "double": np.float64,
+}
+
+
+def resolve_dtype(precision_or_dtype) -> np.dtype:
+    """Map ``'float32'``/``'float64'`` (or a dtype) to a NumPy float dtype."""
+    if isinstance(precision_or_dtype, str):
+        try:
+            return np.dtype(_PRECISIONS[precision_or_dtype])
+        except KeyError:
+            raise ValueError(
+                f"unknown precision {precision_or_dtype!r}; choose from "
+                f"{sorted(set(_PRECISIONS))}") from None
+    dtype = np.dtype(precision_or_dtype)
+    if not np.issubdtype(dtype, np.floating):
+        raise ValueError(f"precision dtype must be floating, got {dtype}")
+    return dtype
+
+
+def set_default_dtype(precision_or_dtype) -> None:
+    """Set the engine-wide float dtype new tensors are created with."""
+    global _default_dtype
+    _default_dtype = resolve_dtype(precision_or_dtype).type
+
+
+def get_default_dtype() -> np.dtype:
+    """The float dtype that :class:`Tensor` construction coerces to."""
+    return np.dtype(_default_dtype)
+
+
+class precision:
+    """Context manager scoping the engine's default float dtype.
+
+    ``with precision('float32'): ...`` makes every tensor built inside the
+    block single precision; the previous default is restored on exit.  The
+    boot default is ``float64`` (``DEFAULT_DTYPE``) so seed results are
+    unchanged unless a caller opts in.
+    """
+
+    def __init__(self, precision_or_dtype):
+        self._dtype = resolve_dtype(precision_or_dtype).type
+
+    def __enter__(self):
+        global _default_dtype
+        self._prev = _default_dtype
+        _default_dtype = self._dtype
+        return self
+
+    def __exit__(self, *exc):
+        global _default_dtype
+        _default_dtype = self._prev
+        return False
 
 
 class no_grad:
@@ -76,7 +137,7 @@ def as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if dtype is not None:
         return arr.astype(dtype, copy=False)
     if np.issubdtype(arr.dtype, np.floating):
-        return arr.astype(DEFAULT_DTYPE, copy=False)
+        return arr.astype(_default_dtype, copy=False)
     return arr
 
 
@@ -552,13 +613,13 @@ def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
 def zeros(*shape, requires_grad: bool = False) -> Tensor:
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
-    return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=_default_dtype), requires_grad=requires_grad)
 
 
 def ones(*shape, requires_grad: bool = False) -> Tensor:
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
-    return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=_default_dtype), requires_grad=requires_grad)
 
 
 def zeros_like(t: Tensor, requires_grad: bool = False) -> Tensor:
@@ -570,5 +631,5 @@ def randn(*shape, rng: Optional[np.random.Generator] = None,
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
     rng = rng or np.random.default_rng()
-    return Tensor(rng.standard_normal(shape).astype(DEFAULT_DTYPE),
+    return Tensor(rng.standard_normal(shape).astype(_default_dtype),
                   requires_grad=requires_grad)

@@ -64,12 +64,11 @@ class WeightLearnedMerge(Module):
         self.logits = Parameter(np.zeros(num_branches))
 
     def forward(self, branch_outputs: Sequence[Tensor]) -> Tensor:
-        weights = ops.softmax(self.logits.reshape(1, -1), axis=-1)
-        merged = None
-        for i, out in enumerate(branch_outputs):
-            term = out * weights[0, i:i + 1].reshape(1, 1, 1)
-            merged = term if merged is None else merged + term
-        return merged
+        # One contraction over the branch axis: (..., m) @ (m,) -> (...,).
+        # The tape holds a single stack + matmul instead of a per-branch
+        # chain of slice / broadcast / add nodes.
+        weights = ops.softmax(self.logits, axis=-1)
+        return ops.stack(branch_outputs, axis=-1) @ weights
 
 
 class TFBlock(Module):

@@ -12,7 +12,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..autodiff import Tensor
+from ..autodiff import Tensor, resolve_dtype
 
 
 class Parameter(Tensor):
@@ -98,6 +98,31 @@ class Module:
     def zero_grad(self) -> None:
         for p in self.parameters():
             p.zero_grad()
+
+    def to(self, precision_or_dtype) -> "Module":
+        """Cast every parameter (and float buffer) to the given precision.
+
+        Accepts ``'float32'``/``'float64'`` or a NumPy float dtype, casting
+        in place like ``torch.nn.Module.to``.  Plain float ``np.ndarray``
+        attributes (running statistics, cached normalisation state) are
+        cast too so mixed-dtype broadcasting cannot silently re-promote
+        activations to float64.
+        """
+        dtype = resolve_dtype(precision_or_dtype)
+        for module in self.modules():
+            for param in module._parameters.values():
+                if np.issubdtype(param.data.dtype, np.floating):
+                    param.data = param.data.astype(dtype, copy=False)
+                    if param.grad is not None:
+                        param.grad = param.grad.astype(dtype, copy=False)
+            for name, value in vars(module).items():
+                if name in ("_parameters", "_modules"):
+                    continue
+                if (isinstance(value, np.ndarray)
+                        and np.issubdtype(value.dtype, np.floating)):
+                    object.__setattr__(module, name,
+                                       value.astype(dtype, copy=False))
+        return self
 
     # ------------------------------------------------------------------
     # Call protocol

@@ -6,10 +6,15 @@ into the temporal-frequency tensor ``X_2D = {TF_1 .. TF_lambda}``, where
 ``TF_i = Amp(WT(x, psi_i))``.
 
 Because the wavelet filters are *fixed*, the transform is a fixed linear map
-followed by a pointwise modulus — so we precompute two dense matrices (real
-and imaginary filter banks) per ``(T, lambda, wavelet)`` and express the
-whole thing as autodiff matmuls. Gradients therefore flow through the
-TF-Block exactly as they do through PyTorch's conv-based CWT.
+followed by a pointwise modulus.  Each scale's filter row is a pure Toeplitz
+convolution, so the map is evaluated by zero-padded FFT convolution
+(:class:`repro.spectral.engine.FFTSpectralEngine`, ``O(lambda*T*log T)``)
+instead of the dense ``(T, lambda*T)`` matmul (``O(lambda*T^2)``); the dense
+engine survives as the exact reference (``engine='dense'``).  The
+differentiable path is one fused tape node whose hand-written adjoint is
+another FFT convolution with the conjugated wavelet spectra — gradients
+therefore flow through the TF-Block exactly as they do through PyTorch's
+conv-based CWT, at FFT cost in both directions.
 
 The inverse transform ``IWT`` (Eq. 9) is the linear single-integral ("delta")
 reconstruction ``x(b) = sum_i w_i * C[i, b]`` with a per-scale weight vector
@@ -25,12 +30,13 @@ Eq. 9-10 and Eq. 15 require.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Tuple
+from collections import OrderedDict, namedtuple
+from typing import Tuple
 
 import numpy as np
 
 from ..autodiff import Tensor
+from .engine import SpectralEngine, make_engine
 from .wavelets import Wavelet, get_wavelet
 
 
@@ -40,6 +46,9 @@ def make_scales(num_scales: int) -> np.ndarray:
         raise ValueError("num_scales must be >= 1")
     i = np.arange(1, num_scales + 1, dtype=float)
     return 2.0 * num_scales / i
+
+
+CacheInfo = namedtuple("CacheInfo", "hits misses size maxsize bank_bytes")
 
 
 class CWTOperator:
@@ -53,6 +62,9 @@ class CWTOperator:
         The hyper-parameter ``lambda`` (number of spectral sub-bands).
     wavelet:
         Mother wavelet name (see :mod:`repro.spectral.wavelets`).
+    engine:
+        ``'fft'`` (default, ``O(lambda*T*log T)``) or ``'dense'`` (the
+        reference ``O(lambda*T^2)`` matmul form).
 
     Notes
     -----
@@ -61,40 +73,80 @@ class CWTOperator:
     path (:meth:`transform`, :meth:`amplitude`) used inside TF-Blocks.
     """
 
-    _registry: Dict[Tuple[int, int, str], "CWTOperator"] = {}
+    _registry: "OrderedDict[Tuple[int, int, str, str], CWTOperator]" = OrderedDict()
+    _cache_maxsize: int = 8
+    _cache_hits: int = 0
+    _cache_misses: int = 0
 
-    def __init__(self, seq_len: int, num_scales: int, wavelet: str = "cgau1"):
+    def __init__(self, seq_len: int, num_scales: int, wavelet: str = "cgau1",
+                 engine: str = "fft"):
         self.seq_len = seq_len
         self.num_scales = num_scales
         self.wavelet_name = wavelet
         self.wavelet: Wavelet = get_wavelet(wavelet)
         self.scales = make_scales(num_scales)
         self.frequencies = self.wavelet.central_frequency / self.scales
-
-        # Filter bank: bank[i, b, t] = conj(psi((t - b)/s_i)) / sqrt(s_i)
-        offsets = np.arange(seq_len)[None, :] - np.arange(seq_len)[:, None]
-        bank = np.empty((num_scales, seq_len, seq_len), dtype=complex)
-        for idx, s in enumerate(self.scales):
-            bank[idx] = np.conj(self.wavelet(offsets / s)) / math.sqrt(s)
-        self._bank = bank
-        # Flattened matmul form: (T, lambda*T) so that x @ M -> (.., lambda*T)
-        flat = bank.transpose(2, 0, 1).reshape(seq_len, num_scales * seq_len)
-        self._m_real = np.ascontiguousarray(flat.real)
-        self._m_imag = np.ascontiguousarray(flat.imag)
+        self.engine_name = engine
+        self._engine: SpectralEngine = make_engine(
+            engine, seq_len, self.scales, self.wavelet)
 
         psi0 = complex(self.wavelet(np.array([0.0]))[0])
         self._rotation = (np.conj(psi0) / abs(psi0)) if abs(psi0) > 1e-12 else 1.0
         self._iwt_weights = self._calibrate_inverse()
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the engine's precomputed filter data."""
+        return self._engine.nbytes
+
+    # ------------------------------------------------------------------
+    # Operator cache (LRU)
     # ------------------------------------------------------------------
     @classmethod
-    def cached(cls, seq_len: int, num_scales: int,
-               wavelet: str = "cgau1") -> "CWTOperator":
-        """Shared-operator cache: filter banks are expensive to rebuild."""
-        key = (seq_len, num_scales, wavelet)
-        if key not in cls._registry:
-            cls._registry[key] = cls(seq_len, num_scales, wavelet)
-        return cls._registry[key]
+    def cached(cls, seq_len: int, num_scales: int, wavelet: str = "cgau1",
+               engine: str = "fft") -> "CWTOperator":
+        """Shared-operator LRU cache: filter spectra are expensive to rebuild.
+
+        Bounded at :attr:`_cache_maxsize` entries (least-recently-used
+        eviction) so experiment sweeps over ``(T, lambda, wavelet)`` cannot
+        grow the resident filter memory without limit.
+        """
+        key = (seq_len, num_scales, wavelet, engine)
+        registry = cls._registry
+        if key in registry:
+            cls._cache_hits += 1
+            registry.move_to_end(key)
+            return registry[key]
+        cls._cache_misses += 1
+        op = cls(seq_len, num_scales, wavelet, engine=engine)
+        registry[key] = op
+        while len(registry) > cls._cache_maxsize:
+            registry.popitem(last=False)
+        return op
+
+    @classmethod
+    def cache_info(cls) -> CacheInfo:
+        """Hit/miss counters plus resident filter-bank bytes (like lru_cache)."""
+        bank_bytes = sum(op.nbytes for op in cls._registry.values())
+        return CacheInfo(hits=cls._cache_hits, misses=cls._cache_misses,
+                         size=len(cls._registry), maxsize=cls._cache_maxsize,
+                         bank_bytes=bank_bytes)
+
+    @classmethod
+    def clear_cache(cls) -> None:
+        """Drop every cached operator and reset the hit/miss counters."""
+        cls._registry.clear()
+        cls._cache_hits = 0
+        cls._cache_misses = 0
+
+    @classmethod
+    def set_cache_limit(cls, maxsize: int) -> None:
+        """Resize the LRU cap, evicting the oldest operators if shrinking."""
+        if maxsize < 1:
+            raise ValueError("cache limit must be >= 1")
+        cls._cache_maxsize = int(maxsize)
+        while len(cls._registry) > cls._cache_maxsize:
+            cls._registry.popitem(last=False)
 
     def _calibrate_inverse(self, ridge: float = 1e-2) -> np.ndarray:
         """Per-scale ridge-regression weights for the linear inverse transform.
@@ -120,26 +172,27 @@ class CWTOperator:
     # ------------------------------------------------------------------
     def transform_array(self, x: np.ndarray) -> np.ndarray:
         """Complex CWT of ``x`` (..., T) -> (..., lambda, T)."""
-        x = np.asarray(x, dtype=float)
-        out = x @ (self._m_real + 1j * self._m_imag)
-        return out.reshape(*x.shape[:-1], self.num_scales, self.seq_len)
+        return self._engine.transform(x)
 
     def amplitude_array(self, x: np.ndarray) -> np.ndarray:
-        """``Amp(WT(x))`` of Eq. 7 on plain arrays."""
-        return np.abs(self.transform_array(x))
+        """``Amp(WT(x))`` of Eq. 7 on plain arrays (fused single pass)."""
+        return self._engine.amplitude(x)
 
     def rotated_real_array(self, x: np.ndarray) -> np.ndarray:
         """Phase-rotated real CWT coefficients — the inverse's natural input.
 
         ``inverse_array(rotated_real_array(x))`` approximately reconstructs
-        ``x`` (tested in ``tests/test_cwt.py``).
+        ``x`` (tested in ``tests/test_spectral_cwt.py``).
         """
-        return (self.transform_array(x) * self._rotation).real
+        return (self._engine.transform(x) * self._rotation).real
 
     def inverse_array(self, coeffs: np.ndarray) -> np.ndarray:
         """Linear IWT of (..., lambda, T) coefficients -> (..., T)."""
-        coeffs = np.asarray(coeffs, dtype=float)
-        return np.tensordot(coeffs, self._iwt_weights, axes=([-2], [0]))
+        coeffs = np.asarray(coeffs)
+        if coeffs.dtype not in (np.float32, np.float64):
+            coeffs = coeffs.astype(np.float64)
+        weights = self._iwt_weights.astype(coeffs.dtype, copy=False)
+        return np.tensordot(coeffs, weights, axes=([-2], [0]))
 
     # ------------------------------------------------------------------
     # Differentiable paths (model-level use)
@@ -147,16 +200,26 @@ class CWTOperator:
     def amplitude(self, x: Tensor, eps: float = 1e-8) -> Tensor:
         """Differentiable ``Amp(WT(x))``: (..., T) -> (..., lambda, T).
 
-        The modulus is smoothed with ``eps`` to keep the gradient finite at
-        zero coefficients.
+        One fused tape node: the forward is a single FFT convolution plus
+        the smoothed modulus, and the hand-written backward pulls the
+        cotangent through the modulus (``d|C| = Re(conj(C/|C|) dC)``) and
+        the transform's adjoint — no dense matmuls on the tape in either
+        direction.  The modulus is smoothed with ``eps`` to keep the
+        gradient finite at zero coefficients.
         """
-        real = x @ Tensor(self._m_real)
-        imag = x @ Tensor(self._m_imag)
-        amp = (real * real + imag * imag + eps).sqrt()
-        return amp.reshape(*x.shape[:-1], self.num_scales, self.seq_len)
+        engine = self._engine
+        coeffs = engine.transform(x.data)              # complex (..., lam, T)
+        amp = np.sqrt(coeffs.real ** 2 + coeffs.imag ** 2 + eps)
+
+        def backward(grad, sink):
+            # Cotangent of the complex coefficients: grad * C / amp, then
+            # pulled back through the linear transform by its adjoint.
+            sink(x, engine.adjoint((grad / amp) * coeffs))
+
+        return Tensor._make(amp, (x,), backward)
 
     def inverse(self, coeffs: Tensor) -> Tensor:
         """Differentiable IWT: contract the scale axis at position -2."""
-        w = Tensor(self._iwt_weights)
+        w = Tensor(self._iwt_weights.astype(coeffs.data.dtype, copy=False))
         moved = coeffs.swapaxes(-2, -1)          # (..., T, lambda)
         return moved @ w                          # (..., T)

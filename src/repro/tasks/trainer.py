@@ -17,7 +17,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..autodiff import Tensor, no_grad
+from ..autodiff import Tensor, no_grad, precision, resolve_dtype
 from ..nn.module import Module
 from ..optim import Adam, EarlyStopping, ExponentialDecay, clip_grad_norm
 
@@ -34,6 +34,7 @@ class TrainConfig:
     lr_decay: float = 0.5
     clip_norm: Optional[float] = None
     verbose: bool = False
+    precision: str = "float64"
 
 
 @dataclass
@@ -57,11 +58,20 @@ class Trainer:
     def __init__(self, model: Module, config: Optional[TrainConfig] = None):
         self.model = model
         self.config = config or TrainConfig()
+        # Cast the model before the optimiser snapshots parameter shapes so
+        # Adam's moment buffers share the training precision.
+        self._dtype = resolve_dtype(self.config.precision)
+        if self._dtype != np.float64:
+            model.to(self._dtype)
         self.optimizer = Adam(model.parameters(), lr=self.config.lr)
         self.scheduler = ExponentialDecay(self.optimizer, gamma=self.config.lr_decay)
 
     # ------------------------------------------------------------------
     def _run_epoch(self, loader, step_fn: StepFn, train: bool) -> float:
+        with precision(self._dtype):
+            return self._run_epoch_inner(loader, step_fn, train)
+
+    def _run_epoch_inner(self, loader, step_fn: StepFn, train: bool) -> float:
         self.model.train(train)
         losses = []
         for batch in loader:
@@ -106,7 +116,7 @@ class Trainer:
         sq_sum = abs_sum = 0.0
         count = 0
         for batch in loader:
-            with no_grad():
+            with no_grad(), precision(self._dtype):
                 _, pred, target, mask = step_fn(batch)
             if mask is not None:
                 sel = np.asarray(mask, dtype=bool)
