@@ -13,6 +13,12 @@ The CWT cases run at the paper-scale shape ``(B=32, T=96, lambda=100)`` and
 time both the FFT engine (the default) and the retained dense-matmul
 reference; the JSON records their agreement (max relative error) and the
 FFT speedup alongside the timings.
+
+On top of the per-op cases, a *grid* section times an 8-cell tiny
+Table-IV slice through the experiment engine four ways — serial, parallel
+workers, cold result-cache, warm result-cache — and records the parallel
+speedup, the warm/cold fraction, and whether parallel metrics matched the
+serial reference bit-for-bit (all gated by ``scripts/bench_compare.py``).
 """
 
 import argparse
@@ -20,6 +26,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 
 import numpy as np
@@ -145,6 +152,59 @@ def _time_case(fn, rounds: int) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# Grid benchmark: an 8-cell tiny Table-IV slice through the engine
+# ---------------------------------------------------------------------------
+
+GRID_MODELS = ("DLinear", "LightTS")
+GRID_DATASETS = ("ETTh1", "ETTh2")
+GRID_HORIZONS = (12, 24)
+GRID_WORKERS = 4
+
+
+def bench_grid() -> dict:
+    """Time the engine's serial / parallel / cold-cache / warm-cache paths."""
+    from repro.experiments.configs import get_scale
+    from repro.experiments.engine import forecast_cell, run_grid
+    from repro.experiments.runner import get_dataset
+
+    specs = [forecast_cell(m, d, h, scale="tiny")
+             for m in GRID_MODELS for d in GRID_DATASETS for h in GRID_HORIZONS]
+    # Pre-warm the in-memory dataset cache so every timed path measures
+    # training, not synthetic data generation.
+    for spec in specs:
+        get_dataset(spec.dataset, get_scale(spec.scale), seed=spec.seed)
+
+    serial = run_grid(specs, workers=1)
+    parallel = run_grid(specs, workers=GRID_WORKERS)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold = run_grid(specs, workers=1, cache_dir=cache_dir)
+        warm = run_grid(specs, workers=1, cache_dir=cache_dir)
+
+    def entry(run):
+        return {"min_s": run.seconds, "mean_s": run.seconds, "rounds": 1}
+
+    timings = {
+        "grid_tiny8_workers1": entry(serial),
+        f"grid_tiny8_workers{GRID_WORKERS}": entry(parallel),
+        "grid_tiny8_cold_cache": entry(cold),
+        "grid_tiny8_warm_cache": entry(warm),
+    }
+    facts = {
+        "grid_cells": len(specs),
+        "grid_workers": GRID_WORKERS,
+        "grid_parallel_speedup": serial.seconds / parallel.seconds,
+        "grid_warm_over_cold": warm.seconds / cold.seconds,
+        "grid_warm_cache_hits": warm.cache_hits,
+        "grid_parallel_matches_serial": all(
+            s["mse"] == p["mse"] and s["mae"] == p["mae"]
+            for s, p in zip(serial.results, parallel.results)),
+        "grid_usable_cpus": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else (os.cpu_count() or 1),
+    }
+    return {"timings": timings, "facts": facts}
+
+
 def _verify_fft_vs_dense() -> dict:
     """FFT/dense agreement + speedup facts recorded next to the timings."""
     facts = {}
@@ -162,7 +222,7 @@ def _verify_fft_vs_dense() -> dict:
     return facts
 
 
-def run_suite(rounds_scale: float = 1.0) -> dict:
+def run_suite(rounds_scale: float = 1.0, with_grid: bool = True) -> dict:
     timings = {}
     for name, (builder, rounds) in CASES.items():
         fn = builder()
@@ -175,6 +235,12 @@ def run_suite(rounds_scale: float = 1.0) -> dict:
         fwd_dense = timings[f"cwt_amplitude_forward_dense{tag}"]["min_s"]
         verification[f"cwt_amplitude_fft_speedup_vs_dense{tag}"] = (
             fwd_dense / fwd_fft)
+    if with_grid:
+        grid = bench_grid()
+        timings.update(grid["timings"])
+        verification.update(grid["facts"])
+        for name in grid["timings"]:
+            print(f"  {name:35s} min {timings[name]['min_s'] * 1e3:9.3f} ms")
     return {
         "meta": {
             "suite": "bench_substrate",
@@ -197,16 +263,26 @@ def main(argv=None) -> int:
     parser.add_argument("--rounds-scale", type=float, default=1.0,
                         help="multiply every case's round count (CI can "
                              "lower this for speed)")
+    parser.add_argument("--no-grid", action="store_true",
+                        help="skip the experiment-grid benchmark section")
     args = parser.parse_args(argv)
     print("bench_substrate: timing substrate hot paths "
           f"(CWT at B={CWT_BATCH}, T={CWT_T}, lambda={CWT_LAMBDA})")
-    report = run_suite(rounds_scale=args.rounds_scale)
+    report = run_suite(rounds_scale=args.rounds_scale,
+                       with_grid=not args.no_grid)
     for tag, label in (("", f"T={CWT_T}"), ("_T336", f"T={CWT_T_LONG}")):
         speedup = report["verification"][
             f"cwt_amplitude_fft_speedup_vs_dense{tag}"]
         err = report["verification"][f"fft_dense_max_rel_err{tag}"]
         print(f"  FFT vs dense CWT amplitude speedup ({label}): "
               f"{speedup:.1f}x (max rel err {err:.2e})")
+    ver = report["verification"]
+    if "grid_parallel_speedup" in ver:
+        print(f"  grid: {ver['grid_cells']} cells, workers="
+              f"{ver['grid_workers']} speedup {ver['grid_parallel_speedup']:.2f}x "
+              f"on {ver['grid_usable_cpus']} usable cpu(s); warm cache at "
+              f"{ver['grid_warm_over_cold']:.1%} of cold; parallel==serial: "
+              f"{ver['grid_parallel_matches_serial']}")
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")

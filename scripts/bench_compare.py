@@ -13,6 +13,14 @@ Timings are compared on ``min_s`` (the most noise-robust statistic a
 single-run harness produces); cases present on only one side are reported
 but never fail the gate, so adding or retiring benchmark cases does not
 require lock-step baseline updates.
+
+Besides raw timings, the experiment-grid facts recorded by the bench are
+gated when present in the current report:
+
+* ``grid_parallel_matches_serial`` must be true (worker-pool results are
+  bit-identical to the serial reference);
+* ``grid_warm_over_cold`` (warm result-cache re-run as a fraction of the
+  cold run) must stay under ``--warm-threshold`` (default 25%).
 """
 
 from __future__ import annotations
@@ -30,6 +38,33 @@ DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "BENCH_baseline.json")
 def load(path: str) -> dict:
     with open(path) as fh:
         return json.load(fh)
+
+
+def check_grid_facts(current: dict, warm_threshold: float) -> int:
+    """Gate the engine's correctness/caching facts; 0 = ok, 1 = fail."""
+    ver = current.get("verification", {})
+    failures = 0
+    if "grid_parallel_matches_serial" in ver:
+        ok = bool(ver["grid_parallel_matches_serial"])
+        print(f"grid: parallel matches serial: {ok}")
+        if not ok:
+            print("FAIL: parallel grid results diverged from the serial "
+                  "reference", file=sys.stderr)
+            failures += 1
+    if "grid_warm_over_cold" in ver:
+        frac = float(ver["grid_warm_over_cold"])
+        print(f"grid: warm cache re-run at {frac:.1%} of cold "
+              f"(threshold {warm_threshold:.0%})")
+        if frac > warm_threshold:
+            print(f"FAIL: warm result-cache re-run took {frac:.1%} of the "
+                  f"cold run (limit {warm_threshold:.0%})", file=sys.stderr)
+            failures += 1
+    if "grid_parallel_speedup" in ver:
+        print(f"grid: parallel speedup {ver['grid_parallel_speedup']:.2f}x "
+              f"with {ver.get('grid_workers', '?')} workers on "
+              f"{ver.get('grid_usable_cpus', '?')} usable cpu(s) "
+              "(informational; depends on host cores)")
+    return 1 if failures else 0
 
 
 def compare(current: dict, baseline: dict, threshold: float) -> int:
@@ -76,12 +111,19 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional slowdown before failing "
                              "(0.25 = 25%%)")
+    parser.add_argument("--warm-threshold", type=float, default=0.25,
+                        help="max warm/cold grid wall-clock fraction "
+                             "(0.25 = warm cache re-run must finish in "
+                             "<25%% of the cold run)")
     args = parser.parse_args(argv)
     for path in (args.current, args.baseline):
         if not os.path.exists(path):
             print(f"error: {path} not found", file=sys.stderr)
             return 2
-    return compare(load(args.current), load(args.baseline), args.threshold)
+    current = load(args.current)
+    status = compare(current, load(args.baseline), args.threshold)
+    grid_status = check_grid_facts(current, args.warm_threshold)
+    return status or grid_status
 
 
 if __name__ == "__main__":

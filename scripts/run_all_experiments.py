@@ -28,12 +28,17 @@ def main() -> None:
     parser.add_argument("--scale", default="tiny")
     parser.add_argument("--only", nargs="*", default=None,
                         help="subset of {table2..table9, figures}")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes per table grid")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent result cache shared by all tables")
     args = parser.parse_args()
     os.makedirs(OUT, exist_ok=True)
     scale = args.scale
     wanted = set(args.only or ["table2", "table3", "table4", "table5",
                                "table6", "table7", "table8", "table9",
                                "figures"])
+    grid = dict(workers=args.workers, cache_dir=args.cache_dir)
     t0 = time.time()
 
     if "table2" in wanted:
@@ -41,27 +46,27 @@ def main() -> None:
     if "table3" in wanted:
         emit("table3", format_table3())
     if "table4" in wanted:
-        t = table4.run(scale=scale, verbose=True)
+        t = table4.run(scale=scale, verbose=True, **grid)
         t.save_json(os.path.join(OUT, "table4.json"))
         emit("table4", t.render())
     if "table5" in wanted:
-        t = table5.run(scale=scale, verbose=True)
+        t = table5.run(scale=scale, verbose=True, **grid)
         t.save_json(os.path.join(OUT, "table5.json"))
         emit("table5", t.render())
     if "table6" in wanted:
-        t = table6.run(scale=scale, verbose=True)
+        t = table6.run(scale=scale, verbose=True, **grid)
         t.save_json(os.path.join(OUT, "table6.json"))
         emit("table6", t.render())
     if "table7" in wanted:
-        t = table7.run(scale=scale, verbose=True)
+        t = table7.run(scale=scale, verbose=True, **grid)
         t.save_json(os.path.join(OUT, "table7.json"))
         emit("table7", t.render())
     if "table8" in wanted:
-        t = table8.run(scale=scale, verbose=True)
+        t = table8.run(scale=scale, verbose=True, **grid)
         t.save_json(os.path.join(OUT, "table8.json"))
         emit("table8", t.render())
     if "table9" in wanted:
-        t = table9.run(scale=scale, verbose=True)
+        t = table9.run(scale=scale, verbose=True, **grid)
         t.save_json(os.path.join(OUT, "table9.json"))
         emit("table9", t.render())
     if "figures" in wanted:

@@ -8,6 +8,13 @@ Examples::
     python -m repro train --model DLinear --dataset Weather --task imputation
     python -m repro forecast --checkpoint ts3net_etth1.npz --dataset ETTh1
     python -m repro decompose --dataset ETTh2 --window 192
+
+The paper's tables run through the experiment-grid engine (parallel
+workers + persistent result cache)::
+
+    python -m repro table4 --scale tiny --workers 4 --cache-dir .repro_cache
+    python -m repro table8 --datasets ETTh1 --workers 2
+    python -m repro sensitivity --knob num_blocks --scale tiny
 """
 
 from __future__ import annotations
@@ -108,6 +115,26 @@ def cmd_forecast(args) -> int:
     return 0
 
 
+TABLE_COMMANDS = ("table2", "table4", "table5", "table6", "table7",
+                  "table8", "table9", "sensitivity")
+
+
+def cmd_table(command: str, rest) -> int:
+    """Forward a ``tableN``/``sensitivity`` subcommand to its module CLI.
+
+    The experiment modules own their argument parsing (``--scale``,
+    ``--workers``, ``--cache-dir``, per-table subset flags, ...); the top
+    level just routes the remaining argv through.
+    """
+    from .experiments import sensitivity as sensitivity_mod
+    from .experiments import table2, table4, table5, table6, table7, table8, table9
+    modules = {"table2": table2, "table4": table4, "table5": table5,
+               "table6": table6, "table7": table7, "table8": table8,
+               "table9": table9, "sensitivity": sensitivity_mod}
+    modules[command].main(list(rest))
+    return 0
+
+
 def cmd_decompose(args) -> int:
     from .experiments.figures import figure5
     fig = figure5(dataset=args.dataset, scale="small",
@@ -149,10 +176,24 @@ def build_parser() -> argparse.ArgumentParser:
     decompose.add_argument("--num-scales", type=int, default=16)
     decompose.add_argument("--csv", default=None)
 
+    for name in TABLE_COMMANDS:
+        table = sub.add_parser(
+            name, add_help=False,
+            help=f"run the paper's {name} grid via the engine "
+                 f"(--workers/--cache-dir; see `{name} --help`)")
+        table.add_argument("rest", nargs=argparse.REMAINDER,
+                           help="arguments for the experiment module")
+
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Table subcommands are routed before the main parser: REMAINDER does
+    # not capture leading options (e.g. `table4 --scale tiny`), and the
+    # experiment modules own that argument parsing anyway.
+    if argv and argv[0] in TABLE_COMMANDS:
+        return cmd_table(argv[0], argv[1:])
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "train": cmd_train,
                 "forecast": cmd_forecast, "decompose": cmd_decompose}

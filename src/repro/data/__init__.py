@@ -9,10 +9,12 @@ from .dataset import (
     DataLoader, ForecastWindows, ImputationWindows, SplitData, StandardScaler,
     chronological_split, load_dataset,
 )
+from .cache import DatasetCache
 from .masking import MASK_RATIOS, apply_mask, mask_batch, random_mask
 from .noise import NOISE_RATIOS, inject_noise
 
 __all__ = [
+    "DatasetCache",
     "DatasetSpec", "FORECAST_DATASETS", "IMPUTATION_DATASETS", "SPECS",
     "TINY_DIMS", "get_spec", "DEFAULT_STEPS", "generate", "paper_scale_steps",
     "DataLoader", "ForecastWindows", "ImputationWindows", "SplitData",

@@ -1,0 +1,142 @@
+"""Shared dataset cache: bounded in-memory LRU + optional on-disk ``.npz``.
+
+Replaces the old unbounded per-process ``functools.lru_cache`` in the
+experiment runner. Two layers:
+
+* an in-memory LRU bounded by ``max_items`` (long grids touching many
+  (dataset, seed) combinations no longer grow memory without bound);
+* an optional on-disk layer writing one ``.npz`` per generated split, so
+  worker *processes* of a parallel grid share one generation pass instead
+  of re-synthesising identical data per process.
+
+The cache key is the complete generation input — ``(name, n_steps, dim,
+seed)``; window sizes and other scale-dependent training config are
+deliberately *not* part of the key because they do not change the
+generated arrays (they are applied downstream by the window datasets).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .dataset import SplitData, StandardScaler, load_dataset
+
+Key = Tuple[str, Optional[int], Optional[int], int]
+
+
+def _npz_name(key: Key) -> str:
+    name, n_steps, dim, seed = key
+    return f"{name}-n{n_steps}-d{dim}-s{seed}.npz"
+
+
+def _to_npz_payload(split: SplitData) -> dict:
+    return {
+        "train": split.train, "val": split.val, "test": split.test,
+        "mean": split.scaler.mean, "std": split.scaler.std,
+    }
+
+
+def _from_npz_payload(payload, name: str) -> SplitData:
+    scaler = StandardScaler()
+    scaler.mean = np.asarray(payload["mean"])
+    scaler.std = np.asarray(payload["std"])
+    return SplitData(train=np.asarray(payload["train"]),
+                     val=np.asarray(payload["val"]),
+                     test=np.asarray(payload["test"]),
+                     scaler=scaler, name=name)
+
+
+class DatasetCache:
+    """LRU-bounded split cache with an optional on-disk ``.npz`` layer."""
+
+    def __init__(self, cache_dir: Optional[str] = None, max_items: int = 16):
+        if max_items < 1:
+            raise ValueError("max_items must be >= 1")
+        self.max_items = max_items
+        self._memory: "OrderedDict[Key, SplitData]" = OrderedDict()
+        self._dir: Optional[str] = None
+        self.hits = 0
+        self.misses = 0
+        if cache_dir:
+            self.set_cache_dir(cache_dir)
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_dir(self) -> Optional[str]:
+        return self._dir
+
+    def set_cache_dir(self, cache_dir: Optional[str]) -> None:
+        """Point the on-disk layer somewhere (``None`` disables it)."""
+        if cache_dir is None:
+            self._dir = None
+            return
+        self._dir = os.path.abspath(cache_dir)
+        os.makedirs(self._dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def load(self, name: str, n_steps: Optional[int] = None,
+             dim: Optional[int] = None, seed: int = 0) -> SplitData:
+        key: Key = (name, n_steps, dim, seed)
+        split = self._memory.get(key)
+        if split is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return split
+
+        split = self._load_disk(key)
+        if split is None:
+            self.misses += 1
+            split = load_dataset(name, n_steps=n_steps, dim=dim, seed=seed)
+            self._store_disk(key, split)
+        else:
+            self.hits += 1
+
+        self._memory[key] = split
+        while len(self._memory) > self.max_items:
+            self._memory.popitem(last=False)
+        return split
+
+    def _load_disk(self, key: Key) -> Optional[SplitData]:
+        if self._dir is None:
+            return None
+        path = os.path.join(self._dir, _npz_name(key))
+        if not os.path.exists(path):
+            return None
+        try:
+            with np.load(path) as payload:
+                return _from_npz_payload(payload, key[0])
+        except (OSError, ValueError):
+            return None          # torn write == miss; will be regenerated
+
+    def _store_disk(self, key: Key, split: SplitData) -> None:
+        if self._dir is None:
+            return
+        fd, tmp = tempfile.mkstemp(dir=self._dir, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **_to_npz_payload(split))
+            os.replace(tmp, os.path.join(self._dir, _npz_name(key)))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-memory layer (and the ``.npz`` files if ``disk``)."""
+        self._memory.clear()
+        self.hits = self.misses = 0
+        if disk and self._dir is not None:
+            for fname in os.listdir(self._dir):
+                if fname.endswith(".npz"):
+                    os.unlink(os.path.join(self._dir, fname))
+
+    def cache_info(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "in_memory": len(self._memory), "max_items": self.max_items,
+                "cache_dir": self._dir}

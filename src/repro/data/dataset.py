@@ -96,6 +96,12 @@ class ForecastWindows:
         self.seq_len = seq_len
         self.pred_len = pred_len
         self.stride = stride
+        # Zero-copy (n_windows, seq_len + pred_len, C) view of every
+        # window, so a whole batch gathers with one fancy index instead of
+        # a Python loop + stack.
+        view = np.lib.stride_tricks.sliding_window_view(
+            self.data, seq_len + pred_len, axis=0)
+        self._view = view.transpose(0, 2, 1)
 
     def __len__(self) -> int:
         return (len(self.data) - self.seq_len - self.pred_len) // self.stride + 1
@@ -105,6 +111,16 @@ class ForecastWindows:
         x = self.data[start:start + self.seq_len]
         y = self.data[start + self.seq_len:start + self.seq_len + self.pred_len]
         return x, y
+
+    def batch_shape(self, n: int) -> Tuple[int, int, int]:
+        return (n, self.seq_len + self.pred_len, self.data.shape[1])
+
+    def gather(self, idx: np.ndarray,
+               out: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised batch fetch: ``(x, y)`` views into one gathered block."""
+        starts = idx * self.stride if self.stride != 1 else idx
+        block = np.take(self._view, starts, axis=0, out=out)
+        return block[:, :self.seq_len], block[:, self.seq_len:]
 
 
 class ImputationWindows:
@@ -116,6 +132,9 @@ class ImputationWindows:
         self.data = np.asarray(data, dtype=float)
         self.seq_len = seq_len
         self.stride = stride
+        view = np.lib.stride_tricks.sliding_window_view(
+            self.data, seq_len, axis=0)
+        self._view = view.transpose(0, 2, 1)
 
     def __len__(self) -> int:
         return (len(self.data) - self.seq_len) // self.stride + 1
@@ -124,36 +143,72 @@ class ImputationWindows:
         start = idx * self.stride
         return self.data[start:start + self.seq_len]
 
+    def batch_shape(self, n: int) -> Tuple[int, int, int]:
+        return (n, self.seq_len, self.data.shape[1])
+
+    def gather(self, idx: np.ndarray,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Vectorised batch fetch of ``len(idx)`` windows."""
+        starts = idx * self.stride if self.stride != 1 else idx
+        return np.take(self._view, starts, axis=0, out=out)
+
 
 class DataLoader:
-    """Batched iteration over a window dataset with optional shuffling."""
+    """Batched iteration over a window dataset with optional shuffling.
+
+    Window datasets exposing ``gather``/``batch_shape`` (both shipped
+    window classes do) are batched with one vectorised fancy-index per
+    batch instead of a per-item Python loop. With ``reuse_buffers=True``
+    the loader additionally gathers into a preallocated batch buffer that
+    is *reused across iterations* — the trainer hot path, where every
+    batch is fully consumed before the next one is requested. Leave it
+    off (the default) when collecting batches across iterations.
+    """
 
     def __init__(self, windows, batch_size: int = 32, shuffle: bool = False,
-                 seed: int = 0, max_batches: Optional[int] = None):
+                 seed: int = 0, max_batches: Optional[int] = None,
+                 reuse_buffers: bool = False):
         self.windows = windows
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.max_batches = max_batches
+        self.reuse_buffers = reuse_buffers
         self._rng = np.random.default_rng(seed)
+        self._buffer: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         n = -(-len(self.windows) // self.batch_size)
         return min(n, self.max_batches) if self.max_batches else n
 
+    def _gather_fast(self, idx: np.ndarray):
+        out = None
+        if self.reuse_buffers:
+            shape = self.windows.batch_shape(len(idx))
+            if self._buffer is None or self._buffer.shape[0] < shape[0]:
+                self._buffer = np.empty(
+                    self.windows.batch_shape(self.batch_size),
+                    dtype=self.windows.data.dtype)
+            out = self._buffer[:shape[0]]
+        return self.windows.gather(idx, out=out)
+
     def __iter__(self) -> Iterator:
         order = np.arange(len(self.windows))
         if self.shuffle:
             self._rng.shuffle(order)
+        fast = hasattr(self.windows, "gather")
         batches_yielded = 0
         for start in range(0, len(order), self.batch_size):
             if self.max_batches and batches_yielded >= self.max_batches:
                 return
             idx = order[start:start + self.batch_size]
-            items = [self.windows[i] for i in idx]
-            if isinstance(items[0], tuple):
-                xs = np.stack([it[0] for it in items])
-                ys = np.stack([it[1] for it in items])
-                yield xs, ys
+            if fast:
+                yield self._gather_fast(idx)
             else:
-                yield np.stack(items)
+                items = [self.windows[i] for i in idx]
+                if isinstance(items[0], tuple):
+                    xs = np.stack([it[0] for it in items])
+                    ys = np.stack([it[1] for it in items])
+                    yield xs, ys
+                else:
+                    yield np.stack(items)
             batches_yielded += 1

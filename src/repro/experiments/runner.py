@@ -3,15 +3,22 @@
 Handles seeding, dataset caching, window-size resolution (ILI uses short
 windows), model construction via the registry, and task execution — so the
 per-table modules stay declarative.
+
+Datasets are served by a shared :class:`~repro.data.cache.DatasetCache`
+(bounded in-memory LRU + optional on-disk ``.npz`` layer) instead of the
+old unbounded per-process ``lru_cache``; point it at a directory with
+:func:`set_data_cache_dir` so parallel grid workers share one generation
+pass, and drop it with :func:`clear_dataset_cache`.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+import time
 from typing import Dict, Optional
 
 from ..baselines.registry import build_model
-from ..data.dataset import SplitData, load_dataset
+from ..data.cache import DatasetCache
+from ..data.dataset import SplitData
 from ..data.noise import inject_noise
 from ..tasks.forecasting import ForecastTask, run_forecast
 from ..tasks.imputation import ImputationTask, run_imputation
@@ -21,15 +28,26 @@ from .configs import Scale, get_scale
 
 import numpy as np
 
+_dataset_cache = DatasetCache(max_items=16)
 
-@lru_cache(maxsize=32)
-def _cached_dataset(name: str, n_steps: Optional[int], seed: int) -> SplitData:
-    return load_dataset(name, n_steps=n_steps, seed=seed)
+
+def set_data_cache_dir(cache_dir: Optional[str]) -> None:
+    """Enable (or disable with ``None``) the shared on-disk dataset cache."""
+    _dataset_cache.set_cache_dir(cache_dir)
+
+
+def clear_dataset_cache(disk: bool = False) -> None:
+    """Drop cached datasets (in-memory always; ``.npz`` files if ``disk``)."""
+    _dataset_cache.clear(disk=disk)
+
+
+def dataset_cache_info() -> Dict:
+    return _dataset_cache.cache_info()
 
 
 def get_dataset(name: str, scale: Scale, seed: int = 0) -> SplitData:
     """Load (with caching) the synthetic dataset at this scale."""
-    return _cached_dataset(name, scale.steps_for(name), seed)
+    return _dataset_cache.load(name, n_steps=scale.steps_for(name), seed=seed)
 
 
 def _train_config(scale: Scale) -> TrainConfig:
@@ -40,6 +58,13 @@ def _model_overrides(scale: Scale) -> Dict:
     return {"num_scales": scale.num_scales} if scale.num_scales else {}
 
 
+def _timing_fields(result) -> Dict[str, float]:
+    return {"epochs": result.epochs_run, "seconds": result.seconds,
+            "train_seconds": result.train_seconds,
+            "eval_seconds": result.eval_seconds,
+            "epoch_seconds": list(result.epoch_seconds)}
+
+
 def run_forecast_cell(model_name: str, dataset: str, pred_len: int,
                       scale: str = "tiny", seed: int = 0,
                       noise_rho: float = 0.0,
@@ -47,13 +72,17 @@ def run_forecast_cell(model_name: str, dataset: str, pred_len: int,
     """Train + evaluate one Table IV cell; returns ``{"mse", "mae"}``.
 
     ``noise_rho`` reproduces the Table VIII robustness protocol (noise
-    injected into the training inputs).
+    injected into the training inputs). The noise stream is seeded with
+    ``rho`` as well as ``seed`` so distinct noise settings are distinct
+    measurements everywhere downstream (in particular in the engine's
+    content-addressed result store, where a Table VIII cell must never
+    collide with the clean Table IV cell it perturbs).
     """
     sc = get_scale(scale)
     seq_len, _ = sc.windows_for(dataset)
     split = get_dataset(dataset, sc, seed=seed)
     if noise_rho > 0.0:
-        rng = np.random.default_rng(seed + 777)
+        rng = np.random.default_rng([seed + 777, int(round(noise_rho * 1e6))])
         split = SplitData(train=inject_noise(split.train, noise_rho, rng),
                           val=split.val, test=split.test,
                           scaler=split.scaler, name=split.name)
@@ -70,8 +99,7 @@ def run_forecast_cell(model_name: str, dataset: str, pred_len: int,
                         max_train_batches=sc.max_train_batches,
                         max_eval_batches=sc.max_eval_batches, seed=seed)
     result = run_forecast(model, split, task, _train_config(sc))
-    return {"mse": result.mse, "mae": result.mae,
-            "epochs": result.epochs_run, "seconds": result.seconds}
+    return {"mse": result.mse, "mae": result.mae, **_timing_fields(result)}
 
 
 def run_imputation_cell(model_name: str, dataset: str, mask_ratio: float,
@@ -94,5 +122,4 @@ def run_imputation_cell(model_name: str, dataset: str, mask_ratio: float,
                           max_train_batches=sc.max_train_batches,
                           max_eval_batches=sc.max_eval_batches, seed=seed)
     result = run_imputation(model, split, task, _train_config(sc))
-    return {"mse": result.mse, "mae": result.mae,
-            "epochs": result.epochs_run, "seconds": result.seconds}
+    return {"mse": result.mse, "mae": result.mae, **_timing_fields(result)}

@@ -19,8 +19,8 @@ import argparse
 from typing import Dict, Optional, Sequence
 
 from .configs import get_scale
+from .engine import add_engine_args, forecast_cell, run_grid
 from .results import ResultTable
-from .runner import run_forecast_cell
 
 KNOBS: Dict[str, Sequence] = {
     "num_blocks": (1, 2, 3),
@@ -36,26 +36,29 @@ def run(knob: str, scale: str = "tiny",
         datasets: Optional[Sequence[str]] = None,
         pred_lens: Optional[Sequence[int]] = None,
         values: Optional[Sequence] = None, seed: int = 0,
-        verbose: bool = False) -> ResultTable:
+        verbose: bool = False, workers: int = 1,
+        cache_dir: Optional[str] = None) -> ResultTable:
     if knob not in KNOBS:
         raise KeyError(f"unknown knob {knob!r}; choose from {sorted(KNOBS)}")
     sc = get_scale(scale)
     datasets = list(datasets or DEFAULT_DATASETS)
     values = list(values if values is not None else KNOBS[knob])
 
-    table = ResultTable(f"Sensitivity of TS3Net to {knob} (scale={scale})")
+    rows, specs = [], []
     for dataset in datasets:
         _, horizon_list = sc.windows_for(dataset)
-        horizons = list(pred_lens or horizon_list[:1])
-        for pred_len in horizons:
+        for pred_len in list(pred_lens or horizon_list[:1]):
             for value in values:
-                metrics = run_forecast_cell(
+                rows.append((dataset, pred_len, f"{knob}={value}"))
+                specs.append(forecast_cell(
                     "TS3Net", dataset, pred_len, scale=scale, seed=seed,
-                    model_overrides={knob: value})
-                table.add(dataset, pred_len, f"{knob}={value}", metrics)
-                if verbose:
-                    print(f"{dataset:>12s} h={pred_len:<4d} {knob}={value} "
-                          f"mse={metrics['mse']:.3f}")
+                    overrides={knob: value}))
+    grid = run_grid(specs, workers=workers, cache_dir=cache_dir,
+                    progress=verbose)
+
+    table = ResultTable(f"Sensitivity of TS3Net to {knob} (scale={scale})")
+    for (dataset, pred_len, column), metrics in zip(rows, grid.results):
+        table.add(dataset, pred_len, column, metrics)
     return table
 
 
@@ -67,9 +70,11 @@ def main(argv=None) -> None:
     parser.add_argument("--pred-lens", nargs="*", type=int, default=None)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--save", default=None)
+    add_engine_args(parser)
     args = parser.parse_args(argv)
     table = run(knob=args.knob, scale=args.scale, datasets=args.datasets,
-                pred_lens=args.pred_lens, seed=args.seed, verbose=True)
+                pred_lens=args.pred_lens, seed=args.seed, verbose=True,
+                workers=args.workers, cache_dir=args.cache_dir)
     print(table.render())
     if args.save:
         table.save_json(args.save)

@@ -1,0 +1,112 @@
+"""Content-addressed, on-disk result store for experiment cells.
+
+Every finished (model, dataset, setting, scale, seed, ...) measurement is
+persisted under a key that hashes *everything the number depends on*:
+
+* the cell spec itself (task, model, dataset, setting, seed, noise ratio,
+  model overrides);
+* the full scale configuration (window sizes, epoch budget, batch limits,
+  learning rate, ...) — so editing a :class:`~repro.experiments.configs.Scale`
+  invalidates exactly the cells that ran under it;
+* the derived train config;
+* a code-version fingerprint over the ``repro`` package sources — so a
+  substrate change (new trainer, new model code) invalidates the whole
+  store rather than silently serving stale metrics.
+
+Entries are one small JSON file each, so the store is safe under
+concurrent writers (each worker writes a different key; writes go through
+a same-directory temp file + ``os.replace``) and trivially inspectable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Iterable, Optional
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``.py`` source file in the installed ``repro`` package.
+
+    Cached per process: the sources cannot change under a running
+    experiment, and hashing ~200 small files costs only a few ms once.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(pkg_root)):
+            dirnames.sort()
+            for fname in sorted(filenames):
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                digest.update(os.path.relpath(path, pkg_root).encode())
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+def canonical_key(payload: Dict) -> str:
+    """SHA-256 of the canonical-JSON payload (sorted keys, no whitespace)."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultStore:
+    """On-disk ``{key -> result dict}`` map, one JSON file per cell."""
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = os.path.abspath(cache_dir)
+        os.makedirs(self.cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict]:
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None          # torn write / corrupt entry == cache miss
+
+    def put(self, key: str, result: Dict) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(result, fh, indent=2, default=str)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterable[str]:
+        for fname in sorted(os.listdir(self.cache_dir)):
+            if fname.endswith(".json"):
+                yield fname[:-len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            os.unlink(self._path(key))
+            removed += 1
+        return removed

@@ -37,7 +37,13 @@ def describe(scale: str = "tiny") -> str:
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="tiny")
+    parser.add_argument("--cache-dir", default=None,
+                        help="share the engine's on-disk dataset cache")
     args = parser.parse_args(argv)
+    if args.cache_dir:
+        from . import runner
+        import os
+        runner.set_data_cache_dir(os.path.join(args.cache_dir, "data"))
     print(describe(args.scale))
 
 

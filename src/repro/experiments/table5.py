@@ -14,28 +14,32 @@ from typing import Optional, Sequence
 from ..baselines.registry import MODEL_NAMES
 from ..data.masking import MASK_RATIOS
 from ..data.specs import IMPUTATION_DATASETS
+from .engine import add_engine_args, imputation_cell, run_grid
 from .results import ResultTable
-from .runner import run_imputation_cell
 
 
 def run(scale: str = "tiny", datasets: Optional[Sequence[str]] = None,
         models: Optional[Sequence[str]] = None,
         mask_ratios: Optional[Sequence[float]] = None, seed: int = 0,
-        verbose: bool = False) -> ResultTable:
+        verbose: bool = False, workers: int = 1,
+        cache_dir: Optional[str] = None) -> ResultTable:
     datasets = list(datasets or IMPUTATION_DATASETS)
     models = list(models or MODEL_NAMES)
     ratios = list(mask_ratios or MASK_RATIOS)
 
-    table = ResultTable(f"Table V — Imputation (scale={scale})")
+    rows, specs = [], []
     for dataset in datasets:
         for ratio in ratios:
             for model in models:
-                metrics = run_imputation_cell(model, dataset, ratio,
-                                              scale=scale, seed=seed)
-                table.add(dataset, f"{ratio:.1%}", model, metrics)
-                if verbose:
-                    print(f"{dataset:>12s} mask={ratio:.1%} {model:<12s} "
-                          f"mse={metrics['mse']:.3f} mae={metrics['mae']:.3f}")
+                rows.append((dataset, f"{ratio:.1%}", model))
+                specs.append(imputation_cell(model, dataset, ratio,
+                                             scale=scale, seed=seed))
+    grid = run_grid(specs, workers=workers, cache_dir=cache_dir,
+                    progress=verbose)
+
+    table = ResultTable(f"Table V — Imputation (scale={scale})")
+    for (dataset, setting, model), metrics in zip(rows, grid.results):
+        table.add(dataset, setting, model, metrics)
     return table
 
 
@@ -47,9 +51,11 @@ def main(argv=None) -> None:
     parser.add_argument("--mask-ratios", nargs="*", type=float, default=None)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--save", default=None)
+    add_engine_args(parser)
     args = parser.parse_args(argv)
     table = run(scale=args.scale, datasets=args.datasets, models=args.models,
-                mask_ratios=args.mask_ratios, seed=args.seed, verbose=True)
+                mask_ratios=args.mask_ratios, seed=args.seed, verbose=True,
+                workers=args.workers, cache_dir=args.cache_dir)
     print(table.render())
     if args.save:
         table.save_json(args.save)

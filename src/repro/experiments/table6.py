@@ -13,8 +13,8 @@ import argparse
 from typing import Optional, Sequence
 
 from .configs import get_scale
+from .engine import add_engine_args, forecast_cell, run_grid
 from .results import ResultTable
-from .runner import run_forecast_cell
 
 ABLATION_COLUMNS = ("w/o TD", "w/o TF-Block", "w/o Both", "TS3Net")
 _COLUMN_TO_MODEL = {
@@ -28,22 +28,25 @@ DEFAULT_DATASETS = ("ETTm1", "Electricity", "Traffic", "Exchange")
 
 def run(scale: str = "tiny", datasets: Optional[Sequence[str]] = None,
         pred_lens: Optional[Sequence[int]] = None, seed: int = 0,
-        verbose: bool = False) -> ResultTable:
+        verbose: bool = False, workers: int = 1,
+        cache_dir: Optional[str] = None) -> ResultTable:
     sc = get_scale(scale)
     datasets = list(datasets or DEFAULT_DATASETS)
 
-    table = ResultTable(f"Table VI — Ablations on model architecture (scale={scale})")
+    rows, specs = [], []
     for dataset in datasets:
         _, horizon_list = sc.windows_for(dataset)
-        horizons = list(pred_lens or horizon_list)
-        for pred_len in horizons:
+        for pred_len in list(pred_lens or horizon_list):
             for column in ABLATION_COLUMNS:
-                metrics = run_forecast_cell(_COLUMN_TO_MODEL[column], dataset,
-                                            pred_len, scale=scale, seed=seed)
-                table.add(dataset, pred_len, column, metrics)
-                if verbose:
-                    print(f"{dataset:>12s} h={pred_len:<4d} {column:<14s} "
-                          f"mse={metrics['mse']:.3f} mae={metrics['mae']:.3f}")
+                rows.append((dataset, pred_len, column))
+                specs.append(forecast_cell(_COLUMN_TO_MODEL[column], dataset,
+                                           pred_len, scale=scale, seed=seed))
+    grid = run_grid(specs, workers=workers, cache_dir=cache_dir,
+                    progress=verbose)
+
+    table = ResultTable(f"Table VI — Ablations on model architecture (scale={scale})")
+    for (dataset, pred_len, column), metrics in zip(rows, grid.results):
+        table.add(dataset, pred_len, column, metrics)
     return table
 
 
@@ -54,9 +57,11 @@ def main(argv=None) -> None:
     parser.add_argument("--pred-lens", nargs="*", type=int, default=None)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--save", default=None)
+    add_engine_args(parser)
     args = parser.parse_args(argv)
     table = run(scale=args.scale, datasets=args.datasets,
-                pred_lens=args.pred_lens, seed=args.seed, verbose=True)
+                pred_lens=args.pred_lens, seed=args.seed, verbose=True,
+                workers=args.workers, cache_dir=args.cache_dir)
     print(table.render())
     if args.save:
         table.save_json(args.save)

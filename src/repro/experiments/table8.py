@@ -13,8 +13,8 @@ from typing import Optional, Sequence
 
 from ..data.noise import NOISE_RATIOS
 from .configs import get_scale
+from .engine import add_engine_args, forecast_cell, run_grid
 from .results import ResultTable
-from .runner import run_forecast_cell
 
 DEFAULT_DATASETS = ("ETTh1", "ETTh2", "Exchange")
 
@@ -22,24 +22,27 @@ DEFAULT_DATASETS = ("ETTh1", "ETTh2", "Exchange")
 def run(scale: str = "tiny", datasets: Optional[Sequence[str]] = None,
         pred_lens: Optional[Sequence[int]] = None,
         noise_ratios: Optional[Sequence[float]] = None, seed: int = 0,
-        verbose: bool = False) -> ResultTable:
+        verbose: bool = False, workers: int = 1,
+        cache_dir: Optional[str] = None) -> ResultTable:
     sc = get_scale(scale)
     datasets = list(datasets or DEFAULT_DATASETS)
     ratios = list(noise_ratios or NOISE_RATIOS)
 
-    table = ResultTable(f"Table VIII — Robustness to noise (scale={scale})")
+    rows, specs = [], []
     for dataset in datasets:
         _, horizon_list = sc.windows_for(dataset)
-        horizons = list(pred_lens or horizon_list)
-        for pred_len in horizons:
+        for pred_len in list(pred_lens or horizon_list):
             for rho in ratios:
-                metrics = run_forecast_cell("TS3Net", dataset, pred_len,
-                                            scale=scale, seed=seed,
-                                            noise_rho=rho)
-                table.add(dataset, pred_len, f"rho={rho:.0%}", metrics)
-                if verbose:
-                    print(f"{dataset:>12s} h={pred_len:<4d} rho={rho:.0%} "
-                          f"mse={metrics['mse']:.3f} mae={metrics['mae']:.3f}")
+                rows.append((dataset, pred_len, f"rho={rho:.0%}"))
+                specs.append(forecast_cell("TS3Net", dataset, pred_len,
+                                           scale=scale, seed=seed,
+                                           noise_rho=rho))
+    grid = run_grid(specs, workers=workers, cache_dir=cache_dir,
+                    progress=verbose)
+
+    table = ResultTable(f"Table VIII — Robustness to noise (scale={scale})")
+    for (dataset, pred_len, column), metrics in zip(rows, grid.results):
+        table.add(dataset, pred_len, column, metrics)
     return table
 
 
@@ -51,10 +54,12 @@ def main(argv=None) -> None:
     parser.add_argument("--noise-ratios", nargs="*", type=float, default=None)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--save", default=None)
+    add_engine_args(parser)
     args = parser.parse_args(argv)
     table = run(scale=args.scale, datasets=args.datasets,
                 pred_lens=args.pred_lens, noise_ratios=args.noise_ratios,
-                seed=args.seed, verbose=True)
+                seed=args.seed, verbose=True,
+                workers=args.workers, cache_dir=args.cache_dir)
     print(table.render())
     if args.save:
         table.save_json(args.save)

@@ -12,8 +12,8 @@ import argparse
 from typing import Optional, Sequence
 
 from .configs import get_scale
+from .engine import add_engine_args, forecast_cell, run_grid
 from .results import ResultTable
-from .runner import run_forecast_cell
 
 DEFAULT_DATASETS = ("ETTh1", "ETTh2", "Exchange")
 PAPER_LAMBDAS = (50, 100, 150, 200)
@@ -23,25 +23,28 @@ TINY_LAMBDAS = (4, 8, 16)
 def run(scale: str = "tiny", datasets: Optional[Sequence[str]] = None,
         pred_lens: Optional[Sequence[int]] = None,
         lambdas: Optional[Sequence[int]] = None, seed: int = 0,
-        verbose: bool = False) -> ResultTable:
+        verbose: bool = False, workers: int = 1,
+        cache_dir: Optional[str] = None) -> ResultTable:
     sc = get_scale(scale)
     datasets = list(datasets or DEFAULT_DATASETS)
     if lambdas is None:
         lambdas = PAPER_LAMBDAS if scale == "paper" else TINY_LAMBDAS
 
-    table = ResultTable(f"Table IX — lambda sensitivity (scale={scale})")
+    rows, specs = [], []
     for dataset in datasets:
         _, horizon_list = sc.windows_for(dataset)
-        horizons = list(pred_lens or horizon_list)
-        for pred_len in horizons:
+        for pred_len in list(pred_lens or horizon_list):
             for lam in lambdas:
-                metrics = run_forecast_cell(
+                rows.append((dataset, pred_len, f"lambda={lam}"))
+                specs.append(forecast_cell(
                     "TS3Net", dataset, pred_len, scale=scale, seed=seed,
-                    model_overrides={"num_scales": int(lam)})
-                table.add(dataset, pred_len, f"lambda={lam}", metrics)
-                if verbose:
-                    print(f"{dataset:>12s} h={pred_len:<4d} lambda={lam:<4d} "
-                          f"mse={metrics['mse']:.3f} mae={metrics['mae']:.3f}")
+                    overrides={"num_scales": int(lam)}))
+    grid = run_grid(specs, workers=workers, cache_dir=cache_dir,
+                    progress=verbose)
+
+    table = ResultTable(f"Table IX — lambda sensitivity (scale={scale})")
+    for (dataset, pred_len, column), metrics in zip(rows, grid.results):
+        table.add(dataset, pred_len, column, metrics)
     return table
 
 
@@ -53,10 +56,12 @@ def main(argv=None) -> None:
     parser.add_argument("--lambdas", nargs="*", type=int, default=None)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--save", default=None)
+    add_engine_args(parser)
     args = parser.parse_args(argv)
     table = run(scale=args.scale, datasets=args.datasets,
                 pred_lens=args.pred_lens, lambdas=args.lambdas,
-                seed=args.seed, verbose=True)
+                seed=args.seed, verbose=True,
+                workers=args.workers, cache_dir=args.cache_dir)
     print(table.render())
     if args.save:
         table.save_json(args.save)

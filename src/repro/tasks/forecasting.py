@@ -32,16 +32,20 @@ class ForecastTask:
     seed: int = 0
 
     def loaders(self, split: SplitData):
+        # Training/eval batches are consumed within each step, so the
+        # loaders can reuse preallocated batch buffers (see DataLoader).
         train = DataLoader(
             ForecastWindows(split.train, self.seq_len, self.pred_len, self.stride),
             batch_size=self.batch_size, shuffle=True, seed=self.seed,
-            max_batches=self.max_train_batches)
+            max_batches=self.max_train_batches, reuse_buffers=True)
         val = DataLoader(
             ForecastWindows(split.val, self.seq_len, self.pred_len, self.stride),
-            batch_size=self.batch_size, max_batches=self.max_eval_batches)
+            batch_size=self.batch_size, max_batches=self.max_eval_batches,
+            reuse_buffers=True)
         test = DataLoader(
             ForecastWindows(split.test, self.seq_len, self.pred_len, self.stride),
-            batch_size=self.batch_size, max_batches=self.max_eval_batches)
+            batch_size=self.batch_size, max_batches=self.max_eval_batches,
+            reuse_buffers=True)
         return train, val, test
 
 
@@ -65,6 +69,7 @@ def run_forecast(model: Module, split: SplitData, task: ForecastTask,
     step = forecast_step(model)
     result = trainer.fit(train_loader, val_loader, step)
     result.mse, result.mae = trainer.evaluate(test_loader, step)
+    result.eval_seconds += trainer.last_eval_seconds
     return result
 
 

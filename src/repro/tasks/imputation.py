@@ -33,16 +33,20 @@ class ImputationTask:
     seed: int = 0
 
     def loaders(self, split: SplitData):
+        # Batches are consumed within each step, so the loaders can reuse
+        # preallocated batch buffers (see DataLoader).
         train = DataLoader(
             ImputationWindows(split.train, self.seq_len, self.stride),
             batch_size=self.batch_size, shuffle=True, seed=self.seed,
-            max_batches=self.max_train_batches)
+            max_batches=self.max_train_batches, reuse_buffers=True)
         val = DataLoader(
             ImputationWindows(split.val, self.seq_len, self.stride),
-            batch_size=self.batch_size, max_batches=self.max_eval_batches)
+            batch_size=self.batch_size, max_batches=self.max_eval_batches,
+            reuse_buffers=True)
         test = DataLoader(
             ImputationWindows(split.test, self.seq_len, self.stride),
-            batch_size=self.batch_size, max_batches=self.max_eval_batches)
+            batch_size=self.batch_size, max_batches=self.max_eval_batches,
+            reuse_buffers=True)
         return train, val, test
 
 
@@ -70,4 +74,5 @@ def run_imputation(model: Module, split: SplitData, task: ImputationTask,
     # Evaluation uses a fixed seed so every model sees identical masks.
     eval_step = imputation_step(model, task.mask_ratio, seed=10_000 + task.seed)
     result.mse, result.mae = trainer.evaluate(test_loader, eval_step)
+    result.eval_seconds += trainer.last_eval_seconds
     return result
