@@ -36,8 +36,9 @@ if __package__ is None and "repro" not in sys.modules:  # direct execution
 
 import pytest
 
-from repro.autodiff import Tensor, conv2d, mse_loss
+from repro.autodiff import GraphProfiler, Tensor, conv2d, mse_loss
 from repro.baselines import build_model
+from repro.core.tf_block import TFBlock
 from repro.nn import MultiHeadAttention
 from repro.spectral import CWTOperator
 from repro.utils import set_seed
@@ -100,6 +101,72 @@ def case_conv2d_forward_backward():
     return step
 
 
+def _make_tf_block():
+    set_seed(0)
+    block = TFBlock(seq_len=CWT_T, d_model=16, num_scales=32, num_branches=2,
+                    d_ff=32)
+    x = Tensor(RNG.standard_normal((8, CWT_T, 16)), requires_grad=True)
+    return block, x
+
+
+def case_tfblock_forward_backward():
+    block, x = _make_tf_block()
+
+    def step():
+        block.zero_grad()
+        x.zero_grad()
+        block(x).sum().backward()
+
+    return step
+
+
+def bench_tfblock_profile() -> dict:
+    """Per-op profile of a TF-Block step + the freeing policy's memory win.
+
+    Two steps per policy: with the default activation freeing, step 1's
+    saved tensors are released before step 2 records, so the peak retained
+    watermark stays at ~one step; with ``retain_graph=True`` (graphs held
+    alive) the activations pile up.  The freed/retained peak fraction is
+    gated by ``scripts/bench_compare.py``.
+    """
+    block, x = _make_tf_block()
+
+    def step(retain):
+        block.zero_grad()
+        x.zero_grad()
+        out = block(x).sum()
+        out.backward(retain_graph=retain)
+        return out
+
+    freeing = GraphProfiler()
+    with freeing:
+        for _ in range(2):
+            step(retain=False)
+
+    retaining = GraphProfiler()
+    kept = []
+    with retaining:
+        for _ in range(2):
+            kept.append(step(retain=True))
+
+    summary = freeing.summary()
+    op_totals = {
+        name: {"calls": stats["calls"],
+               "forward_s": stats["forward_s"],
+               "backward_s": stats["backward_s"],
+               "saved_bytes": stats["saved_bytes"]}
+        for name, stats in sorted(summary["ops"].items())
+    }
+    facts = {
+        "tfblock_profiled_op_types": len(op_totals),
+        "tfblock_peak_saved_bytes_freed": freeing.peak_saved_bytes,
+        "tfblock_peak_saved_bytes_retained": retaining.peak_saved_bytes,
+        "tfblock_freed_over_retained":
+            freeing.peak_saved_bytes / retaining.peak_saved_bytes,
+    }
+    return {"facts": facts, "op_totals": op_totals}
+
+
 def case_attention_forward():
     set_seed(0)
     mha = MultiHeadAttention(32, 4, dropout=0.0)
@@ -132,6 +199,7 @@ CASES = {
     "cwt_amplitude_grad_fft": (lambda: case_cwt_amplitude_grad("fft"), 10),
     "cwt_inverse": (case_cwt_inverse, 20),
     "conv2d_forward_backward": (case_conv2d_forward_backward, 10),
+    "tfblock_forward_backward": (case_tfblock_forward_backward, 10),
     "attention_forward": (case_attention_forward, 10),
     **{f"train_step_{name}": ((lambda name=name: case_model_train_step(name)), 3)
        for name in BENCH_MODELS},
@@ -230,6 +298,8 @@ def run_suite(rounds_scale: float = 1.0, with_grid: bool = True) -> dict:
         print(f"  {name:35s} min {timings[name]['min_s'] * 1e3:9.3f} ms  "
               f"mean {timings[name]['mean_s'] * 1e3:9.3f} ms")
     verification = _verify_fft_vs_dense()
+    tf_profile = bench_tfblock_profile()
+    verification.update(tf_profile["facts"])
     for tag in ("", "_T336"):
         fwd_fft = timings[f"cwt_amplitude_forward_fft{tag}"]["min_s"]
         fwd_dense = timings[f"cwt_amplitude_forward_dense{tag}"]["min_s"]
@@ -253,6 +323,7 @@ def run_suite(rounds_scale: float = 1.0, with_grid: bool = True) -> dict:
         },
         "verification": verification,
         "timings": timings,
+        "tfblock_op_profile": tf_profile["op_totals"],
     }
 
 
@@ -277,6 +348,10 @@ def main(argv=None) -> int:
         print(f"  FFT vs dense CWT amplitude speedup ({label}): "
               f"{speedup:.1f}x (max rel err {err:.2e})")
     ver = report["verification"]
+    print(f"  TF-Block profile: {ver['tfblock_profiled_op_types']} op types; "
+          f"peak saved bytes {ver['tfblock_peak_saved_bytes_freed']:,} freed "
+          f"vs {ver['tfblock_peak_saved_bytes_retained']:,} retained "
+          f"({ver['tfblock_freed_over_retained']:.1%})")
     if "grid_parallel_speedup" in ver:
         print(f"  grid: {ver['grid_cells']} cells, workers="
               f"{ver['grid_workers']} speedup {ver['grid_parallel_speedup']:.2f}x "
@@ -313,6 +388,10 @@ def test_cwt_inverse(benchmark):
 
 def test_conv2d_forward_backward(benchmark):
     benchmark(case_conv2d_forward_backward())
+
+
+def test_tfblock_forward_backward(benchmark):
+    benchmark(case_tfblock_forward_backward())
 
 
 def test_attention_forward(benchmark):

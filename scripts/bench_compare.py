@@ -20,7 +20,12 @@ gated when present in the current report:
 * ``grid_parallel_matches_serial`` must be true (worker-pool results are
   bit-identical to the serial reference);
 * ``grid_warm_over_cold`` (warm result-cache re-run as a fraction of the
-  cold run) must stay under ``--warm-threshold`` (default 25%).
+  cold run) must stay under ``--warm-threshold`` (default 25%);
+* ``tfblock_freed_over_retained`` (peak retained activation bytes over a
+  two-step TF-Block run with the default freeing policy, as a fraction of
+  the same run under ``retain_graph=True``) must stay under
+  ``--free-threshold`` (default 80%) — locking in the graph IR's
+  free-after-backward memory win.
 """
 
 from __future__ import annotations
@@ -65,6 +70,26 @@ def check_grid_facts(current: dict, warm_threshold: float) -> int:
               f"{ver.get('grid_usable_cpus', '?')} usable cpu(s) "
               "(informational; depends on host cores)")
     return 1 if failures else 0
+
+
+def check_memory_facts(current: dict, free_threshold: float) -> int:
+    """Gate the graph IR's activation-freeing memory win; 0 = ok, 1 = fail."""
+    ver = current.get("verification", {})
+    if "tfblock_freed_over_retained" not in ver:
+        return 0
+    frac = float(ver["tfblock_freed_over_retained"])
+    freed = ver.get("tfblock_peak_saved_bytes_freed", 0)
+    retained = ver.get("tfblock_peak_saved_bytes_retained", 0)
+    print(f"tfblock: peak saved-activation bytes {freed:,} (freeing) vs "
+          f"{retained:,} (retain_graph) = {frac:.1%} "
+          f"(threshold {free_threshold:.0%})")
+    if frac > free_threshold:
+        print(f"FAIL: activation freeing only reached {frac:.1%} of the "
+              f"retained peak (limit {free_threshold:.0%}) — the "
+              "free-after-backward policy is not releasing saved tensors",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def compare(current: dict, baseline: dict, threshold: float) -> int:
@@ -115,6 +140,10 @@ def main(argv=None) -> int:
                         help="max warm/cold grid wall-clock fraction "
                              "(0.25 = warm cache re-run must finish in "
                              "<25%% of the cold run)")
+    parser.add_argument("--free-threshold", type=float, default=0.80,
+                        help="max freed/retained peak saved-activation "
+                             "fraction for the TF-Block profile (0.80 = "
+                             "freeing must cut peak bytes by >=20%%)")
     args = parser.parse_args(argv)
     for path in (args.current, args.baseline):
         if not os.path.exists(path):
@@ -123,7 +152,8 @@ def main(argv=None) -> int:
     current = load(args.current)
     status = compare(current, load(args.baseline), args.threshold)
     grid_status = check_grid_facts(current, args.warm_threshold)
-    return status or grid_status
+    memory_status = check_memory_facts(current, args.free_threshold)
+    return status or grid_status or memory_status
 
 
 if __name__ == "__main__":

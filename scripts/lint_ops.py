@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Static guard: the op registry is the single door into the autodiff tape.
+
+Greps ``src/repro`` for hand-rolled tape construction outside ``autodiff/``
+— anonymous ``_backward`` closures, direct ``_parents``/``_node`` wiring,
+``OpNode(...)`` instantiation, or the retired ``Tensor._make`` — so new code
+cannot bypass ``apply()``/``@register_op`` (and with it the gradient-check
+sweep, the hooks, and the freeing policy).
+
+Run directly (exit 1 on violations) or via ``tests/test_op_registry.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+# Each pattern marks tape internals that only autodiff/ may touch.
+FORBIDDEN = [
+    (re.compile(r"\._backward\b"), "anonymous _backward closure wiring"),
+    (re.compile(r"\b_backward\s*="), "anonymous _backward closure wiring"),
+    (re.compile(r"\._parents\b"), "direct _parents access"),
+    (re.compile(r"\._node\b"), "direct _node access"),
+    (re.compile(r"\bTensor\._make\b"), "retired Tensor._make constructor"),
+    (re.compile(r"\bOpNode\("), "direct OpNode construction"),
+]
+
+
+def find_violations(src: Path = SRC) -> List[Tuple[str, int, str, str]]:
+    """Return ``(path, line_no, reason, line)`` for every offending line."""
+    violations = []
+    for path in sorted(src.rglob("*.py")):
+        rel = path.relative_to(REPO_ROOT)
+        if "autodiff" in rel.parts:
+            continue
+        for line_no, line in enumerate(path.read_text().splitlines(), 1):
+            stripped = line.split("#", 1)[0]
+            for pattern, reason in FORBIDDEN:
+                if pattern.search(stripped):
+                    violations.append((str(rel), line_no, reason, line.strip()))
+    return violations
+
+
+def main() -> int:
+    violations = find_violations()
+    for path, line_no, reason, line in violations:
+        print(f"{path}:{line_no}: {reason}: {line}")
+    if violations:
+        print(f"{len(violations)} violation(s): route new differentiable ops "
+              "through @register_op + apply() (see src/repro/autodiff/graph.py)")
+        return 1
+    print("lint_ops: clean — no tape construction outside autodiff/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

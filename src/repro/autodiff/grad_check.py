@@ -10,6 +10,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .graph import registered_ops
 from .tensor import Tensor
 
 
@@ -53,3 +54,21 @@ def check_gradients(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
                 f"gradient mismatch for input {idx}: max abs error {err:.3e}\n"
                 f"analytic:\n{analytic}\nnumeric:\n{numeric}"
             )
+
+
+def check_registered_op(name: str, rng=None, eps: float = 1e-6,
+                        atol: float = 1e-4, rtol: float = 1e-4) -> None:
+    """Gradient-check one registry entry through its own ``sample``.
+
+    Every ``@register_op`` class ships a ``sample(rng) -> (fn, inputs)``
+    deterministic test case; ``tests/test_op_registry.py`` sweeps this over
+    the whole registry so an op with a missing or wrong backward fails CI
+    by construction.
+    """
+    spec = registered_ops()[name]
+    if spec.sample is None:
+        raise AssertionError(
+            f"op {name!r} has no grad-check sample; every registered op "
+            "must define sample(rng) -> (fn, inputs)")
+    fn, inputs = spec.sample(rng if rng is not None else np.random.default_rng(0))
+    check_gradients(fn, inputs, eps=eps, atol=atol, rtol=rtol)

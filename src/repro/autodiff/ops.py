@@ -2,9 +2,12 @@
 
 These are the ops that do not fit naturally as ``Tensor`` methods: joining
 (concat/stack), padding, convolution (im2col), pooling, and the classic
-neural-network nonlinearities.  Every op returns a new tensor wired into the
-autodiff tape; gradients are validated against finite differences in
-``tests/test_autodiff.py``.
+neural-network nonlinearities.  Each one is a named entry in the op registry
+(:mod:`repro.autodiff.graph`) — the public functions below are thin wrappers
+around :func:`repro.autodiff.tensor.apply` — so they show up in profiles and
+are swept by the registry-wide gradient checks.  Helpers like ``conv1d`` and
+the losses are compositions of registered ops and carry no backward of their
+own.
 """
 
 from __future__ import annotations
@@ -14,7 +17,8 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .tensor import Tensor
+from .graph import register_op
+from .tensor import Tensor, apply
 
 __all__ = [
     "concat", "stack", "pad", "relu", "gelu", "sigmoid", "softmax",
@@ -36,47 +40,86 @@ def _as_tensor(x) -> Tensor:
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` (differentiable ``np.concatenate``)."""
     tensors = [_as_tensor(t) for t in tensors]
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
+    return apply("concat", *tensors, axis=axis)
 
-    def backward(grad, sink):
-        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+
+@register_op("concat")
+class _Concat:
+    @staticmethod
+    def forward(ctx, *tensors, axis):
+        sizes = [t.data.shape[axis] for t in tensors]
+        ctx.save(axis, np.cumsum([0] + sizes))
+        return np.concatenate([t.data for t in tensors], axis=axis)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        axis, offsets = node.saved
+        for i, (start, stop) in enumerate(zip(offsets[:-1], offsets[1:])):
             index = [slice(None)] * grad.ndim
             index[axis] = slice(start, stop)
-            sink(t, grad[tuple(index)])
+            sink(i, grad[tuple(index)])
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 2)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        return (lambda a, b: concat([a, b], axis=1)), [a, b]
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis``."""
     tensors = [_as_tensor(t) for t in tensors]
-    out_data = np.stack([t.data for t in tensors], axis=axis)
+    return apply("stack", *tensors, axis=axis)
 
-    def backward(grad, sink):
+
+@register_op("stack")
+class _Stack:
+    @staticmethod
+    def forward(ctx, *tensors, axis):
+        ctx.save(axis)
+        return np.stack([t.data for t in tensors], axis=axis)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (axis,) = node.saved
         pieces = np.moveaxis(grad, axis, 0)
-        for t, piece in zip(tensors, pieces):
-            sink(t, piece)
+        for i, piece in enumerate(pieces):
+            sink(i, piece)
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        return (lambda a, b: stack([a, b], axis=1)), [a, b]
 
 
 def pad(x: Tensor, pad_width: Sequence[Tuple[int, int]],
         mode: str = "constant", value: float = 0.0) -> Tensor:
     """Differentiable ``np.pad`` for constant / edge / reflect modes."""
-    x = _as_tensor(x)
-    if mode == "constant":
-        out_data = np.pad(x.data, pad_width, mode="constant", constant_values=value)
-    else:
-        out_data = np.pad(x.data, pad_width, mode=mode)
+    if mode not in ("constant", "edge", "reflect"):
+        raise ValueError(f"unsupported pad mode: {mode}")
+    return apply("pad", _as_tensor(x), pad_width=tuple(pad_width), mode=mode,
+                 value=value)
 
-    src_shape = x.data.shape
-    inner = tuple(slice(p[0], p[0] + s) for p, s in zip(pad_width, src_shape))
 
-    def backward(grad, sink):
+@register_op("pad")
+class _Pad:
+    @staticmethod
+    def forward(ctx, x, *, pad_width, mode, value):
         if mode == "constant":
-            sink(x, grad[inner])
+            out = np.pad(x.data, pad_width, mode="constant", constant_values=value)
+        else:
+            out = np.pad(x.data, pad_width, mode=mode)
+        src_shape = x.data.shape
+        inner = tuple(slice(p[0], p[0] + s) for p, s in zip(pad_width, src_shape))
+        ctx.save(pad_width, mode, inner, src_shape)
+        return out
+
+    @staticmethod
+    def backward(node, grad, sink):
+        pad_width, mode, inner, src_shape = node.saved
+        if mode == "constant":
+            sink(0, grad[inner])
             return
         # For replicate/reflect padding the padded entries alias interior
         # entries; scatter their gradients back by accumulating into the
@@ -96,45 +139,59 @@ def pad(x: Tensor, pad_width: Sequence[Tuple[int, int]],
                     edge = [slice(None)] * g.ndim
                     edge[axis] = slice(g.shape[axis] - hi - 1, g.shape[axis] - hi)
                     g[tuple(edge)] += g[tuple(index)].sum(axis=axis, keepdims=True)
-            sink(x, g[inner])
+            sink(0, g[inner])
             return
-        if mode == "reflect":
-            for axis, (lo, hi) in enumerate(pad_width):
-                n = src_shape[axis]
-                if lo:
-                    for k in range(lo):
-                        src_i = [slice(None)] * g.ndim
-                        src_i[axis] = slice(k, k + 1)
-                        dst_i = [slice(None)] * g.ndim
-                        dst_i[axis] = slice(2 * lo - k, 2 * lo - k + 1)
-                        g[tuple(dst_i)] += g[tuple(src_i)]
-                if hi:
-                    end = g.shape[axis]
-                    for k in range(hi):
-                        src_i = [slice(None)] * g.ndim
-                        src_i[axis] = slice(end - 1 - k, end - k)
-                        dst_i = [slice(None)] * g.ndim
-                        pos = end - 2 * hi + k - 1 + 0  # mirror position
-                        dst_i[axis] = slice(pos, pos + 1)
-                        g[tuple(dst_i)] += g[tuple(src_i)]
-            sink(x, g[inner])
-            return
-        raise ValueError(f"unsupported pad mode: {mode}")
+        # reflect
+        for axis, (lo, hi) in enumerate(pad_width):
+            if lo:
+                for k in range(lo):
+                    src_i = [slice(None)] * g.ndim
+                    src_i[axis] = slice(k, k + 1)
+                    dst_i = [slice(None)] * g.ndim
+                    dst_i[axis] = slice(2 * lo - k, 2 * lo - k + 1)
+                    g[tuple(dst_i)] += g[tuple(src_i)]
+            if hi:
+                end = g.shape[axis]
+                for k in range(hi):
+                    src_i = [slice(None)] * g.ndim
+                    src_i[axis] = slice(end - 1 - k, end - k)
+                    dst_i = [slice(None)] * g.ndim
+                    pos = end - 2 * hi + k - 1 + 0  # mirror position
+                    dst_i[axis] = slice(pos, pos + 1)
+                    g[tuple(dst_i)] += g[tuple(src_i)]
+        sink(0, g[inner])
 
-    return Tensor._make(out_data, (x,), backward)
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        return (lambda a: pad(a, ((2, 1), (0, 2)), mode="reflect")), [a]
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Differentiable select: ``condition`` is a detached boolean array."""
-    a, b = _as_tensor(a), _as_tensor(b)
     cond = np.asarray(condition, dtype=bool)
-    out_data = np.where(cond, a.data, b.data)
+    return apply("where", _as_tensor(a), _as_tensor(b), cond=cond)
 
-    def backward(grad, sink):
-        sink(a, np.where(cond, grad, 0.0))
-        sink(b, np.where(cond, 0.0, grad))
 
-    return Tensor._make(out_data, (a, b), backward)
+@register_op("where")
+class _Where:
+    @staticmethod
+    def forward(ctx, a, b, *, cond):
+        ctx.save(cond)
+        return np.where(cond, a.data, b.data)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (cond,) = node.saved
+        sink(0, np.where(cond, grad, 0.0))
+        sink(1, np.where(cond, 0.0, grad))
+
+    @staticmethod
+    def sample(rng):
+        cond = rng.random((3, 4)) > 0.5
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        return (lambda a, b: where(cond, a, b)), [a, b]
 
 
 # ---------------------------------------------------------------------------
@@ -142,25 +199,51 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 # ---------------------------------------------------------------------------
 
 def relu(x: Tensor) -> Tensor:
-    x = _as_tensor(x)
-    mask = x.data > 0
-    out_data = x.data * mask
+    return apply("relu", _as_tensor(x))
 
-    def backward(grad, sink):
-        sink(x, grad * mask)
 
-    return Tensor._make(out_data, (x,), backward)
+@register_op("relu")
+class _Relu:
+    @staticmethod
+    def forward(ctx, x):
+        mask = x.data > 0
+        ctx.save(mask)
+        return x.data * mask
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (mask,) = node.saved
+        sink(0, grad * mask)
+
+    @staticmethod
+    def sample(rng):
+        data = rng.standard_normal((3, 4))
+        a = Tensor(np.where(data >= 0, data + 0.5, data - 0.5), requires_grad=True)
+        return relu, [a]
 
 
 def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
-    x = _as_tensor(x)
-    mask = x.data > 0
-    out_data = np.where(mask, x.data, negative_slope * x.data)
+    return apply("leaky_relu", _as_tensor(x), negative_slope=negative_slope)
 
-    def backward(grad, sink):
-        sink(x, np.where(mask, grad, negative_slope * grad))
 
-    return Tensor._make(out_data, (x,), backward)
+@register_op("leaky_relu")
+class _LeakyRelu:
+    @staticmethod
+    def forward(ctx, x, *, negative_slope):
+        mask = x.data > 0
+        ctx.save(mask, negative_slope)
+        return np.where(mask, x.data, negative_slope * x.data)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        mask, negative_slope = node.saved
+        sink(0, np.where(mask, grad, negative_slope * grad))
+
+    @staticmethod
+    def sample(rng):
+        data = rng.standard_normal((3, 4))
+        a = Tensor(np.where(data >= 0, data + 0.5, data - 0.5), requires_grad=True)
+        return (lambda a: leaky_relu(a, 0.1)), [a]
 
 
 _SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
@@ -168,40 +251,78 @@ _SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
 
 def gelu(x: Tensor) -> Tensor:
     """GELU with the tanh approximation (the common production form)."""
-    x = _as_tensor(x)
-    u = _SQRT_2_OVER_PI * (x.data + 0.044715 * x.data ** 3)
-    t = np.tanh(u)
-    out_data = 0.5 * x.data * (1.0 + t)
+    return apply("gelu", _as_tensor(x))
 
-    def backward(grad, sink):
-        du = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x.data ** 2)
-        local = 0.5 * (1.0 + t) + 0.5 * x.data * (1.0 - t ** 2) * du
-        sink(x, grad * local)
 
-    return Tensor._make(out_data, (x,), backward)
+@register_op("gelu")
+class _Gelu:
+    @staticmethod
+    def forward(ctx, x):
+        u = _SQRT_2_OVER_PI * (x.data + 0.044715 * x.data ** 3)
+        t = np.tanh(u)
+        ctx.save(x.data, t)
+        return 0.5 * x.data * (1.0 + t)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        src, t = node.saved
+        du = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * src ** 2)
+        local = 0.5 * (1.0 + t) + 0.5 * src * (1.0 - t ** 2) * du
+        sink(0, grad * local)
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        return gelu, [a]
 
 
 def sigmoid(x: Tensor) -> Tensor:
-    x = _as_tensor(x)
-    out_data = 1.0 / (1.0 + np.exp(-x.data))
+    return apply("sigmoid", _as_tensor(x))
 
-    def backward(grad, sink):
-        sink(x, grad * out_data * (1.0 - out_data))
 
-    return Tensor._make(out_data, (x,), backward)
+@register_op("sigmoid")
+class _Sigmoid:
+    @staticmethod
+    def forward(ctx, x):
+        out = 1.0 / (1.0 + np.exp(-x.data))
+        ctx.save(out)
+        return out
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (out,) = node.saved
+        sink(0, grad * out * (1.0 - out))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        return sigmoid, [a]
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    x = _as_tensor(x)
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    out_data = e / e.sum(axis=axis, keepdims=True)
+    return apply("softmax", _as_tensor(x), axis=axis)
 
-    def backward(grad, sink):
-        dot = (grad * out_data).sum(axis=axis, keepdims=True)
-        sink(x, out_data * (grad - dot))
 
-    return Tensor._make(out_data, (x,), backward)
+@register_op("softmax")
+class _Softmax:
+    @staticmethod
+    def forward(ctx, x, *, axis):
+        shifted = x.data - x.data.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        out = e / e.sum(axis=axis, keepdims=True)
+        ctx.save(out, axis)
+        return out
+
+    @staticmethod
+    def backward(node, grad, sink):
+        out, axis = node.saved
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        sink(0, out * (grad - dot))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        return (lambda a: softmax(a, axis=-1)), [a]
 
 
 def dropout(x: Tensor, p: float, training: bool,
@@ -209,17 +330,30 @@ def dropout(x: Tensor, p: float, training: bool,
     """Inverted dropout; identity when not training or ``p == 0``."""
     if not training or p <= 0.0:
         return x
-    x = _as_tensor(x)
     rng = rng or np.random.default_rng()
-    keep = 1.0 - p
-    mask = ((rng.random(x.data.shape) < keep) / keep).astype(x.data.dtype,
-                                                             copy=False)
-    out_data = x.data * mask
+    return apply("dropout", _as_tensor(x), p=p, rng=rng)
 
-    def backward(grad, sink):
-        sink(x, grad * mask)
 
-    return Tensor._make(out_data, (x,), backward)
+@register_op("dropout")
+class _Dropout:
+    @staticmethod
+    def forward(ctx, x, *, p, rng):
+        keep = 1.0 - p
+        mask = ((rng.random(x.data.shape) < keep) / keep).astype(x.data.dtype,
+                                                                 copy=False)
+        ctx.save(mask)
+        return x.data * mask
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (mask,) = node.saved
+        sink(0, grad * mask)
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        # Re-seed per call so finite differencing sees the same mask.
+        return (lambda a: dropout(a, 0.4, True, rng=np.random.default_rng(7))), [a]
 
 
 # ---------------------------------------------------------------------------
@@ -274,26 +408,39 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     ph, pw = padding
     if ph or pw:
         x = pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    if x.data.shape[1] != weight.data.shape[1]:
+        raise ValueError(f"conv2d channel mismatch: input {x.data.shape[1]}, "
+                         f"weight {weight.data.shape[1]}")
+    if bias is None:
+        return apply("conv2d", x, weight, stride=stride)
+    return apply("conv2d", x, weight, bias, stride=stride)
 
-    n, c, h, w = x.data.shape
-    o, c_in, kh, kw = weight.data.shape
-    if c_in != c:
-        raise ValueError(f"conv2d channel mismatch: input {c}, weight {c_in}")
-    out_h = (h - kh) // stride + 1
-    out_w = (w - kw) // stride + 1
 
-    windows = window_view(x.data, kh, kw, stride)      # (N, C, oh, ow, kh, kw) view
-    out_data = np.einsum("nchwkl,ockl->nohw", windows, weight.data, optimize=True)
-    if bias is not None:
-        out_data = out_data + bias.data.reshape(1, o, 1, 1)
-
-    parents = (x, weight) if bias is None else (x, weight, bias)
-
-    def backward(grad, sink):
-        grad_w = np.einsum("nohw,nchwkl->ockl", grad, windows, optimize=True)
-        sink(weight, grad_w)
+@register_op("conv2d")
+class _Conv2d:
+    @staticmethod
+    def forward(ctx, x, weight, bias=None, *, stride):
+        n, c, h, w = x.data.shape
+        o, c_in, kh, kw = weight.data.shape
+        out_h = (h - kh) // stride + 1
+        out_w = (w - kw) // stride + 1
+        windows = window_view(x.data, kh, kw, stride)  # (N, C, oh, ow, kh, kw) view
+        out = np.einsum("nchwkl,ockl->nohw", windows, weight.data, optimize=True)
         if bias is not None:
-            sink(bias, grad.sum(axis=(0, 2, 3)))
+            out = out + bias.data.reshape(1, o, 1, 1)
+        ctx.save(windows, weight.data, (n, c, h, w), (o, kh, kw, out_h, out_w),
+                 stride, bias is not None)
+        return out
+
+    @staticmethod
+    def backward(node, grad, sink):
+        windows, w_data, x_shape, w_geom, stride, has_bias = node.saved
+        n, c, h, w = x_shape
+        o, kh, kw, out_h, out_w = w_geom
+        grad_w = np.einsum("nohw,nchwkl->ockl", grad, windows, optimize=True)
+        sink(1, grad_w)
+        if has_bias:
+            sink(2, grad.sum(axis=(0, 2, 3)))
         # Input gradient as a transposed convolution: dilate the output
         # gradient by the stride, pad by kernel-1, and correlate with the
         # spatially flipped kernel — one strided-view einsum, no Python
@@ -306,7 +453,7 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
             dilated[:, :, ::stride, ::stride] = grad
         padded = np.pad(dilated, ((0, 0), (0, 0), (kh - 1, kh - 1),
                                   (kw - 1, kw - 1)))
-        flipped = weight.data[:, :, ::-1, ::-1]
+        flipped = w_data[:, :, ::-1, ::-1]
         grad_x = np.einsum("nohwkl,ockl->nchw", window_view(padded, kh, kw),
                            flipped, optimize=True)
         if grad_x.shape[2:] != (h, w):
@@ -315,9 +462,14 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
             full = np.zeros((n, c, h, w), dtype=grad.dtype)
             full[:, :, :grad_x.shape[2], :grad_x.shape[3]] = grad_x
             grad_x = full
-        sink(x, grad_x)
+        sink(0, grad_x)
 
-    return Tensor._make(out_data, parents, backward)
+    @staticmethod
+    def sample(rng):
+        x = Tensor(rng.standard_normal((2, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2, 3, 3)) * 0.3, requires_grad=True)
+        b = Tensor(rng.standard_normal(3), requires_grad=True)
+        return (lambda x, w, b: conv2d(x, w, bias=b, stride=2, padding=1)), [x, w, b]
 
 
 def conv1d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
@@ -372,23 +524,39 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
     """Max pooling on NCHW tensors."""
     x = _as_tensor(x)
     stride = stride or kernel_size
-    n, c, h, w = x.data.shape
-    kh = kw = kernel_size
-    out_h = (h - kh) // stride + 1
-    out_w = (w - kw) // stride + 1
-    cols = unfold2d(x.data, kh, kw, stride).reshape(n, c, kh * kw, out_h * out_w)
-    arg = cols.argmax(axis=2)                                    # (N, C, L)
-    out_data = np.take_along_axis(cols, arg[:, :, None, :], axis=2)[:, :, 0, :]
-    out_data = out_data.reshape(n, c, out_h, out_w)
+    return apply("max_pool2d", x, kernel_size=kernel_size,
+                 stride=stride)
 
-    def backward(grad, sink):
+
+@register_op("max_pool2d")
+class _MaxPool2d:
+    @staticmethod
+    def forward(ctx, x, *, kernel_size, stride):
+        n, c, h, w = x.data.shape
+        kh = kw = kernel_size
+        out_h = (h - kh) // stride + 1
+        out_w = (w - kw) // stride + 1
+        cols = unfold2d(x.data, kh, kw, stride).reshape(n, c, kh * kw, out_h * out_w)
+        arg = cols.argmax(axis=2)                                    # (N, C, L)
+        out = np.take_along_axis(cols, arg[:, :, None, :], axis=2)[:, :, 0, :]
+        ctx.save(arg, (n, c, h, w), (kh, kw, out_h, out_w), stride)
+        return out.reshape(n, c, out_h, out_w)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        arg, x_shape, geom, stride = node.saved
+        n, c, h, w = x_shape
+        kh, kw, out_h, out_w = geom
         g = grad.reshape(n, c, out_h * out_w)
         grad_cols = np.zeros((n, c, kh * kw, out_h * out_w), dtype=grad.dtype)
         np.put_along_axis(grad_cols, arg[:, :, None, :], g[:, :, None, :], axis=2)
         grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
-        sink(x, fold2d(grad_cols, (n, c, h, w), kh, kw, stride))
+        sink(0, fold2d(grad_cols, x_shape, kh, kw, stride))
 
-    return Tensor._make(out_data, (x,), backward)
+    @staticmethod
+    def sample(rng):
+        x = Tensor(rng.standard_normal((2, 2, 4, 4)), requires_grad=True)
+        return (lambda x: max_pool2d(x, 2)), [x]
 
 
 # ---------------------------------------------------------------------------
@@ -397,16 +565,28 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax."""
-    x = _as_tensor(x)
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - log_z
-    soft = np.exp(out_data)
+    return apply("log_softmax", _as_tensor(x), axis=axis)
 
-    def backward(grad, sink):
-        sink(x, grad - soft * grad.sum(axis=axis, keepdims=True))
 
-    return Tensor._make(out_data, (x,), backward)
+@register_op("log_softmax")
+class _LogSoftmax:
+    @staticmethod
+    def forward(ctx, x, *, axis):
+        shifted = x.data - x.data.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = shifted - log_z
+        ctx.save(np.exp(out), axis)
+        return out
+
+    @staticmethod
+    def backward(node, grad, sink):
+        soft, axis = node.saved
+        sink(0, grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        return (lambda a: log_softmax(a, axis=-1)), [a]
 
 
 def cross_entropy_loss(logits: Tensor, labels: np.ndarray) -> Tensor:

@@ -4,13 +4,19 @@ This module is the lowest layer of the reproduction: everything the paper
 runs in PyTorch (TS3Net, the baselines, Adam) runs here on a from-scratch
 ``Tensor`` that records a computation graph and back-propagates through it.
 
-The design follows the classic tape-based pattern:
+The tape is an explicit op-graph IR (see :mod:`repro.autodiff.graph`):
 
-* every operation creates a new :class:`Tensor` whose ``_parents`` point to
-  its operands and whose ``_backward`` closure scatters the output gradient
-  back onto the operands;
-* :meth:`Tensor.backward` topologically sorts the graph and runs the
-  closures in reverse order;
+* every differentiable operation is a *registered op* — a named
+  forward/backward pair in the op registry — and applying one records an
+  :class:`~repro.autodiff.graph.OpNode` (op name, parents, saved tensors)
+  on the output;
+* :meth:`Tensor.backward` topologically sorts the node graph and runs each
+  node's registered backward in reverse order, accumulating gradients
+  **in place** into per-tensor buffers (``np.add(..., out=...)`` after the
+  first owned allocation);
+* saved activations are **freed as soon as their node's backward has run**
+  unless ``retain_graph=True`` is passed, so peak retained memory decays
+  over the course of the backward pass;
 * broadcasting is handled by summing gradients over broadcast axes
   (:func:`unbroadcast`).
 
@@ -20,9 +26,14 @@ allowed as indices/masks but never receive gradients.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
+
+from .graph import (
+    OpContext, OpNode, _backward_hooks, _clock, _forward_hooks, get_op,
+    register_op,
+)
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
@@ -153,7 +164,7 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_node", "name")
 
     __array_priority__ = 100  # make NumPy defer to our reflected operators
 
@@ -162,8 +173,7 @@ class Tensor:
         self.data = as_array(data)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
-        self._backward: Optional[Callable[[np.ndarray], None]] = None
-        self._parents: Tuple["Tensor", ...] = ()
+        self._node: Optional[OpNode] = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -211,19 +221,8 @@ class Tensor:
         return Tensor(self.data.copy(), requires_grad=self.requires_grad)
 
     # ------------------------------------------------------------------
-    # Graph construction helpers
+    # Gradient plumbing
     # ------------------------------------------------------------------
-    @staticmethod
-    def _make(data: np.ndarray, parents: Sequence["Tensor"],
-              backward: Callable[[np.ndarray], None]) -> "Tensor":
-        """Build an op output, wiring the tape only when grad is enabled."""
-        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
-        if requires:
-            out._parents = tuple(parents)
-            out._backward = backward
-        return out
-
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
@@ -236,8 +235,14 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
-    def backward(self, grad: Optional[ArrayLike] = None) -> None:
-        """Backpropagate from this tensor through the recorded graph."""
+    def backward(self, grad: Optional[ArrayLike] = None,
+                 retain_graph: bool = False) -> None:
+        """Backpropagate from this tensor through the recorded op graph.
+
+        Unless ``retain_graph=True``, every node's saved activations are
+        released as soon as its backward has run, and a second backward
+        through the same graph raises.
+        """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
         if grad is None:
@@ -252,52 +257,44 @@ class Tensor:
         visited: set[int] = set()
         stack: list[tuple[Tensor, bool]] = [(self, False)]
         while stack:
-            node, processed = stack.pop()
+            tensor_, processed = stack.pop()
             if processed:
-                order.append(node)
+                order.append(tensor_)
                 continue
-            if id(node) in visited:
+            if id(tensor_) in visited:
                 continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if parent.requires_grad and id(parent) not in visited:
-                    stack.append((parent, False))
+            visited.add(id(tensor_))
+            stack.append((tensor_, True))
+            node = tensor_._node
+            if node is not None:
+                if node.freed:
+                    raise RuntimeError(
+                        f"backward through {node.op!r} a second time, but its "
+                        "saved activations were already freed; pass "
+                        "retain_graph=True to the first backward")
+                for parent in node.parents:
+                    if parent.requires_grad and id(parent) not in visited:
+                        stack.append((parent, False))
 
+        # Pending gradient buffers, keyed by tensor id.  ``owned`` marks
+        # buffers this walk allocated itself: those accumulate in place
+        # (np.add(..., out=...)); first contributions are stored zero-copy
+        # and are never mutated, since they may alias an upstream buffer.
         grads: dict[int, np.ndarray] = {id(self): grad}
-        for node in reversed(order):
-            node_grad = grads.pop(id(node), None)
+        owned: set[int] = set()
+        for i in range(len(order) - 1, -1, -1):
+            tensor_ = order[i]
+            order[i] = None  # type: ignore[call-overload]  # release for GC
+            key = id(tensor_)
+            node_grad = grads.pop(key, None)
+            owned.discard(key)
             if node_grad is None:
                 continue
-            if node._backward is None:
-                node._accumulate(node_grad)
+            node = tensor_._node
+            if node is None:
+                tensor_._accumulate(node_grad)
                 continue
-            # Leaf-style accumulation also applies to interior nodes that the
-            # user marked (retain semantics are implicit: interior .grad stays
-            # None unless it has no _backward).
-            node._push_parent_grads(node_grad, grads)
-
-    def _push_parent_grads(self, grad: np.ndarray,
-                           grads: dict[int, np.ndarray]) -> None:
-        """Run this node's backward closure, staging gradients per parent."""
-
-        staged: list[np.ndarray] = []
-
-        def sink(parent: Tensor, g: np.ndarray) -> None:
-            if not parent.requires_grad:
-                return
-            g = unbroadcast(np.asarray(g, dtype=parent.data.dtype), parent.data.shape)
-            if parent._backward is None and not parent._parents:
-                parent._accumulate(g)
-            key = id(parent)
-            if parent._backward is not None or parent._parents:
-                if key in grads:
-                    grads[key] = grads[key] + g
-                else:
-                    grads[key] = g
-
-        self._backward(grad, sink)  # type: ignore[misc]
-        del staged
+            _run_node_backward(node, node_grad, grads, owned, retain_graph)
 
     # ------------------------------------------------------------------
     # Arithmetic
@@ -306,98 +303,35 @@ class Tensor:
         return other if isinstance(other, Tensor) else Tensor(as_array(other, dtype=self.data.dtype))
 
     def __add__(self, other):
-        other = self._coerce(other)
-        out_data = self.data + other.data
-
-        def backward(grad, sink):
-            sink(self, grad)
-            sink(other, grad)
-
-        return Tensor._make(out_data, (self, other), backward)
+        return apply("add", self, self._coerce(other))
 
     __radd__ = __add__
 
     def __sub__(self, other):
-        other = self._coerce(other)
-        out_data = self.data - other.data
-
-        def backward(grad, sink):
-            sink(self, grad)
-            sink(other, -grad)
-
-        return Tensor._make(out_data, (self, other), backward)
+        return apply("sub", self, self._coerce(other))
 
     def __rsub__(self, other):
         return self._coerce(other) - self
 
     def __mul__(self, other):
-        other = self._coerce(other)
-        out_data = self.data * other.data
-
-        def backward(grad, sink):
-            sink(self, grad * other.data)
-            sink(other, grad * self.data)
-
-        return Tensor._make(out_data, (self, other), backward)
+        return apply("mul", self, self._coerce(other))
 
     __rmul__ = __mul__
 
     def __truediv__(self, other):
-        other = self._coerce(other)
-        out_data = self.data / other.data
-
-        def backward(grad, sink):
-            sink(self, grad / other.data)
-            sink(other, -grad * self.data / (other.data ** 2))
-
-        return Tensor._make(out_data, (self, other), backward)
+        return apply("div", self, self._coerce(other))
 
     def __rtruediv__(self, other):
         return self._coerce(other) / self
 
     def __neg__(self):
-        def backward(grad, sink):
-            sink(self, -grad)
-
-        return Tensor._make(-self.data, (self,), backward)
+        return apply("neg", self)
 
     def __pow__(self, exponent: float):
-        exponent = float(exponent)
-        out_data = self.data ** exponent
-
-        def backward(grad, sink):
-            sink(self, grad * exponent * self.data ** (exponent - 1.0))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("pow", self, exponent=float(exponent))
 
     def __matmul__(self, other):
-        other = self._coerce(other)
-        out_data = self.data @ other.data
-
-        def backward(grad, sink):
-            a, b = self.data, other.data
-            if a.ndim == 1 and b.ndim == 1:
-                sink(self, grad * b)
-                sink(other, grad * a)
-                return
-            if a.ndim == 1:
-                # (k,) @ (..., k, n) -> (..., n)
-                sink(self, (grad[..., None, :] * b).sum(axis=-1).reshape(a.shape)
-                     if b.ndim > 2 else b @ grad)
-                sink(other, np.multiply.outer(a, grad) if b.ndim == 2
-                     else a[:, None] * grad[..., None, :])
-                return
-            if b.ndim == 1:
-                sink(self, np.multiply.outer(grad, b).reshape(a.shape)
-                     if a.ndim == 2 else grad[..., None] * b)
-                sink(other, (a * grad[..., None]).reshape(-1, a.shape[-1]).sum(axis=0))
-                return
-            grad_a = grad @ np.swapaxes(b, -1, -2)
-            grad_b = np.swapaxes(a, -1, -2) @ grad
-            sink(self, grad_a)
-            sink(other, grad_b)
-
-        return Tensor._make(out_data, (self, other), backward)
+        return apply("matmul", self, self._coerce(other))
 
     # Comparisons produce detached boolean arrays.
     def __gt__(self, other):
@@ -422,26 +356,14 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out_data = self.data.reshape(shape)
-        src_shape = self.data.shape
-
-        def backward(grad, sink):
-            sink(self, grad.reshape(src_shape))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("reshape", self, shape=shape)
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
-        inv = np.argsort(axes)
-        out_data = self.data.transpose(axes)
-
-        def backward(grad, sink):
-            sink(self, grad.transpose(inv))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("transpose", self, axes=axes)
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         axes = list(range(self.data.ndim))
@@ -449,63 +371,22 @@ class Tensor:
         return self.transpose(*axes)
 
     def __getitem__(self, idx) -> "Tensor":
-        out_data = self.data[idx]
-        src_shape = self.data.shape
-        src_dtype = self.data.dtype
-
-        def backward(grad, sink):
-            full = np.zeros(src_shape, dtype=src_dtype)
-            np.add.at(full, idx, grad)
-            sink(self, full)
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("getitem", self, idx=idx)
 
     def squeeze(self, axis: Optional[int] = None) -> "Tensor":
-        out_data = self.data.squeeze(axis) if axis is not None else self.data.squeeze()
-        src_shape = self.data.shape
-
-        def backward(grad, sink):
-            sink(self, grad.reshape(src_shape))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("squeeze", self, axis=axis)
 
     def unsqueeze(self, axis: int) -> "Tensor":
-        out_data = np.expand_dims(self.data, axis)
-        src_shape = self.data.shape
-
-        def backward(grad, sink):
-            sink(self, grad.reshape(src_shape))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("unsqueeze", self, axis=axis)
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
-        src_shape = self.data.shape
-
-        def backward(grad, sink):
-            g = grad
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis)
-            sink(self, np.broadcast_to(g, src_shape))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("sum", self, axis=axis, keepdims=keepdims)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.mean(axis=axis, keepdims=keepdims)
-        src_shape = self.data.shape
-        count = self.data.size if axis is None else np.prod(
-            [src_shape[a] for a in (axis if isinstance(axis, tuple) else (axis,))])
-
-        def backward(grad, sink):
-            g = grad
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis)
-            sink(self, np.broadcast_to(g, src_shape) / count)
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("mean", self, axis=axis, keepdims=keepdims)
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         mu = self.mean(axis=axis, keepdims=True)
@@ -514,20 +395,7 @@ class Tensor:
         return out
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
-        src = self.data
-
-        def backward(grad, sink):
-            g = grad
-            o = out_data
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis)
-                o = np.expand_dims(o, axis)
-            mask = (src == o)
-            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            sink(self, mask * g / counts)
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("max", self, axis=axis, keepdims=keepdims)
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -536,73 +404,583 @@ class Tensor:
     # Elementwise math
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
-
-        def backward(grad, sink):
-            sink(self, grad * out_data)
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("exp", self)
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
-
-        def backward(grad, sink):
-            sink(self, grad / self.data)
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("log", self)
 
     def sqrt(self) -> "Tensor":
-        out_data = np.sqrt(self.data)
-
-        def backward(grad, sink):
-            sink(self, grad / (2.0 * out_data))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("sqrt", self)
 
     def abs(self) -> "Tensor":
-        out_data = np.abs(self.data)
-
-        def backward(grad, sink):
-            sink(self, grad * np.sign(self.data))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("abs", self)
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
-
-        def backward(grad, sink):
-            sink(self, grad * (1.0 - out_data ** 2))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("tanh", self)
 
     def sin(self) -> "Tensor":
-        out_data = np.sin(self.data)
-
-        def backward(grad, sink):
-            sink(self, grad * np.cos(self.data))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("sin", self)
 
     def cos(self) -> "Tensor":
-        out_data = np.cos(self.data)
-
-        def backward(grad, sink):
-            sink(self, -grad * np.sin(self.data))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply("cos", self)
 
     def clip(self, lo: Optional[float] = None, hi: Optional[float] = None) -> "Tensor":
-        out_data = np.clip(self.data, lo, hi)
-        mask = np.ones_like(self.data)
+        return apply("clip", self, lo=lo, hi=hi)
+
+
+# ---------------------------------------------------------------------------
+# The single door into the tape
+# ---------------------------------------------------------------------------
+
+def apply(name: str, *parents: Tensor, **kwargs) -> Tensor:
+    """Run registered op ``name`` on ``parents``, recording an OpNode.
+
+    This is the only constructor of graph edges: every differentiable op —
+    tensor methods, :mod:`repro.autodiff.ops` functionals, and the spectral
+    ops — routes through here, which is what makes per-op hooks and the
+    registry-driven gradient-check sweep exhaustive by construction.
+    """
+    spec = get_op(name)
+    ctx = OpContext()
+    if _forward_hooks:
+        t0 = _clock()
+        out_data = spec.forward(ctx, *parents, **kwargs)
+        elapsed = _clock() - t0
+    else:
+        out_data = spec.forward(ctx, *parents, **kwargs)
+    requires = _grad_enabled and any(p.requires_grad for p in parents)
+    out = Tensor(out_data, requires_grad=requires)
+    node = None
+    if requires:
+        node = OpNode(name, parents, ctx.saved)
+        out._node = node
+    if _forward_hooks:
+        nbytes = node.saved_bytes if node is not None else 0
+        for hook in tuple(_forward_hooks.values()):
+            hook(name, elapsed, nbytes)
+    return out
+
+
+def _run_node_backward(node: OpNode, grad: np.ndarray,
+                       grads: dict, owned: set, retain_graph: bool) -> None:
+    """Run one node's registered backward, staging gradients per parent."""
+    parents = node.parents
+
+    def sink(index: int, g: np.ndarray) -> None:
+        parent = parents[index]
+        if not parent.requires_grad:
+            return
+        g = unbroadcast(np.asarray(g, dtype=parent.data.dtype), parent.data.shape)
+        if parent._node is None:
+            parent._accumulate(g)
+            return
+        key = id(parent)
+        buf = grads.get(key)
+        if buf is None:
+            grads[key] = g
+        elif key in owned:
+            np.add(buf, g, out=buf)
+        else:
+            grads[key] = buf + g
+            owned.add(key)
+
+    spec = get_op(node.op)
+    if _backward_hooks:
+        t0 = _clock()
+        spec.backward(node, grad, sink)
+        elapsed = _clock() - t0
+        freed = 0 if retain_graph else node.free()
+        for hook in tuple(_backward_hooks.values()):
+            hook(node.op, elapsed, freed)
+    else:
+        spec.backward(node, grad, sink)
+        if not retain_graph:
+            node.free()
+
+
+# ---------------------------------------------------------------------------
+# Registered ops: arithmetic
+# ---------------------------------------------------------------------------
+
+def _pair_sample(rng):
+    a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+    b = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+    return a, b
+
+
+@register_op("add")
+class _Add:
+    @staticmethod
+    def forward(ctx, a, b):
+        return a.data + b.data
+
+    @staticmethod
+    def backward(node, grad, sink):
+        sink(0, grad)
+        sink(1, grad)
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4,)), requires_grad=True)
+        return (lambda a, b: a + b), [a, b]
+
+
+@register_op("sub")
+class _Sub:
+    @staticmethod
+    def forward(ctx, a, b):
+        return a.data - b.data
+
+    @staticmethod
+    def backward(node, grad, sink):
+        sink(0, grad)
+        sink(1, -grad)
+
+    @staticmethod
+    def sample(rng):
+        a, b = _pair_sample(rng)
+        return (lambda a, b: a - b), [a, b]
+
+
+@register_op("mul")
+class _Mul:
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save(a.data, b.data)
+        return a.data * b.data
+
+    @staticmethod
+    def backward(node, grad, sink):
+        a, b = node.saved
+        sink(0, grad * b)
+        sink(1, grad * a)
+
+    @staticmethod
+    def sample(rng):
+        a, b = _pair_sample(rng)
+        return (lambda a, b: a * b), [a, b]
+
+
+@register_op("div")
+class _Div:
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save(a.data, b.data)
+        return a.data / b.data
+
+    @staticmethod
+    def backward(node, grad, sink):
+        a, b = node.saved
+        sink(0, grad / b)
+        sink(1, -grad * a / (b ** 2))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3, 4)) + 3.0, requires_grad=True)
+        return (lambda a, b: a / b), [a, b]
+
+
+@register_op("neg")
+class _Neg:
+    @staticmethod
+    def forward(ctx, a):
+        return -a.data
+
+    @staticmethod
+    def backward(node, grad, sink):
+        sink(0, -grad)
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        return (lambda a: -a), [a]
+
+
+@register_op("pow")
+class _Pow:
+    @staticmethod
+    def forward(ctx, a, *, exponent):
+        ctx.save(a.data, exponent)
+        return a.data ** exponent
+
+    @staticmethod
+    def backward(node, grad, sink):
+        a, exponent = node.saved
+        sink(0, grad * exponent * a ** (exponent - 1.0))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        return (lambda a: a ** 3), [a]
+
+
+@register_op("matmul")
+class _MatMul:
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save(a.data, b.data)
+        return a.data @ b.data
+
+    @staticmethod
+    def backward(node, grad, sink):
+        a, b = node.saved
+        if a.ndim == 1 and b.ndim == 1:
+            sink(0, grad * b)
+            sink(1, grad * a)
+            return
+        if a.ndim == 1:
+            # (k,) @ (..., k, n) -> (..., n)
+            sink(0, (grad[..., None, :] * b).sum(axis=-1).reshape(a.shape)
+                 if b.ndim > 2 else b @ grad)
+            sink(1, np.multiply.outer(a, grad) if b.ndim == 2
+                 else a[:, None] * grad[..., None, :])
+            return
+        if b.ndim == 1:
+            sink(0, np.multiply.outer(grad, b).reshape(a.shape)
+                 if a.ndim == 2 else grad[..., None] * b)
+            sink(1, (a * grad[..., None]).reshape(-1, a.shape[-1]).sum(axis=0))
+            return
+        grad_a = grad @ np.swapaxes(b, -1, -2)
+        grad_b = np.swapaxes(a, -1, -2) @ grad
+        sink(0, grad_a)
+        sink(1, grad_b)
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        return (lambda a, b: a @ b), [a, b]
+
+
+# ---------------------------------------------------------------------------
+# Registered ops: shape
+# ---------------------------------------------------------------------------
+
+@register_op("reshape")
+class _Reshape:
+    @staticmethod
+    def forward(ctx, a, *, shape):
+        ctx.save(a.data.shape)
+        return a.data.reshape(shape)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (src_shape,) = node.saved
+        sink(0, grad.reshape(src_shape))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        return (lambda a: a.reshape(3, 4)), [a]
+
+
+@register_op("transpose")
+class _Transpose:
+    @staticmethod
+    def forward(ctx, a, *, axes):
+        ctx.save(np.argsort(axes))
+        return a.data.transpose(axes)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (inv,) = node.saved
+        sink(0, grad.transpose(inv))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        return (lambda a: a.transpose(2, 0, 1)), [a]
+
+
+@register_op("getitem")
+class _GetItem:
+    @staticmethod
+    def forward(ctx, a, *, idx):
+        ctx.save(idx, a.data.shape, a.data.dtype)
+        return a.data[idx]
+
+    @staticmethod
+    def backward(node, grad, sink):
+        idx, src_shape, src_dtype = node.saved
+        full = np.zeros(src_shape, dtype=src_dtype)
+        np.add.at(full, idx, grad)
+        sink(0, full)
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        return (lambda a: a[1:3, ::2]), [a]
+
+
+@register_op("squeeze")
+class _Squeeze:
+    @staticmethod
+    def forward(ctx, a, *, axis):
+        ctx.save(a.data.shape)
+        return a.data.squeeze(axis) if axis is not None else a.data.squeeze()
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (src_shape,) = node.saved
+        sink(0, grad.reshape(src_shape))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((2, 1, 3)), requires_grad=True)
+        return (lambda a: a.squeeze(1)), [a]
+
+
+@register_op("unsqueeze")
+class _Unsqueeze:
+    @staticmethod
+    def forward(ctx, a, *, axis):
+        ctx.save(a.data.shape)
+        return np.expand_dims(a.data, axis)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (src_shape,) = node.saved
+        sink(0, grad.reshape(src_shape))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        return (lambda a: a.unsqueeze(1)), [a]
+
+
+# ---------------------------------------------------------------------------
+# Registered ops: reductions
+# ---------------------------------------------------------------------------
+
+@register_op("sum")
+class _Sum:
+    @staticmethod
+    def forward(ctx, a, *, axis, keepdims):
+        ctx.save(a.data.shape, axis, keepdims)
+        return a.data.sum(axis=axis, keepdims=keepdims)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        src_shape, axis, keepdims = node.saved
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        sink(0, np.broadcast_to(g, src_shape))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        return (lambda a: a.sum(axis=1)), [a]
+
+
+@register_op("mean")
+class _Mean:
+    @staticmethod
+    def forward(ctx, a, *, axis, keepdims):
+        src_shape = a.data.shape
+        count = a.data.size if axis is None else np.prod(
+            [src_shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))])
+        ctx.save(src_shape, axis, keepdims, count)
+        return a.data.mean(axis=axis, keepdims=keepdims)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        src_shape, axis, keepdims, count = node.saved
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        sink(0, np.broadcast_to(g, src_shape) / count)
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        return (lambda a: a.mean(axis=(1, 2))), [a]
+
+
+@register_op("max")
+class _Max:
+    @staticmethod
+    def forward(ctx, a, *, axis, keepdims):
+        out = a.data.max(axis=axis, keepdims=keepdims)
+        ctx.save(a.data, out, axis, keepdims)
+        return out
+
+    @staticmethod
+    def backward(node, grad, sink):
+        src, out_data, axis, keepdims = node.saved
+        g = grad
+        o = out_data
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+            o = np.expand_dims(o, axis)
+        mask = (src == o)
+        counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        sink(0, mask * g / counts)
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        return (lambda a: a.max(axis=1)), [a]
+
+
+# ---------------------------------------------------------------------------
+# Registered ops: elementwise math
+# ---------------------------------------------------------------------------
+
+@register_op("exp")
+class _Exp:
+    @staticmethod
+    def forward(ctx, a):
+        out = np.exp(a.data)
+        ctx.save(out)
+        return out
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (out,) = node.saved
+        sink(0, grad * out)
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        return (lambda a: a.exp()), [a]
+
+
+@register_op("log")
+class _Log:
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save(a.data)
+        return np.log(a.data)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (src,) = node.saved
+        sink(0, grad / src)
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(np.abs(rng.standard_normal((3, 4))) + 0.5, requires_grad=True)
+        return (lambda a: a.log()), [a]
+
+
+@register_op("sqrt")
+class _Sqrt:
+    @staticmethod
+    def forward(ctx, a):
+        out = np.sqrt(a.data)
+        ctx.save(out)
+        return out
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (out,) = node.saved
+        sink(0, grad / (2.0 * out))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(np.abs(rng.standard_normal((3, 4))) + 0.5, requires_grad=True)
+        return (lambda a: a.sqrt()), [a]
+
+
+@register_op("abs")
+class _Abs:
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save(a.data)
+        return np.abs(a.data)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (src,) = node.saved
+        sink(0, grad * np.sign(src))
+
+    @staticmethod
+    def sample(rng):
+        data = rng.standard_normal((3, 4))
+        a = Tensor(np.where(data >= 0, data + 0.5, data - 0.5), requires_grad=True)
+        return (lambda a: a.abs()), [a]
+
+
+@register_op("tanh")
+class _Tanh:
+    @staticmethod
+    def forward(ctx, a):
+        out = np.tanh(a.data)
+        ctx.save(out)
+        return out
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (out,) = node.saved
+        sink(0, grad * (1.0 - out ** 2))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        return (lambda a: a.tanh()), [a]
+
+
+@register_op("sin")
+class _Sin:
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save(a.data)
+        return np.sin(a.data)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (src,) = node.saved
+        sink(0, grad * np.cos(src))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        return (lambda a: a.sin()), [a]
+
+
+@register_op("cos")
+class _Cos:
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save(a.data)
+        return np.cos(a.data)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (src,) = node.saved
+        sink(0, -grad * np.sin(src))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        return (lambda a: a.cos()), [a]
+
+
+@register_op("clip")
+class _Clip:
+    @staticmethod
+    def forward(ctx, a, *, lo, hi):
+        mask = np.ones_like(a.data)
         if lo is not None:
-            mask = mask * (self.data >= lo)
+            mask = mask * (a.data >= lo)
         if hi is not None:
-            mask = mask * (self.data <= hi)
+            mask = mask * (a.data <= hi)
+        ctx.save(mask)
+        return np.clip(a.data, lo, hi)
 
-        def backward(grad, sink):
-            sink(self, grad * mask)
+    @staticmethod
+    def backward(node, grad, sink):
+        (mask,) = node.saved
+        sink(0, grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+    @staticmethod
+    def sample(rng):
+        a = Tensor(np.array([[-2.0, -0.4, 0.3, 2.2], [1.7, 0.1, -0.6, -3.0]]),
+                   requires_grad=True)
+        return (lambda a: a.clip(-1.0, 1.0)), [a]
 
 
 def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:

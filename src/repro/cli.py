@@ -25,7 +25,7 @@ from typing import Optional
 
 import numpy as np
 
-from .autodiff import Tensor, no_grad
+from .autodiff import Tensor, format_profile, no_grad
 from .baselines.registry import ABLATION_NAMES, MODEL_NAMES, TSD_NAMES, build_model
 from .data.specs import FORECAST_DATASETS
 from .data.dataset import load_dataset
@@ -62,7 +62,8 @@ def cmd_train(args) -> int:
     print(f"{args.model} on {args.dataset} ({args.task}): "
           f"{model.num_parameters():,} parameters")
 
-    cfg = TrainConfig(epochs=args.epochs, lr=args.lr, verbose=True)
+    cfg = TrainConfig(epochs=args.epochs, lr=args.lr, verbose=True,
+                      profile=args.profile)
     if args.task == "forecast":
         task = ForecastTask(seq_len=args.seq_len, pred_len=args.pred_len,
                             batch_size=args.batch_size,
@@ -78,6 +79,12 @@ def cmd_train(args) -> int:
         result = run_imputation(model, split, task, cfg)
     print(f"test MSE={result.mse:.4f} MAE={result.mae:.4f} "
           f"({result.epochs_run} epochs, {result.seconds:.0f}s)")
+
+    if args.profile and result.profile is not None:
+        print()
+        print(model.parameter_table())
+        print()
+        print(format_profile(result.profile))
 
     if args.save:
         save_checkpoint(model, args.save, metadata={
@@ -162,6 +169,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--max-batches", type=int, default=30)
     train.add_argument("--mask-ratio", type=float, default=0.25)
     train.add_argument("--save", default=None, help="checkpoint path (.npz)")
+    train.add_argument("--profile", action="store_true",
+                       help="record per-op/per-module telemetry during the "
+                            "fit and print the parameter + profile tables")
 
     forecast = sub.add_parser("forecast", help="forecast from a checkpoint")
     forecast.add_argument("--checkpoint", required=True)

@@ -13,6 +13,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..autodiff import Tensor, resolve_dtype
+from ..autodiff.graph import HookHandle
 
 
 class Parameter(Tensor):
@@ -28,6 +29,8 @@ class Module:
     def __init__(self):
         object.__setattr__(self, "_parameters", OrderedDict())
         object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_forward_pre_hooks", OrderedDict())
+        object.__setattr__(self, "_forward_hooks", OrderedDict())
         object.__setattr__(self, "training", True)
 
     # ------------------------------------------------------------------
@@ -61,9 +64,28 @@ class Module:
         for module in self._modules.values():
             yield from module.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` pairs, root first (like torch)."""
+        yield prefix, self
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(child_prefix)
+
     def num_parameters(self) -> int:
         """Total number of trainable scalars in the module tree."""
         return sum(p.size for p in self.parameters())
+
+    def parameter_table(self) -> str:
+        """Per-parameter name/shape/size table (printed under ``--profile``)."""
+        rows = [(name, tuple(p.shape), p.size)
+                for name, p in self.named_parameters()]
+        width = max([len(name) for name, _, _ in rows] + [len("parameter")])
+        lines = [f"{'parameter':<{width}s} {'shape':>20s} {'params':>12s}"]
+        for name, shape, size in rows:
+            lines.append(f"{name:<{width}s} {str(shape):>20s} {size:>12,d}")
+        lines.append(f"{'total':<{width}s} {'':>20s} "
+                     f"{self.num_parameters():>12,d}")
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # State
@@ -125,13 +147,39 @@ class Module:
         return self
 
     # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def register_forward_pre_hook(self, fn) -> HookHandle:
+        """Fire ``fn(module, args)`` before every ``forward``; removable."""
+        hooks = self._forward_pre_hooks
+        key = max(hooks, default=0) + 1
+        hooks[key] = fn
+        return HookHandle(hooks, key)
+
+    def register_forward_hook(self, fn) -> HookHandle:
+        """Fire ``fn(module, args, output)`` after every ``forward``."""
+        hooks = self._forward_hooks
+        key = max(hooks, default=0) + 1
+        hooks[key] = fn
+        return HookHandle(hooks, key)
+
+    # ------------------------------------------------------------------
     # Call protocol
     # ------------------------------------------------------------------
     def forward(self, *args, **kwargs):
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        pre = self._forward_pre_hooks
+        if pre:
+            for hook in tuple(pre.values()):
+                hook(self, args)
+        out = self.forward(*args, **kwargs)
+        post = self._forward_hooks
+        if post:
+            for hook in tuple(post.values()):
+                hook(self, args, out)
+        return out
 
     def __repr__(self) -> str:
         children = ", ".join(self._modules)

@@ -68,7 +68,21 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
 
+    def _sync_state_dtypes(self) -> None:
+        """Recast moment buffers whose parameter changed dtype since init.
+
+        ``Module.to()`` after the optimizer snapshotted its parameters would
+        otherwise leave ``m``/``v`` in the old dtype, and the in-place
+        ``m *= b1`` updates in :meth:`step` would keep silently computing at
+        (and casting through) the stale precision.
+        """
+        for i, p in enumerate(self.params):
+            if self._m[i].dtype != p.data.dtype:
+                self._m[i] = self._m[i].astype(p.data.dtype)
+                self._v[i] = self._v[i].astype(p.data.dtype)
+
     def step(self) -> None:
+        self._sync_state_dtypes()
         self._step += 1
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1 ** self._step

@@ -35,7 +35,8 @@ from typing import Tuple
 
 import numpy as np
 
-from ..autodiff import Tensor
+from ..autodiff import Tensor, apply, register_op
+from ..autodiff.tensor import as_array
 from .engine import SpectralEngine, make_engine
 from .wavelets import Wavelet, get_wavelet
 
@@ -200,26 +201,62 @@ class CWTOperator:
     def amplitude(self, x: Tensor, eps: float = 1e-8) -> Tensor:
         """Differentiable ``Amp(WT(x))``: (..., T) -> (..., lambda, T).
 
-        One fused tape node: the forward is a single FFT convolution plus
-        the smoothed modulus, and the hand-written backward pulls the
-        cotangent through the modulus (``d|C| = Re(conj(C/|C|) dC)``) and
-        the transform's adjoint — no dense matmuls on the tape in either
-        direction.  The modulus is smoothed with ``eps`` to keep the
-        gradient finite at zero coefficients.
+        One fused tape node (registered op ``cwt_amplitude``): the forward
+        is a single FFT convolution plus the smoothed modulus, and the
+        hand-written backward pulls the cotangent through the modulus
+        (``d|C| = Re(conj(C/|C|) dC)``) and the transform's adjoint — no
+        dense matmuls on the tape in either direction.  The modulus is
+        smoothed with ``eps`` to keep the gradient finite at zero
+        coefficients.
         """
-        engine = self._engine
-        coeffs = engine.transform(x.data)              # complex (..., lam, T)
-        amp = np.sqrt(coeffs.real ** 2 + coeffs.imag ** 2 + eps)
-
-        def backward(grad, sink):
-            # Cotangent of the complex coefficients: grad * C / amp, then
-            # pulled back through the linear transform by its adjoint.
-            sink(x, engine.adjoint((grad / amp) * coeffs))
-
-        return Tensor._make(amp, (x,), backward)
+        return apply("cwt_amplitude", x, engine=self._engine, eps=eps)
 
     def inverse(self, coeffs: Tensor) -> Tensor:
-        """Differentiable IWT: contract the scale axis at position -2."""
-        w = Tensor(self._iwt_weights.astype(coeffs.data.dtype, copy=False))
-        moved = coeffs.swapaxes(-2, -1)          # (..., T, lambda)
-        return moved @ w                          # (..., T)
+        """Differentiable IWT (registered op ``iwt``): contract the scale
+        axis at position -2 with the calibrated per-scale weights."""
+        return apply("iwt", coeffs, weights=self._iwt_weights)
+
+
+@register_op("cwt_amplitude")
+class _CWTAmplitude:
+    @staticmethod
+    def forward(ctx, x, *, engine, eps):
+        coeffs = engine.transform(x.data)              # complex (..., lam, T)
+        amp = np.sqrt(coeffs.real ** 2 + coeffs.imag ** 2 + eps)
+        ctx.save(engine, coeffs, amp)
+        return amp
+
+    @staticmethod
+    def backward(node, grad, sink):
+        engine, coeffs, amp = node.saved
+        # Cotangent of the complex coefficients: grad * C / amp, then
+        # pulled back through the linear transform by its adjoint.
+        sink(0, engine.adjoint((grad / amp) * coeffs))
+
+    @staticmethod
+    def sample(rng):
+        op = CWTOperator(8, 3)
+        x = Tensor(rng.standard_normal((2, 8)), requires_grad=True)
+        return (lambda x: op.amplitude(x)), [x]
+
+
+@register_op("iwt")
+class _IWT:
+    @staticmethod
+    def forward(ctx, coeffs, *, weights):
+        # as_array mirrors Tensor() coercion so the weight dtype (and hence
+        # the contraction's bits) match the pre-IR tape exactly.
+        w = as_array(weights.astype(coeffs.data.dtype, copy=False))
+        ctx.save(w)
+        return coeffs.data.swapaxes(-2, -1) @ w        # (..., T)
+
+    @staticmethod
+    def backward(node, grad, sink):
+        (w,) = node.saved
+        sink(0, (grad[..., None] * w).swapaxes(-2, -1))
+
+    @staticmethod
+    def sample(rng):
+        op = CWTOperator(8, 3)
+        coeffs = Tensor(rng.standard_normal((2, 3, 8)), requires_grad=True)
+        return (lambda c: op.inverse(c)), [coeffs]

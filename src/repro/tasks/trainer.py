@@ -17,7 +17,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..autodiff import Tensor, no_grad, precision, resolve_dtype
+from ..autodiff import GraphProfiler, Tensor, no_grad, precision, resolve_dtype
 from ..nn.module import Module
 from ..optim import Adam, EarlyStopping, ExponentialDecay, clip_grad_norm
 
@@ -35,6 +35,7 @@ class TrainConfig:
     clip_norm: Optional[float] = None
     verbose: bool = False
     precision: str = "float64"
+    profile: bool = False
 
 
 @dataclass
@@ -57,6 +58,10 @@ class FitResult:
     epoch_seconds: List[float] = field(default_factory=list)
     train_seconds: float = 0.0
     eval_seconds: float = 0.0
+    # GraphProfiler.summary() dict when TrainConfig.profile was set:
+    # per-op calls/wall-clock/saved-activation bytes, per-module timings,
+    # and the peak retained-activation watermark.
+    profile: Optional[dict] = None
 
     def as_row(self) -> Dict[str, float]:
         return {"mse": self.mse, "mae": self.mae}
@@ -107,7 +112,22 @@ class Trainer:
         """Train until the epoch budget or early stopping trips."""
         result = FitResult()
         stopper = EarlyStopping(patience=self.config.patience)
+        profiler = None
+        if self.config.profile:
+            profiler = GraphProfiler().attach(self.model).start()
         start = time.time()
+        try:
+            self._fit_loop(result, stopper, train_loader, val_loader, step_fn)
+        finally:
+            if profiler is not None:
+                profiler.stop().detach()
+                result.profile = profiler.summary()
+        stopper.restore_best(self.model)
+        result.seconds = time.time() - start
+        return result
+
+    def _fit_loop(self, result: FitResult, stopper, train_loader, val_loader,
+                  step_fn: StepFn) -> None:
         for epoch in range(self.config.epochs):
             t0 = time.perf_counter()
             train_loss = self._run_epoch(train_loader, step_fn, train=True)
@@ -127,9 +147,6 @@ class Trainer:
             if stopper.should_stop:
                 break
             self.scheduler.step()
-        stopper.restore_best(self.model)
-        result.seconds = time.time() - start
-        return result
 
     def evaluate(self, loader, step_fn: StepFn) -> Tuple[float, float]:
         """Aggregate MSE/MAE over a loader (mask-aware via the step_fn).

@@ -121,3 +121,69 @@ class TestContainers:
     def test_modulelist_not_callable(self):
         with pytest.raises(RuntimeError):
             ModuleList([])(1)
+
+
+class TestNamedModules:
+    def test_named_modules_dotted_paths(self):
+        net = Net()
+        names = dict(net.named_modules())
+        assert names[""] is net
+        assert names["fc1"] is net.fc1
+        assert names["fc2"] is net.fc2
+
+    def test_named_modules_nested(self):
+        outer = Sequential(Net(), Linear(2, 2))
+        names = [name for name, _ in outer.named_modules()]
+        assert "0.fc1" in names and "1" in names
+
+    def test_named_modules_on_ts3net_paper_scale(self):
+        # Paper's ~Table III scale config: T=96, lambda=100, d_model=64.
+        from repro.core.ts3net import TS3Net, TS3NetConfig
+        model = TS3Net(TS3NetConfig(seq_len=96, pred_len=96, c_in=7,
+                                    d_model=64, d_ff=64, num_blocks=2,
+                                    num_scales=100))
+        names = dict(model.named_modules())
+        assert names[""] is model
+        assert sum(type(m).__name__ == "TFBlock" for m in names.values()) == 2
+        # Every registered parameter belongs to a named module.
+        param_names = [name for name, _ in model.named_parameters()]
+        module_prefixes = {name for name in names if name}
+        for pname in param_names:
+            owner = pname.rsplit(".", 1)[0] if "." in pname else ""
+            assert owner == "" or owner in module_prefixes, pname
+
+    def test_parameter_table_matches_num_parameters(self):
+        from repro.core.ts3net import TS3Net, TS3NetConfig
+        model = TS3Net(TS3NetConfig(seq_len=96, pred_len=96, c_in=7,
+                                    d_model=64, d_ff=64, num_blocks=2,
+                                    num_scales=100))
+        table = model.parameter_table()
+        total_line = table.splitlines()[-1]
+        assert "total" in total_line
+        assert f"{model.num_parameters():,d}" in total_line
+        # One row per parameter plus header and total.
+        assert len(table.splitlines()) == len(model.parameters()) + 2
+
+
+class TestForwardHooks:
+    def test_pre_and_post_hooks_fire_in_order(self):
+        events = []
+        net = Net()
+        h1 = net.register_forward_pre_hook(
+            lambda m, args: events.append(("pre", type(m).__name__)))
+        h2 = net.register_forward_hook(
+            lambda m, args, out: events.append(("post", out.shape)))
+        net(Tensor(np.ones((2, 4))))
+        assert events == [("pre", "Net"), ("post", (2, 2))]
+        h1.remove()
+        h2.remove()
+        net(Tensor(np.ones((2, 4))))
+        assert len(events) == 2  # removed hooks stay silent
+
+    def test_hooks_see_call_args(self):
+        seen = {}
+        layer = Linear(4, 2)
+        layer.register_forward_pre_hook(
+            lambda m, args: seen.setdefault("shape", args[0].shape))
+        layer(Tensor(np.ones((3, 4))))
+        assert seen["shape"] == (3, 4)

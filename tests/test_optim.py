@@ -90,6 +90,35 @@ class TestAdam:
             opt.step()
         np.testing.assert_allclose(layer.weight.data, true_w, atol=0.05)
 
+    def test_moment_buffers_recast_after_module_to(self):
+        # Regression: Module.to() after Adam snapshotted the parameters used
+        # to leave the moment buffers at the old dtype forever.
+        layer = Linear(3, 2)
+        opt = Adam(layer.parameters(), lr=0.01)
+        layer.to("float32")
+        opt.zero_grad()
+        (layer(Tensor(np.ones((4, 3), dtype=np.float32))) ** 2).mean().backward()
+        opt.step()
+        for p, m, v in zip(opt.params, opt._m, opt._v):
+            assert p.data.dtype == np.float32
+            assert m.dtype == np.float32
+            assert v.dtype == np.float32
+
+    def test_moment_recast_keeps_training_stable(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        for _ in range(5):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        p.data = p.data.astype(np.float32)
+        for _ in range(195):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert opt._m[0].dtype == np.float32
+        np.testing.assert_allclose(p.data, [3.0, -2.0], atol=1e-2)
+
 
 class TestClipGradNorm:
     def test_reports_and_clips(self):

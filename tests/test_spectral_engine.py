@@ -132,7 +132,9 @@ class TestFusedAmplitudeGrad:
         op = CWTOperator.cached(24, 6, engine="fft")
         x = Tensor(rng.standard_normal((2, 24)), requires_grad=True)
         out = op.amplitude(x)
-        assert out._parents == (x,)   # fused: one hop back to the input
+        assert out._node is not None
+        assert out._node.op == "cwt_amplitude"
+        assert out._node.parents == (x,)   # fused: one hop back to the input
 
 
 class TestPrecisionMode:
