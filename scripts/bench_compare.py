@@ -25,7 +25,11 @@ gated when present in the current report:
   two-step TF-Block run with the default freeing policy, as a fraction of
   the same run under ``retain_graph=True``) must stay under
   ``--free-threshold`` (default 80%) — locking in the graph IR's
-  free-after-backward memory win.
+  free-after-backward memory win;
+* ``serving_batched_speedup`` (sustained micro-batched throughput over the
+  ``max_batch_size=1`` configuration, recorded by
+  ``scripts/bench_serving.py``) must stay at or above
+  ``--serving-speedup-threshold`` (default 3x).
 """
 
 from __future__ import annotations
@@ -92,6 +96,28 @@ def check_memory_facts(current: dict, free_threshold: float) -> int:
     return 0
 
 
+def check_serving_facts(current: dict, speedup_threshold: float) -> int:
+    """Gate the micro-batching throughput win; 0 = ok, 1 = fail."""
+    ver = current.get("verification", {})
+    if "serving_batched_speedup" not in ver:
+        return 0
+    speedup = float(ver["serving_batched_speedup"])
+    print(f"serving: micro-batched {ver.get('serving_batched_rps', 0):.0f} "
+          f"req/s vs unbatched {ver.get('serving_unbatched_rps', 0):.0f} "
+          f"req/s = {speedup:.2f}x at "
+          f"{ver.get('serving_clients', '?')} clients "
+          f"(threshold {speedup_threshold:.1f}x, "
+          f"batched p95 {ver.get('serving_batched_p95_ms', 0):.1f}ms / "
+          f"p99 {ver.get('serving_batched_p99_ms', 0):.1f}ms)")
+    if speedup < speedup_threshold:
+        print(f"FAIL: micro-batched serving only reached {speedup:.2f}x the "
+              f"unbatched throughput (minimum {speedup_threshold:.1f}x) — "
+              "dynamic batching is not amortising the forward pass",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def compare(current: dict, baseline: dict, threshold: float) -> int:
     cur_t = current.get("timings", {})
     base_t = baseline.get("timings", {})
@@ -144,6 +170,10 @@ def main(argv=None) -> int:
                         help="max freed/retained peak saved-activation "
                              "fraction for the TF-Block profile (0.80 = "
                              "freeing must cut peak bytes by >=20%%)")
+    parser.add_argument("--serving-speedup-threshold", type=float, default=3.0,
+                        help="minimum micro-batched/unbatched serving "
+                             "throughput ratio (3.0 = batching must "
+                             "sustain >=3x the unbatched request rate)")
     args = parser.parse_args(argv)
     for path in (args.current, args.baseline):
         if not os.path.exists(path):
@@ -153,7 +183,9 @@ def main(argv=None) -> int:
     status = compare(current, load(args.baseline), args.threshold)
     grid_status = check_grid_facts(current, args.warm_threshold)
     memory_status = check_memory_facts(current, args.free_threshold)
-    return status or grid_status or memory_status
+    serving_status = check_serving_facts(current,
+                                         args.serving_speedup_threshold)
+    return status or grid_status or memory_status or serving_status
 
 
 if __name__ == "__main__":

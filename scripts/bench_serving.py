@@ -1,0 +1,266 @@
+#!/usr/bin/env python
+"""Serving load generator: micro-batched vs unbatched throughput + tails.
+
+Boots the real HTTP serving stack (``repro.serving``) in-process on an
+ephemeral port, hammers ``POST /v1/forecast`` from ``--clients`` persistent
+connections, and measures sustained throughput and client-side latency
+percentiles under two configurations:
+
+* **batched**   — ``max_batch_size=--batch-size`` (dynamic micro-batching);
+* **unbatched** — ``max_batch_size=1`` (one forward per request).
+
+The results are merged into ``BENCH_substrate.json`` (created if missing)
+under a ``serving`` section plus gateable ``verification`` facts;
+``scripts/bench_compare.py`` fails CI when ``serving_batched_speedup``
+drops below its ``--serving-speedup-threshold`` (default 3x).
+
+Typical usage::
+
+    PYTHONPATH=src python scripts/bench_serving.py
+    python scripts/bench_compare.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import socket
+import statistics
+import sys
+import threading
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.baselines import build_model                        # noqa: E402
+from repro.nn import save_checkpoint                           # noqa: E402
+from repro.serving import (                                    # noqa: E402
+    ModelRegistry, ServingConfig, build_server,
+)
+from repro.utils import set_seed                               # noqa: E402
+
+OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_substrate.json")
+
+
+# A deep, narrow transformer is where dynamic batching pays most on this
+# substrate: per-op Python dispatch dominates tiny matmuls, and one stacked
+# forward amortises it across the whole batch.
+DEFAULT_OVERRIDES = {"num_layers": 8, "d_model": 8, "d_ff": 8, "n_heads": 2}
+
+
+def make_checkpoint(path: str, model_name: str, seq_len: int, pred_len: int,
+                    c_in: int, overrides: dict) -> None:
+    set_seed(0)
+    model = build_model(model_name, seq_len=seq_len, pred_len=pred_len,
+                        c_in=c_in, task="forecast", preset="tiny", **overrides)
+    save_checkpoint(model, path, metadata={
+        "model": model_name, "dataset": "bench", "task": "forecast",
+        "seq_len": seq_len, "pred_len": pred_len, "c_in": c_in,
+        "preset": "tiny", "overrides": overrides})
+
+
+def run_load(host: str, port: int, model: str, bodies: list, clients: int,
+             duration: float, warmup: float) -> dict:
+    """Closed-loop load: ``clients`` threads with persistent connections."""
+    stop = threading.Event()
+    recording = threading.Event()
+    latencies = [[] for _ in range(clients)]
+    errors = [0] * clients
+
+    def connect() -> http.client.HTTPConnection:
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        conn.connect()
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return conn
+
+    def worker(idx: int) -> None:
+        conn = connect()
+        i = idx
+        while not stop.is_set():
+            body = bodies[i % len(bodies)]
+            i += clients
+            start = time.perf_counter()
+            try:
+                conn.request("POST", "/v1/forecast", body,
+                             {"Content-Type": "application/json"})
+                resp = conn.getresponse()
+                resp.read()
+                ok = resp.status == 200
+            except Exception:
+                ok = False
+                conn.close()
+                conn = connect()
+            elapsed = time.perf_counter() - start
+            if recording.is_set():
+                if ok:
+                    latencies[idx].append(elapsed)
+                else:
+                    errors[idx] += 1
+        conn.close()
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    time.sleep(warmup)
+    recording.set()
+    t0 = time.perf_counter()
+    time.sleep(duration)
+    recording.clear()
+    measured = time.perf_counter() - t0
+    stop.set()
+    for t in threads:
+        t.join(timeout=10)
+
+    lats = sorted(lat for per_client in latencies for lat in per_client)
+    count = len(lats)
+    if count == 0:
+        raise RuntimeError("load generator recorded zero successful requests")
+
+    def pct(q: float) -> float:
+        return lats[min(count - 1, int(round(q * (count - 1))))]
+
+    return {
+        "requests": count,
+        "errors": sum(errors),
+        "duration_s": measured,
+        "rps": count / measured,
+        "p50_ms": pct(0.50) * 1e3,
+        "p95_ms": pct(0.95) * 1e3,
+        "p99_ms": pct(0.99) * 1e3,
+        "mean_ms": statistics.fmean(lats) * 1e3,
+    }
+
+
+def bench_config(checkpoint: str, model: str, max_batch_size: int,
+                 max_wait_ms: float, bodies: list, clients: int,
+                 duration: float, warmup: float) -> dict:
+    registry = ModelRegistry(expect_task="forecast")
+    registry.load(model, checkpoint)
+    config = ServingConfig(host="127.0.0.1", port=0,
+                           max_batch_size=max_batch_size,
+                           max_wait_ms=max_wait_ms, queue_size=1024,
+                           default_timeout_ms=30000.0)
+    server = build_server(config, registry)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        result = run_load(host, port, model, bodies, clients, duration, warmup)
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.drain()
+    snapshot = server.metrics.snapshot()
+    result["mean_batch_size"] = snapshot["mean_batch_size"]
+    result["server_batches"] = snapshot["batches_total"]
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="PatchTST",
+                        help="architecture to serve (stack-policy models "
+                             "show the pure batching win)")
+    parser.add_argument("--overrides", default=None,
+                        help="JSON dict of model kwargs baked into the "
+                             "checkpoint metadata (default: a deep narrow "
+                             "stack where batching pays most)")
+    parser.add_argument("--seq-len", type=int, default=48)
+    parser.add_argument("--pred-len", type=int, default=24)
+    parser.add_argument("--c-in", type=int, default=7)
+    parser.add_argument("--clients", type=int, default=16,
+                        help="concurrent closed-loop client connections")
+    parser.add_argument("--batch-size", type=int, default=16,
+                        help="max_batch_size of the batched configuration")
+    parser.add_argument("--max-wait-ms", type=float, default=8.0,
+                        help="batched-config flush window; the unbatched "
+                             "config flushes immediately at batch size 1 "
+                             "so this only affects batch fill")
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="measured seconds per configuration")
+    parser.add_argument("--warmup", type=float, default=1.0)
+    parser.add_argument("--output", default=OUTPUT_PATH,
+                        help="BENCH_substrate.json to merge results into")
+    args = parser.parse_args(argv)
+
+    overrides = (DEFAULT_OVERRIDES if args.overrides is None
+                 else json.loads(args.overrides))
+
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = os.path.join(tmp, "bench_serving.npz")
+        make_checkpoint(checkpoint, args.model, args.seq_len, args.pred_len,
+                        args.c_in, overrides)
+
+        rng = np.random.default_rng(7)
+        bodies = [
+            json.dumps({
+                "model": args.model,
+                "window": rng.standard_normal(
+                    (args.seq_len, args.c_in)).round(6).tolist(),
+            }).encode("utf-8")
+            for _ in range(64)
+        ]
+
+        print(f"bench_serving: {args.model} seq_len={args.seq_len} "
+              f"c_in={args.c_in}, {args.clients} clients, "
+              f"{args.duration:.0f}s per config")
+        batched = bench_config(checkpoint, args.model, args.batch_size,
+                               args.max_wait_ms, bodies, args.clients,
+                               args.duration, args.warmup)
+        unbatched = bench_config(checkpoint, args.model, 1, args.max_wait_ms,
+                                 bodies, args.clients, args.duration,
+                                 args.warmup)
+
+    speedup = batched["rps"] / unbatched["rps"]
+    for label, res in (("batched", batched), ("unbatched", unbatched)):
+        print(f"  {label:10s} {res['rps']:8.1f} req/s  "
+              f"p50 {res['p50_ms']:7.2f}ms  p95 {res['p95_ms']:7.2f}ms  "
+              f"p99 {res['p99_ms']:7.2f}ms  "
+              f"mean batch {res['mean_batch_size']:.2f} "
+              f"({res['errors']} errors)")
+    print(f"  micro-batching speedup: {speedup:.2f}x")
+
+    # Merge into the substrate report so bench_compare.py can gate it.
+    if os.path.exists(args.output):
+        with open(args.output) as fh:
+            report = json.load(fh)
+    else:
+        report = {"meta": {"suite": "bench_substrate"}, "timings": {},
+                  "verification": {}}
+    report["serving"] = {
+        "model": args.model,
+        "overrides": overrides,
+        "seq_len": args.seq_len,
+        "c_in": args.c_in,
+        "clients": args.clients,
+        "max_batch_size": args.batch_size,
+        "max_wait_ms": args.max_wait_ms,
+        "batched": batched,
+        "unbatched": unbatched,
+    }
+    report.setdefault("verification", {}).update({
+        "serving_batched_speedup": speedup,
+        "serving_batched_rps": batched["rps"],
+        "serving_unbatched_rps": unbatched["rps"],
+        "serving_batched_p95_ms": batched["p95_ms"],
+        "serving_batched_p99_ms": batched["p99_ms"],
+        "serving_unbatched_p95_ms": unbatched["p95_ms"],
+        "serving_mean_batch_size": batched["mean_batch_size"],
+        "serving_clients": args.clients,
+    })
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"  wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

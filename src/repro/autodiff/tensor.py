@@ -26,6 +26,7 @@ allowed as indices/masks but never receive gradients.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Tuple, Union
 
 import numpy as np
@@ -39,9 +40,25 @@ ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
 DEFAULT_DTYPE = np.float64
 
-_default_dtype = DEFAULT_DTYPE
 
-_grad_enabled = True
+class _EngineState(threading.local):
+    """Per-thread autodiff mode flags (grad recording, default float dtype).
+
+    The class attributes are the boot defaults every fresh thread starts
+    from; assigning an attribute creates a thread-local override.  This is
+    what makes ``no_grad()`` / ``precision()`` safe under concurrency: a
+    serving worker thread entering ``no_grad`` can never flip grad mode for
+    a training loop running on another thread.  Main-thread semantics are
+    unchanged.  Note that a newly spawned thread starts from the boot
+    defaults (grad on, ``DEFAULT_DTYPE``), not from the spawning thread's
+    current overrides.
+    """
+
+    grad_enabled = True
+    default_dtype = DEFAULT_DTYPE
+
+
+_state = _EngineState()
 
 _PRECISIONS = {
     "float32": np.float32,
@@ -69,14 +86,13 @@ def resolve_dtype(precision_or_dtype) -> np.dtype:
 
 
 def set_default_dtype(precision_or_dtype) -> None:
-    """Set the engine-wide float dtype new tensors are created with."""
-    global _default_dtype
-    _default_dtype = resolve_dtype(precision_or_dtype).type
+    """Set the float dtype new tensors are created with (thread-local)."""
+    _state.default_dtype = resolve_dtype(precision_or_dtype).type
 
 
 def get_default_dtype() -> np.dtype:
     """The float dtype that :class:`Tensor` construction coerces to."""
-    return np.dtype(_default_dtype)
+    return np.dtype(_state.default_dtype)
 
 
 class precision:
@@ -92,35 +108,35 @@ class precision:
         self._dtype = resolve_dtype(precision_or_dtype).type
 
     def __enter__(self):
-        global _default_dtype
-        self._prev = _default_dtype
-        _default_dtype = self._dtype
+        self._prev = _state.default_dtype
+        _state.default_dtype = self._dtype
         return self
 
     def __exit__(self, *exc):
-        global _default_dtype
-        _default_dtype = self._prev
+        _state.default_dtype = self._prev
         return False
 
 
 class no_grad:
-    """Context manager disabling graph construction (like ``torch.no_grad``)."""
+    """Context manager disabling graph construction (like ``torch.no_grad``).
+
+    The flag is thread-local: entering ``no_grad`` on one thread does not
+    affect graph recording on any other thread.
+    """
 
     def __enter__(self):
-        global _grad_enabled
-        self._prev = _grad_enabled
-        _grad_enabled = False
+        self._prev = _state.grad_enabled
+        _state.grad_enabled = False
         return self
 
     def __exit__(self, *exc):
-        global _grad_enabled
-        _grad_enabled = self._prev
+        _state.grad_enabled = self._prev
         return False
 
 
 def is_grad_enabled() -> bool:
-    """Return whether new operations will be recorded on the tape."""
-    return _grad_enabled
+    """Return whether this thread records new operations on the tape."""
+    return _state.grad_enabled
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -148,7 +164,7 @@ def as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if dtype is not None:
         return arr.astype(dtype, copy=False)
     if np.issubdtype(arr.dtype, np.floating):
-        return arr.astype(_default_dtype, copy=False)
+        return arr.astype(_state.default_dtype, copy=False)
     return arr
 
 
@@ -448,7 +464,7 @@ def apply(name: str, *parents: Tensor, **kwargs) -> Tensor:
         elapsed = _clock() - t0
     else:
         out_data = spec.forward(ctx, *parents, **kwargs)
-    requires = _grad_enabled and any(p.requires_grad for p in parents)
+    requires = _state.grad_enabled and any(p.requires_grad for p in parents)
     out = Tensor(out_data, requires_grad=requires)
     node = None
     if requires:
@@ -991,13 +1007,13 @@ def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
 def zeros(*shape, requires_grad: bool = False) -> Tensor:
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
-    return Tensor(np.zeros(shape, dtype=_default_dtype), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=_state.default_dtype), requires_grad=requires_grad)
 
 
 def ones(*shape, requires_grad: bool = False) -> Tensor:
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
-    return Tensor(np.ones(shape, dtype=_default_dtype), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=_state.default_dtype), requires_grad=requires_grad)
 
 
 def zeros_like(t: Tensor, requires_grad: bool = False) -> Tensor:
@@ -1009,5 +1025,5 @@ def randn(*shape, rng: Optional[np.random.Generator] = None,
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
     rng = rng or np.random.default_rng()
-    return Tensor(rng.standard_normal(shape).astype(_default_dtype),
+    return Tensor(rng.standard_normal(shape).astype(_state.default_dtype),
                   requires_grad=requires_grad)

@@ -7,6 +7,7 @@ Examples::
         --save ts3net_etth1.npz
     python -m repro train --model DLinear --dataset Weather --task imputation
     python -m repro forecast --checkpoint ts3net_etth1.npz --dataset ETTh1
+    python -m repro serve --checkpoint ts3net_etth1.npz --port 8321
     python -m repro decompose --dataset ETTh2 --window 192
 
 The paper's tables run through the experiment-grid engine (parallel
@@ -29,7 +30,10 @@ from .autodiff import Tensor, format_profile, no_grad
 from .baselines.registry import ABLATION_NAMES, MODEL_NAMES, TSD_NAMES, build_model
 from .data.specs import FORECAST_DATASETS
 from .data.dataset import load_dataset
-from .nn import load_checkpoint, peek_metadata, save_checkpoint
+from .nn import (
+    load_checkpoint, peek_metadata, save_checkpoint,
+    validate_checkpoint_metadata,
+)
 from .tasks import (
     ForecastTask, ImputationTask, TrainConfig, run_forecast, run_imputation,
 )
@@ -97,17 +101,23 @@ def cmd_train(args) -> int:
 
 
 def cmd_forecast(args) -> int:
-    meta = peek_metadata(args.checkpoint)
-    if not meta:
-        print("checkpoint has no metadata; pass a checkpoint written by "
-              "`repro train --save`", file=sys.stderr)
+    # The same validation the serving ModelRegistry applies: reject bare
+    # archives and non-forecast checkpoints (an imputation model re-built
+    # here would plot garbage as a "forecast").
+    try:
+        meta = validate_checkpoint_metadata(
+            peek_metadata(args.checkpoint), expect_task="forecast",
+            source=args.checkpoint)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
         return 1
     set_seed(args.seed)
     split = load_dataset(args.dataset or meta["dataset"],
                          n_steps=args.n_steps, seed=args.seed)
     model = build_model(meta["model"], seq_len=meta["seq_len"],
                         pred_len=meta["pred_len"], c_in=meta["c_in"],
-                        task=meta["task"], preset=meta.get("preset", "tiny"))
+                        task=meta["task"], preset=meta.get("preset", "tiny"),
+                        **(meta.get("overrides") or {}))
     load_checkpoint(model, args.checkpoint)
     model.eval()
 
@@ -140,6 +150,34 @@ def cmd_table(command: str, rest) -> int:
                "table9": table9, "sensitivity": sensitivity_mod}
     modules[command].main(list(rest))
     return 0
+
+
+def cmd_serve(args) -> int:
+    from .serving import ModelRegistry, ServingConfig, build_server, run_server
+
+    names = list(args.name or [])
+    if names and len(names) != len(args.checkpoint):
+        print(f"error: got {len(names)} --name for "
+              f"{len(args.checkpoint)} --checkpoint", file=sys.stderr)
+        return 1
+
+    registry = ModelRegistry(expect_task="forecast")
+    for i, path in enumerate(args.checkpoint):
+        name = names[i] if names else peek_metadata(path).get("model", path)
+        try:
+            entry = registry.load(name, path)
+        except (ValueError, KeyError, OSError) as err:
+            print(f"error loading {path}: {err}", file=sys.stderr)
+            return 1
+        print(f"loaded {name!r} from {path} "
+              f"({entry.model.num_parameters():,} parameters)")
+
+    config = ServingConfig(
+        host=args.host, port=args.port, max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms, queue_size=args.queue_size,
+        default_timeout_ms=args.timeout_ms)
+    server = build_server(config, registry)
+    return run_server(server)
 
 
 def cmd_decompose(args) -> int:
@@ -179,6 +217,26 @@ def build_parser() -> argparse.ArgumentParser:
     forecast.add_argument("--n-steps", type=int, default=2000)
     forecast.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve", help="serve checkpoints over HTTP with micro-batching")
+    serve.add_argument("--checkpoint", action="append", required=True,
+                       help="checkpoint (.npz) to serve; repeatable")
+    serve.add_argument("--name", action="append", default=None,
+                       help="serving name for the matching --checkpoint "
+                            "(default: the checkpoint's model name)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="listen port (0 picks an ephemeral port)")
+    serve.add_argument("--max-batch-size", type=int, default=16,
+                       help="flush a micro-batch at this many windows")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="flush a partial batch after this long")
+    serve.add_argument("--queue-size", type=int, default=256,
+                       help="admission-control bound; beyond it requests "
+                            "are shed with a 503")
+    serve.add_argument("--timeout-ms", type=float, default=2000.0,
+                       help="default per-request deadline")
+
     decompose = sub.add_parser("decompose",
                                help="triple-decompose a dataset window")
     decompose.add_argument("--dataset", default="ETTh1")
@@ -206,7 +264,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_table(argv[0], argv[1:])
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "train": cmd_train,
-                "forecast": cmd_forecast, "decompose": cmd_decompose}
+                "forecast": cmd_forecast, "decompose": cmd_decompose,
+                "serve": cmd_serve}
     return handlers[args.command](args)
 
 

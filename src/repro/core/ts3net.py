@@ -40,7 +40,7 @@ from ..nn import (
     DataEmbedding, Dropout, GELU, InceptionBlock2d, LayerNorm, Linear,
     Module, ModuleList, Sequential,
 )
-from ..spectral.periods import detect_periods, dominant_period
+from ..spectral.periods import detect_periods, dominant_period, topk_frequencies
 from .heads import AutoregressionHead, PredictionHead
 from .tf_block import TFBlock
 
@@ -236,6 +236,27 @@ class TS3Net(Module):
             res = sgd(h, period=period)
             h = block(res.regular)
         return h
+
+    # ------------------------------------------------------------------
+    def batch_signature(self, window: np.ndarray) -> tuple:
+        """Micro-batching key: windows sharing it can be stacked losslessly.
+
+        The only cross-sample coupling in the forward pass is Eq. 2's period
+        detection, which averages amplitude spectra over the batch.  For any
+        group of windows whose *per-window* ordered top-k frequency picks
+        agree, the batch-averaged spectrum provably picks the same ordered
+        top-k (each chosen frequency dominates every other pointwise across
+        the group), so a stacked forward is bit-identical to the per-window
+        forwards.  The serving batcher only stacks windows with equal keys.
+        """
+        cfg = self.config
+        if not cfg.use_td:
+            return ()
+        from ..autodiff import no_grad
+        with no_grad():
+            seasonal, _ = self.trend_decomp(Tensor(np.asarray(window)[None]))
+        top = topk_frequencies(seasonal.data, k=cfg.top_k_periods)
+        return tuple(int(f) for f in top)
 
     # ------------------------------------------------------------------
     def decompose(self, x: Tensor):

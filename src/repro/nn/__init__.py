@@ -15,7 +15,10 @@ from .attention import (
 )
 from .inception import ConvBackbone2d, InceptionBlock2d
 from .transformer import EncoderLayer, FeedForward, TransformerEncoder
-from .serialization import load_checkpoint, peek_metadata, save_checkpoint
+from .serialization import (
+    load_checkpoint, peek_metadata, save_checkpoint,
+    validate_checkpoint_metadata,
+)
 from . import init
 
 __all__ = [
@@ -28,4 +31,5 @@ __all__ = [
     "scaled_dot_attention", "ConvBackbone2d", "InceptionBlock2d",
     "EncoderLayer", "FeedForward", "TransformerEncoder", "init",
     "load_checkpoint", "peek_metadata", "save_checkpoint",
+    "validate_checkpoint_metadata",
 ]

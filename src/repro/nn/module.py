@@ -94,6 +94,12 @@ class Module:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter arrays by name, preserving each parameter's dtype.
+
+        A float64 checkpoint loaded into a model moved to float32 (or vice
+        versa) is cast to the parameter's dtype rather than silently
+        flipping parameter dtypes mid-model.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -101,10 +107,16 @@ class Module:
             raise KeyError(f"state mismatch: missing={sorted(missing)}, "
                            f"unexpected={sorted(unexpected)}")
         for name, param in own.items():
-            if param.data.shape != state[name].shape:
+            value = state[name]
+            if param.data.shape != value.shape:
                 raise ValueError(f"shape mismatch for {name}: "
-                                 f"{param.data.shape} vs {state[name].shape}")
-            param.data = state[name].copy()
+                                 f"{param.data.shape} vs {value.shape}")
+            if (param.data.dtype != value.dtype
+                    and np.issubdtype(param.data.dtype, np.floating)
+                    and np.issubdtype(value.dtype, np.floating)):
+                param.data = value.astype(param.data.dtype)
+            else:
+                param.data = value.copy()
 
     # ------------------------------------------------------------------
     # Modes

@@ -16,6 +16,38 @@ from .module import Module
 
 _META_KEY = "__repro_meta__"
 
+#: Metadata a checkpoint must carry for the model to be rebuilt from it
+#: (``repro forecast``, the serving ModelRegistry).
+REQUIRED_METADATA_KEYS = ("model", "task", "seq_len", "pred_len", "c_in")
+
+
+def validate_checkpoint_metadata(meta: Dict[str, Any],
+                                 expect_task: Optional[str] = None,
+                                 source: str = "checkpoint") -> Dict[str, Any]:
+    """Check that ``meta`` describes a rebuildable model; return it.
+
+    Raises ``ValueError`` when required keys are missing (e.g. a bare
+    ``.npz`` not written by ``repro train --save``) or when the checkpoint
+    was trained for a different task than ``expect_task`` — loading an
+    imputation checkpoint into a forecast path produces garbage, so this is
+    rejected up front rather than detected downstream.
+    """
+    missing = [key for key in REQUIRED_METADATA_KEYS if key not in meta]
+    if missing:
+        raise ValueError(
+            f"{source} is missing metadata {missing}; pass a checkpoint "
+            "written by `repro train --save`")
+    for key in ("seq_len", "pred_len", "c_in"):
+        value = meta[key]
+        if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+            raise ValueError(
+                f"{source} metadata {key}={value!r} is not a positive integer")
+    if expect_task is not None and meta["task"] != expect_task:
+        raise ValueError(
+            f"{source} was trained for task {meta['task']!r}, not "
+            f"{expect_task!r}; its outputs would be meaningless here")
+    return meta
+
 
 def save_checkpoint(model: Module, path: str,
                     metadata: Optional[Dict[str, Any]] = None) -> None:

@@ -1,0 +1,28 @@
+"""Model-serving subsystem: registry, micro-batcher, HTTP server, metrics.
+
+Stdlib-only (``http.server`` + ``threading`` + ``queue``) serving layer
+over the NumPy substrate — see DESIGN.md section 5f for the batcher state
+machine, the per-model batch policies behind the bit-identical determinism
+guarantee, and the admission-control contract.
+"""
+
+from .batcher import (
+    BatcherClosedError, DeadlineExceededError, InvalidWindowError,
+    MicroBatcher, QueueFullError, single_forward,
+)
+from .metrics import LATENCY_BUCKETS, ServerMetrics
+from .registry import (
+    ModelEntry, ModelRegistry, UnknownModelError, resolve_batch_policy,
+)
+from .server import (
+    ForecastServer, RequestError, ServingConfig, build_server, run_server,
+)
+
+__all__ = [
+    "BatcherClosedError", "DeadlineExceededError", "InvalidWindowError",
+    "MicroBatcher", "QueueFullError", "single_forward",
+    "LATENCY_BUCKETS", "ServerMetrics",
+    "ModelEntry", "ModelRegistry", "UnknownModelError", "resolve_batch_policy",
+    "ForecastServer", "RequestError", "ServingConfig", "build_server",
+    "run_server",
+]

@@ -1,0 +1,181 @@
+"""Thread-safe serving telemetry with a Prometheus-style text exposition.
+
+One :class:`ServerMetrics` instance is shared by the HTTP front end and the
+micro-batcher.  It tracks:
+
+* request counts by HTTP status code (and status class: 2xx/4xx/5xx);
+* the live batcher queue depth (read through a registered gauge callback);
+* the distribution of executed batch sizes (exact counts per size);
+* request latency — both fixed-bucket histogram counts and p50/p95/p99
+  quantiles computed from a bounded ring buffer of recent observations.
+
+``render()`` emits the Prometheus text format (``GET /metrics``);
+``snapshot()`` returns the same numbers as a dict for tests and the
+serving benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from typing import Callable, Dict, Optional, Sequence
+
+#: Upper bounds (seconds) of the latency histogram buckets.
+LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0)
+
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+class ServerMetrics:
+    """Aggregates serving counters; every method is safe to call concurrently."""
+
+    def __init__(self, latency_window: int = 4096):
+        self._lock = threading.Lock()
+        self._requests_by_code: Counter = Counter()
+        self._batch_sizes: Counter = Counter()
+        self._batches_total = 0
+        self._windows_total = 0
+        self._latency_bucket_counts = [0] * (len(LATENCY_BUCKETS) + 1)
+        self._latency_sum = 0.0
+        self._latency_count = 0
+        self._recent_latencies: deque = deque(maxlen=latency_window)
+        self._queue_depth_fn: Optional[Callable[[], int]] = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def observe_request(self, status_code: int,
+                        latency_s: Optional[float] = None) -> None:
+        """Count one finished HTTP request; latency is recorded if given."""
+        with self._lock:
+            self._requests_by_code[int(status_code)] += 1
+            if latency_s is not None:
+                self._latency_sum += latency_s
+                self._latency_count += 1
+                self._recent_latencies.append(latency_s)
+                for i, bound in enumerate(LATENCY_BUCKETS):
+                    if latency_s <= bound:
+                        self._latency_bucket_counts[i] += 1
+                        break
+                else:
+                    self._latency_bucket_counts[-1] += 1
+
+    def observe_batch(self, size: int) -> None:
+        """Record one executed micro-batch of ``size`` stacked windows."""
+        with self._lock:
+            self._batch_sizes[int(size)] += 1
+            self._batches_total += 1
+            self._windows_total += size
+
+    def set_queue_depth_fn(self, fn: Callable[[], int]) -> None:
+        """Register a callable polled for the live queue depth gauge."""
+        self._queue_depth_fn = fn
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def latency_quantiles(
+            self, quantiles: Sequence[float] = QUANTILES) -> Dict[float, float]:
+        """Exact quantiles over the recent-latency ring buffer (seconds)."""
+        with self._lock:
+            samples = sorted(self._recent_latencies)
+        if not samples:
+            return {q: 0.0 for q in quantiles}
+        last = len(samples) - 1
+        return {q: samples[min(last, int(round(q * last)))] for q in quantiles}
+
+    def queue_depth(self) -> int:
+        fn = self._queue_depth_fn
+        try:
+            return int(fn()) if fn is not None else 0
+        except Exception:
+            return 0
+
+    def snapshot(self) -> dict:
+        """All counters as plain data (tests, ``/v1/models``, the bench)."""
+        with self._lock:
+            by_code = dict(self._requests_by_code)
+            batch_sizes = dict(self._batch_sizes)
+            batches = self._batches_total
+            windows = self._windows_total
+            lat_sum, lat_count = self._latency_sum, self._latency_count
+        by_class: Dict[str, int] = {}
+        for code, n in by_code.items():
+            key = f"{code // 100}xx"
+            by_class[key] = by_class.get(key, 0) + n
+        quantiles = self.latency_quantiles()
+        return {
+            "requests_by_code": by_code,
+            "requests_by_class": by_class,
+            "requests_total": sum(by_code.values()),
+            "queue_depth": self.queue_depth(),
+            "batch_sizes": batch_sizes,
+            "batches_total": batches,
+            "windows_total": windows,
+            "mean_batch_size": (windows / batches) if batches else 0.0,
+            "latency_sum_s": lat_sum,
+            "latency_count": lat_count,
+            "latency_quantiles_s": {str(q): v for q, v in quantiles.items()},
+        }
+
+    def render(self) -> str:
+        """The Prometheus text exposition served at ``GET /metrics``."""
+        with self._lock:
+            by_code = sorted(self._requests_by_code.items())
+            batch_sizes = sorted(self._batch_sizes.items())
+            bucket_counts = list(self._latency_bucket_counts)
+            lat_sum, lat_count = self._latency_sum, self._latency_count
+            batches, windows = self._batches_total, self._windows_total
+        quantiles = self.latency_quantiles()
+        by_class: Counter = Counter()
+        for code, n in by_code:
+            by_class[f"{code // 100}xx"] += n
+
+        lines = [
+            "# HELP repro_requests_total HTTP requests served, by status code.",
+            "# TYPE repro_requests_total counter",
+        ]
+        for code, n in by_code:
+            cls = f"{code // 100}xx"
+            lines.append(
+                f'repro_requests_total{{code="{code}",class="{cls}"}} {n}')
+        lines += [
+            "# HELP repro_requests_class_total HTTP requests, by status class.",
+            "# TYPE repro_requests_class_total counter",
+        ]
+        for cls, n in sorted(by_class.items()):
+            lines.append(f'repro_requests_class_total{{class="{cls}"}} {n}')
+        lines += [
+            "# HELP repro_queue_depth Windows waiting in the batcher queue.",
+            "# TYPE repro_queue_depth gauge",
+            f"repro_queue_depth {self.queue_depth()}",
+            "# HELP repro_batch_size Executed micro-batch sizes.",
+            "# TYPE repro_batch_size histogram",
+        ]
+        cumulative = 0
+        for size, n in batch_sizes:
+            cumulative += n
+            lines.append(f'repro_batch_size_bucket{{le="{size}"}} {cumulative}')
+        lines += [
+            f'repro_batch_size_bucket{{le="+Inf"}} {batches}',
+            f"repro_batch_size_sum {windows}",
+            f"repro_batch_size_count {batches}",
+            "# HELP repro_request_latency_seconds Forecast request latency.",
+            "# TYPE repro_request_latency_seconds histogram",
+        ]
+        cumulative = 0
+        for bound, n in zip(LATENCY_BUCKETS, bucket_counts):
+            cumulative += n
+            lines.append(
+                f'repro_request_latency_seconds_bucket{{le="{bound}"}} '
+                f"{cumulative}")
+        lines += [
+            f'repro_request_latency_seconds_bucket{{le="+Inf"}} {lat_count}',
+            f"repro_request_latency_seconds_sum {lat_sum:.6f}",
+            f"repro_request_latency_seconds_count {lat_count}",
+        ]
+        for q, value in quantiles.items():
+            lines.append(
+                f'repro_request_latency_seconds{{quantile="{q}"}} {value:.6f}')
+        return "\n".join(lines) + "\n"

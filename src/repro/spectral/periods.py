@@ -35,6 +35,18 @@ def detect_periods(x: np.ndarray, k: int = 1,
         energy (strongest first); ``weights`` — the corresponding mean
         amplitudes, usable for amplitude-weighted aggregation.
     """
+    amplitude, t = _masked_amplitude(x, min_period)
+    top = _topk(amplitude, k)
+    if len(top) == 0:                                # flat/degenerate input
+        return np.array([t], dtype=int), np.array([1.0])
+
+    periods = np.ceil(t / top).astype(int)
+    periods = np.clip(periods, min_period, t)
+    return periods, amplitude[top]
+
+
+def _masked_amplitude(x: np.ndarray, min_period: int) -> Tuple[np.ndarray, int]:
+    """Batch/channel-mean FFT amplitude with DC and sub-``min_period`` masked."""
     x = np.asarray(x, dtype=float)
     if x.ndim == 1:
         x = x[:, None]
@@ -54,16 +66,29 @@ def detect_periods(x: np.ndarray, k: int = 1,
     with np.errstate(divide="ignore"):
         implied = np.where(freqs > 0, np.ceil(t / np.maximum(freqs, 1)), np.inf)
     amplitude[(implied < min_period)] = 0.0
+    return amplitude, t
 
+
+def _topk(amplitude: np.ndarray, k: int) -> np.ndarray:
     k = min(k, max(1, len(amplitude) - 1))
     top = np.argsort(-amplitude)[:k]
-    top = top[amplitude[top] > 0.0]
-    if len(top) == 0:                                # flat/degenerate input
-        return np.array([t], dtype=int), np.array([1.0])
+    return top[amplitude[top] > 0.0]
 
-    periods = np.ceil(t / top).astype(int)
-    periods = np.clip(periods, min_period, t)
-    return periods, amplitude[top]
+
+def topk_frequencies(x: np.ndarray, k: int = 1,
+                     min_period: int = 2) -> np.ndarray:
+    """Ordered top-k FFT frequency *indices* (strongest first).
+
+    This is the quantity micro-batching must group on: any batch whose
+    windows share the same ordered frequency picks provably yields those
+    same picks from the batch-averaged spectrum (each chosen frequency's
+    amplitude dominates every competitor's pointwise across the group, so
+    the dominance survives averaging).  Period *values* are not a safe key —
+    distinct frequencies can alias to the same ``ceil(T/f)`` period.
+    Returns an empty array for flat/degenerate input.
+    """
+    amplitude, _ = _masked_amplitude(x, min_period)
+    return _topk(amplitude, k)
 
 
 def dominant_period(x: np.ndarray, min_period: int = 2) -> int:

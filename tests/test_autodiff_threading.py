@@ -1,0 +1,127 @@
+"""Thread-locality of the autodiff engine mode state.
+
+The serving batcher runs ``no_grad``/``precision`` forwards on a worker
+thread while a training loop may be recording gradients on another; the
+mode flags must never leak across threads.  Fresh threads always start
+from the boot defaults (grad enabled, float64), regardless of what any
+context manager has done on the spawning thread.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.autodiff import (
+    Tensor, get_default_dtype, is_grad_enabled, no_grad, precision,
+    set_default_dtype,
+)
+
+
+def run_in_thread(fn):
+    """Run ``fn`` on a fresh thread; re-raise its exception, return result."""
+    box = {}
+
+    def target():
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the test
+            box["error"] = exc
+
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "worker thread hung"
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+class TestGradModeIsThreadLocal:
+    def test_fresh_thread_starts_with_boot_defaults(self):
+        with no_grad(), precision(np.float32):
+            assert not is_grad_enabled()
+            modes = run_in_thread(
+                lambda: (is_grad_enabled(), get_default_dtype()))
+        assert modes == (True, np.dtype(np.float64))
+
+    def test_worker_no_grad_does_not_leak_to_main(self):
+        entered = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        def worker():
+            with no_grad():
+                observed["inside"] = is_grad_enabled()
+                entered.set()
+                release.wait(timeout=30)
+            observed["after"] = is_grad_enabled()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(timeout=30)
+        # the worker is inside no_grad *right now*; this thread is not
+        assert is_grad_enabled()
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2.0).sum()
+        y.backward()
+        np.testing.assert_array_equal(x.grad, np.full(3, 2.0))
+        release.set()
+        thread.join(timeout=30)
+        assert observed == {"inside": False, "after": True}
+
+    def test_thread_records_gradients_under_main_no_grad(self):
+        def worker():
+            x = Tensor(np.ones(4), requires_grad=True)
+            (x * 3.0).sum().backward()
+            return x.grad
+
+        with no_grad():
+            grad = run_in_thread(worker)
+        np.testing.assert_array_equal(grad, np.full(4, 3.0))
+
+    def test_mixed_modes_interleaved(self):
+        """Two threads flip modes in lockstep; each sees only its own."""
+        barrier = threading.Barrier(2, timeout=30)
+        seen = {}
+
+        def recorder(name, use_no_grad):
+            ctx = no_grad() if use_no_grad else precision(np.float32)
+            with ctx:
+                barrier.wait()   # both threads are inside their contexts
+                seen[name] = (is_grad_enabled(), get_default_dtype())
+                barrier.wait()
+
+        threads = [
+            threading.Thread(target=recorder, args=("silent", True)),
+            threading.Thread(target=recorder, args=("single", False)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert seen["silent"] == (False, np.dtype(np.float64))
+        assert seen["single"] == (True, np.dtype(np.float32))
+
+
+class TestDtypeIsThreadLocal:
+    def test_set_default_dtype_stays_on_its_thread(self):
+        assert get_default_dtype() == np.dtype(np.float64)
+
+        def worker():
+            set_default_dtype(np.float32)
+            return Tensor(np.ones(2)).data.dtype
+
+        try:
+            assert run_in_thread(worker) == np.dtype(np.float32)
+            # the worker's override never reaches this thread
+            assert get_default_dtype() == np.dtype(np.float64)
+            assert Tensor(np.ones(2)).data.dtype == np.dtype(np.float64)
+        finally:
+            set_default_dtype(np.float64)
+
+    def test_precision_scope_is_per_thread(self):
+        with precision(np.float32):
+            assert Tensor(np.ones(2)).data.dtype == np.dtype(np.float32)
+            other = run_in_thread(lambda: Tensor(np.ones(2)).data.dtype)
+        assert other == np.dtype(np.float64)
+        assert Tensor(np.ones(2)).data.dtype == np.dtype(np.float64)

@@ -20,6 +20,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--dataset", "M5"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--checkpoint", "m.npz"])
+        assert args.checkpoint == ["m.npz"]
+        assert args.port == 8321 and args.max_batch_size == 16
+
+    def test_serve_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -54,6 +63,19 @@ class TestCommands:
         path = str(tmp_path / "bare.npz")
         _np.savez(path, **{"weight": _np.zeros((2, 2))})
         assert main(["forecast", "--checkpoint", path]) == 1
+
+    def test_forecast_rejects_imputation_checkpoint(self, tmp_path, capsys):
+        from repro.baselines import build_model
+        from repro.nn import save_checkpoint
+        model = build_model("DLinear", seq_len=24, pred_len=24, c_in=3,
+                            task="imputation", preset="tiny")
+        path = str(tmp_path / "imp.npz")
+        save_checkpoint(model, path, metadata={
+            "model": "DLinear", "dataset": "ETTh1", "task": "imputation",
+            "seq_len": 24, "pred_len": 24, "c_in": 3, "preset": "tiny"})
+        assert main(["forecast", "--checkpoint", path]) == 1
+        err = capsys.readouterr().err
+        assert "imputation" in err and "forecast" in err
 
     def test_decompose(self, capsys):
         rc = main(["decompose", "--dataset", "ETTh1", "--window", "64",

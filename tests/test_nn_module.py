@@ -76,6 +76,38 @@ class TestStateDict:
         with pytest.raises(ValueError):
             net.load_state_dict(state)
 
+    def test_load_coerces_float_dtype_to_parameter(self):
+        # a float64 state dict loaded into a float32 model (and back) must
+        # land in each parameter's own dtype, not silently re-promote it
+        source = Net()
+        f32 = Net().to(np.float32)
+        f32.load_state_dict(source.state_dict())
+        for _, p in f32.named_parameters():
+            assert p.data.dtype == np.float32
+
+        f64 = Net()
+        f64.load_state_dict(f32.state_dict())
+        for _, p in f64.named_parameters():
+            assert p.data.dtype == np.float64
+        np.testing.assert_allclose(
+            f64.scale.data, source.scale.data.astype(np.float32))
+
+    def test_checkpoint_roundtrip_across_to(self, tmp_path):
+        from repro.nn import load_checkpoint, save_checkpoint
+        source = Net()
+        path = str(tmp_path / "net.npz")
+        save_checkpoint(source, path)
+
+        target = Net().to(np.float32)
+        load_checkpoint(target, path)
+        from repro.autodiff import precision
+        with precision(np.float32):   # Tensor() casts to the scoped dtype
+            out = target(Tensor(
+                np.random.default_rng(0).standard_normal((2, 4))))
+        assert out.data.dtype == np.float32
+        for _, p in target.named_parameters():
+            assert p.data.dtype == np.float32
+
 
 class TestModes:
     def test_train_eval_propagates(self):
