@@ -221,6 +221,108 @@ def _time_case(fn, rounds: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Observability overhead: Trainer.fit with tracing off / stubbed out / on
+# ---------------------------------------------------------------------------
+
+OBS_FIT_ROUNDS = 5
+
+
+def _obs_fit_harness():
+    """A small TS3Net fit (2 epochs, list loaders) reused by every variant."""
+    from repro.tasks.trainer import TrainConfig, Trainer
+
+    set_seed(0)
+    model = build_model("TS3Net", seq_len=32, pred_len=8, c_in=3,
+                        preset="tiny")
+    trainer = Trainer(model, TrainConfig(epochs=2, lr=1e-3))
+    rng = np.random.default_rng(1)
+    train_batches = [(rng.standard_normal((8, 32, 3)),
+                      rng.standard_normal((8, 8, 3))) for _ in range(4)]
+    val_batches = train_batches[:2]
+
+    def step_fn(batch):
+        x, y = batch
+        pred = trainer.model(Tensor(x))
+        return mse_loss(pred, y), pred.data, y, None
+
+    return trainer, train_batches, val_batches, step_fn
+
+
+def bench_obs() -> dict:
+    """Cost of the tracing layer around ``Trainer.fit``.
+
+    Three timings of the same tiny fit:
+
+    * ``trainer_fit_uninstrumented`` — ``Trainer._fit(None, ...)`` directly,
+      bypassing the ``obs.active()`` gate (the pre-observability code path);
+    * ``trainer_fit_obs_off`` — the public ``fit()`` with no observer
+      configured (the default for every user of the library);
+    * ``trainer_fit_obs_on`` — ``fit()`` under a JSONL-writing observer.
+
+    ``trainer_obs_disabled_overhead`` (off/uninstrumented) is the
+    zero-cost-when-disabled contract and is gated at <= 2% by
+    ``scripts/bench_compare.py``; the enabled ratio is informational.
+    """
+    from repro.obs import runtime as obs_runtime
+
+    variants = {
+        "trainer_fit_uninstrumented":
+            lambda tr, a, b, fn: tr._fit(None, a, b, fn),
+        "trainer_fit_obs_off":
+            lambda tr, a, b, fn: tr.fit(a, b, fn),
+        "trainer_fit_obs_on":
+            lambda tr, a, b, fn: tr.fit(a, b, fn),
+    }
+    harness = {name: _obs_fit_harness() for name in variants}
+    samples = {name: [] for name in variants}
+
+    def run_one(name):
+        trainer, train_b, val_b, step_fn = harness[name]
+        if name == "trainer_fit_obs_on":
+            start = time.perf_counter()
+            variants[name](trainer, train_b, val_b, step_fn)
+            return time.perf_counter() - start
+        # off/uninstrumented variants must not see the observer
+        previous = obs_runtime.swap(None)
+        try:
+            start = time.perf_counter()
+            variants[name](trainer, train_b, val_b, step_fn)
+            return time.perf_counter() - start
+        finally:
+            obs_runtime.swap(previous)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        obs_runtime.configure(path=os.path.join(tmp, "bench_trace.jsonl"))
+        try:
+            for name in variants:            # warmup pass, untimed
+                run_one(name)
+            # Interleave rounds so slow machine-level drift (cache state,
+            # frequency scaling) hits every variant equally instead of
+            # biasing whichever ran last.
+            for _ in range(OBS_FIT_ROUNDS):
+                for name in variants:
+                    samples[name].append(run_one(name))
+        finally:
+            obs_runtime.shutdown()
+
+    timings = {
+        name: {"min_s": min(vals), "mean_s": float(np.mean(vals)),
+               "rounds": OBS_FIT_ROUNDS}
+        for name, vals in samples.items()
+    }
+    baseline = timings["trainer_fit_uninstrumented"]
+    disabled = timings["trainer_fit_obs_off"]
+    enabled = timings["trainer_fit_obs_on"]
+    facts = {
+        "trainer_obs_disabled_overhead":
+            disabled["min_s"] / baseline["min_s"],
+        "trainer_obs_enabled_overhead":
+            enabled["min_s"] / baseline["min_s"],
+    }
+    return {"timings": timings, "facts": facts}
+
+
+# ---------------------------------------------------------------------------
 # Grid benchmark: an 8-cell tiny Table-IV slice through the engine
 # ---------------------------------------------------------------------------
 
@@ -305,6 +407,12 @@ def run_suite(rounds_scale: float = 1.0, with_grid: bool = True) -> dict:
         fwd_dense = timings[f"cwt_amplitude_forward_dense{tag}"]["min_s"]
         verification[f"cwt_amplitude_fft_speedup_vs_dense{tag}"] = (
             fwd_dense / fwd_fft)
+    obs_bench = bench_obs()
+    timings.update(obs_bench["timings"])
+    verification.update(obs_bench["facts"])
+    for name in obs_bench["timings"]:
+        print(f"  {name:35s} min {timings[name]['min_s'] * 1e3:9.3f} ms  "
+              f"mean {timings[name]['mean_s'] * 1e3:9.3f} ms")
     if with_grid:
         grid = bench_grid()
         timings.update(grid["timings"])
@@ -352,6 +460,9 @@ def main(argv=None) -> int:
           f"peak saved bytes {ver['tfblock_peak_saved_bytes_freed']:,} freed "
           f"vs {ver['tfblock_peak_saved_bytes_retained']:,} retained "
           f"({ver['tfblock_freed_over_retained']:.1%})")
+    print(f"  obs overhead on Trainer.fit: disabled "
+          f"{ver['trainer_obs_disabled_overhead']:.3f}x, enabled "
+          f"{ver['trainer_obs_enabled_overhead']:.3f}x of uninstrumented")
     if "grid_parallel_speedup" in ver:
         print(f"  grid: {ver['grid_cells']} cells, workers="
               f"{ver['grid_workers']} speedup {ver['grid_parallel_speedup']:.2f}x "

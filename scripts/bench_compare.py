@@ -29,7 +29,11 @@ gated when present in the current report:
 * ``serving_batched_speedup`` (sustained micro-batched throughput over the
   ``max_batch_size=1`` configuration, recorded by
   ``scripts/bench_serving.py``) must stay at or above
-  ``--serving-speedup-threshold`` (default 3x).
+  ``--serving-speedup-threshold`` (default 3x);
+* ``trainer_obs_disabled_overhead`` (``Trainer.fit`` with the observability
+  layer present but disabled, as a ratio of the uninstrumented fit) must
+  stay within ``--obs-overhead-threshold`` (default 2%) — the tracing
+  layer's zero-cost-when-disabled contract.
 """
 
 from __future__ import annotations
@@ -118,6 +122,27 @@ def check_serving_facts(current: dict, speedup_threshold: float) -> int:
     return 0
 
 
+def check_obs_facts(current: dict, overhead_threshold: float) -> int:
+    """Gate the disabled-tracer overhead on Trainer.fit; 0 = ok, 1 = fail."""
+    ver = current.get("verification", {})
+    if "trainer_obs_disabled_overhead" not in ver:
+        return 0
+    ratio = float(ver["trainer_obs_disabled_overhead"])
+    enabled = ver.get("trainer_obs_enabled_overhead")
+    limit = 1.0 + overhead_threshold
+    line = (f"obs: disabled-tracer fit overhead {ratio:.3f}x of "
+            f"uninstrumented (limit {limit:.2f}x)")
+    if enabled is not None:
+        line += f"; enabled {float(enabled):.3f}x (informational)"
+    print(line)
+    if ratio > limit:
+        print(f"FAIL: Trainer.fit with tracing disabled ran at {ratio:.3f}x "
+              f"the uninstrumented fit (limit {limit:.2f}x) — the "
+              "obs.active() fast path is no longer free", file=sys.stderr)
+        return 1
+    return 0
+
+
 def compare(current: dict, baseline: dict, threshold: float) -> int:
     cur_t = current.get("timings", {})
     base_t = baseline.get("timings", {})
@@ -174,6 +199,10 @@ def main(argv=None) -> int:
                         help="minimum micro-batched/unbatched serving "
                              "throughput ratio (3.0 = batching must "
                              "sustain >=3x the unbatched request rate)")
+    parser.add_argument("--obs-overhead-threshold", type=float, default=0.02,
+                        help="allowed Trainer.fit slowdown with tracing "
+                             "disabled, vs the uninstrumented fit "
+                             "(0.02 = 2%%)")
     args = parser.parse_args(argv)
     for path in (args.current, args.baseline):
         if not os.path.exists(path):
@@ -185,7 +214,9 @@ def main(argv=None) -> int:
     memory_status = check_memory_facts(current, args.free_threshold)
     serving_status = check_serving_facts(current,
                                          args.serving_speedup_threshold)
-    return status or grid_status or memory_status or serving_status
+    obs_status = check_obs_facts(current, args.obs_overhead_threshold)
+    return (status or grid_status or memory_status or serving_status
+            or obs_status)
 
 
 if __name__ == "__main__":

@@ -1,17 +1,28 @@
 #!/usr/bin/env python
-"""Static guard: the op registry is the single door into the autodiff tape.
+"""Static guards for ``src/repro``: tape construction and console output.
 
-Greps ``src/repro`` for hand-rolled tape construction outside ``autodiff/``
-— anonymous ``_backward`` closures, direct ``_parents``/``_node`` wiring,
-``OpNode(...)`` instantiation, or the retired ``Tensor._make`` — so new code
-cannot bypass ``apply()``/``@register_op`` (and with it the gradient-check
-sweep, the hooks, and the freeing policy).
+1. The op registry is the single door into the autodiff tape.  Greps
+   ``src/repro`` for hand-rolled tape construction outside ``autodiff/``
+   — anonymous ``_backward`` closures, direct ``_parents``/``_node``
+   wiring, ``OpNode(...)`` instantiation, or the retired ``Tensor._make``
+   — so new code cannot bypass ``apply()``/``@register_op`` (and with it
+   the gradient-check sweep, the hooks, and the freeing policy).
 
-Run directly (exit 1 on violations) or via ``tests/test_op_registry.py``.
+2. Library code must not ``print()``.  Progress and diagnostics route
+   through the event sink (``repro.obs``) so they land in the JSONL run
+   trace and the console formatter together; bare prints are allowed only
+   in CLI entry points (``cli.py``, the experiment-module ``main()``
+   files) and the console formatter itself (``obs/console.py``).  The
+   check is AST-based: ``print(`` inside docstrings or comments does not
+   trip it.
+
+Run directly (exit 1 on violations) or via ``tests/test_op_registry.py``
+and ``tests/test_obs.py``.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 import sys
 from pathlib import Path
@@ -46,15 +57,55 @@ def find_violations(src: Path = SRC) -> List[Tuple[str, int, str, str]]:
     return violations
 
 
+# Files whose job is terminal output: the top-level CLI, the experiment
+# modules' main() entry points, and the obs console formatter (the one
+# sanctioned place library records become stderr lines).
+PRINT_ALLOWLIST = frozenset({
+    "src/repro/cli.py",
+    "src/repro/obs/console.py",
+    "src/repro/experiments/figures.py",
+    "src/repro/experiments/sensitivity.py",
+    "src/repro/experiments/table2.py",
+    "src/repro/experiments/table4.py",
+    "src/repro/experiments/table5.py",
+    "src/repro/experiments/table6.py",
+    "src/repro/experiments/table7.py",
+    "src/repro/experiments/table8.py",
+    "src/repro/experiments/table9.py",
+})
+
+
+def find_print_violations(src: Path = SRC) -> List[Tuple[str, int, str, str]]:
+    """Return ``(path, line_no, reason, line)`` for bare print() calls."""
+    violations = []
+    for path in sorted(src.rglob("*.py")):
+        rel = path.relative_to(REPO_ROOT)
+        if str(rel) in PRINT_ALLOWLIST:
+            continue
+        text = path.read_text()
+        lines = text.splitlines()
+        for node in ast.walk(ast.parse(text, filename=str(rel))):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                line = lines[node.lineno - 1].strip()
+                violations.append((str(rel), node.lineno,
+                                   "bare print() in library code", line))
+    return violations
+
+
 def main() -> int:
-    violations = find_violations()
+    violations = find_violations() + find_print_violations()
     for path, line_no, reason, line in violations:
         print(f"{path}:{line_no}: {reason}: {line}")
     if violations:
         print(f"{len(violations)} violation(s): route new differentiable ops "
-              "through @register_op + apply() (see src/repro/autodiff/graph.py)")
+              "through @register_op + apply() (see src/repro/autodiff/graph.py)"
+              " and console output through the event sink (see "
+              "src/repro/obs/console.py)")
         return 1
-    print("lint_ops: clean — no tape construction outside autodiff/")
+    print("lint_ops: clean — no tape construction outside autodiff/, no "
+          "bare print() in library code")
     return 0
 
 

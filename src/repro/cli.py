@@ -34,6 +34,8 @@ from .nn import (
     load_checkpoint, peek_metadata, save_checkpoint,
     validate_checkpoint_metadata,
 )
+from .obs import report as obs_report
+from .obs import runtime as obs_runtime
 from .tasks import (
     ForecastTask, ImputationTask, TrainConfig, run_forecast, run_imputation,
 )
@@ -136,19 +138,44 @@ TABLE_COMMANDS = ("table2", "table4", "table5", "table6", "table7",
                   "table8", "table9", "sensitivity")
 
 
+def _extract_trace_flag(rest) -> tuple:
+    """Split ``--trace PATH`` / ``--trace=PATH`` out of a raw argv list."""
+    out, trace_path = [], None
+    it = iter(rest)
+    for arg in it:
+        if arg == "--trace":
+            trace_path = next(it, None)
+            if trace_path is None:
+                raise SystemExit("error: --trace needs a PATH argument")
+        elif arg.startswith("--trace="):
+            trace_path = arg.split("=", 1)[1]
+        else:
+            out.append(arg)
+    return out, trace_path
+
+
 def cmd_table(command: str, rest) -> int:
     """Forward a ``tableN``/``sensitivity`` subcommand to its module CLI.
 
     The experiment modules own their argument parsing (``--scale``,
     ``--workers``, ``--cache-dir``, per-table subset flags, ...); the top
-    level just routes the remaining argv through.
+    level routes the remaining argv through, after peeling off the shared
+    ``--trace PATH`` flag (grid runs emit one ``grid.cell`` span per cell).
     """
     from .experiments import sensitivity as sensitivity_mod
     from .experiments import table2, table4, table5, table6, table7, table8, table9
     modules = {"table2": table2, "table4": table4, "table5": table5,
                "table6": table6, "table7": table7, "table8": table8,
                "table9": table9, "sensitivity": sensitivity_mod}
-    modules[command].main(list(rest))
+    rest, trace_path = _extract_trace_flag(rest)
+    if not trace_path:
+        modules[command].main(list(rest))
+        return 0
+    obs_runtime.configure(path=trace_path, resource_interval_s=0.5)
+    try:
+        modules[command].main(list(rest))
+    finally:
+        obs_runtime.shutdown()
     return 0
 
 
@@ -178,6 +205,20 @@ def cmd_serve(args) -> int:
         default_timeout_ms=args.timeout_ms)
     server = build_server(config, registry)
     return run_server(server)
+
+
+def cmd_trace(args) -> int:
+    """Aggregate a JSONL run trace into a human-readable profile."""
+    try:
+        records = obs_report.load(args.path)
+    except (OSError, ValueError) as err:
+        print(f"error reading {args.path}: {err}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"error: {args.path} contains no events", file=sys.stderr)
+        return 1
+    print(obs_report.render_report(records))
+    return 0
 
 
 def cmd_decompose(args) -> int:
@@ -210,6 +251,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--profile", action="store_true",
                        help="record per-op/per-module telemetry during the "
                             "fit and print the parameter + profile tables")
+    train.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a JSONL run trace (spans, epoch metrics, "
+                            "resource samples) for `repro trace PATH`")
 
     forecast = sub.add_parser("forecast", help="forecast from a checkpoint")
     forecast.add_argument("--checkpoint", required=True)
@@ -236,6 +280,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "are shed with a 503")
     serve.add_argument("--timeout-ms", type=float, default=2000.0,
                        help="default per-request deadline")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a JSONL run trace with one span per "
+                            "request (trace id echoed in X-Trace-Id)")
+
+    trace = sub.add_parser(
+        "trace", help="render a JSONL run trace written by --trace")
+    trace.add_argument("path", help="JSONL trace file to aggregate")
 
     decompose = sub.add_parser("decompose",
                                help="triple-decompose a dataset window")
@@ -265,8 +316,15 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "train": cmd_train,
                 "forecast": cmd_forecast, "decompose": cmd_decompose,
-                "serve": cmd_serve}
-    return handlers[args.command](args)
+                "serve": cmd_serve, "trace": cmd_trace}
+    handler = handlers[args.command]
+    if not getattr(args, "trace", None) or args.command == "trace":
+        return handler(args)
+    obs_runtime.configure(path=args.trace, resource_interval_s=0.5)
+    try:
+        return handler(args)
+    finally:
+        obs_runtime.shutdown()
 
 
 if __name__ == "__main__":

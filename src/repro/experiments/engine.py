@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import os
 import shutil
-import sys
 import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -41,6 +40,9 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from . import runner
+from ..obs import console as _console
+from ..obs import events as _obs_events
+from ..obs import runtime as _obs
 from .configs import get_scale
 from .store import ResultStore, canonical_key, code_fingerprint
 
@@ -143,6 +145,7 @@ def execute_cell(spec: CellSpec) -> Dict:
     else:
         raise ValueError(f"unknown cell task {spec.task!r}")
     metrics["cell_seconds"] = time.perf_counter() - start
+    metrics["worker_pid"] = os.getpid()
     return metrics
 
 
@@ -188,26 +191,41 @@ class GridRun:
 
 
 class _Progress:
-    """Per-cell completion lines with a rolling ETA, on stderr."""
+    """Per-cell ``grid.cell`` spans, optionally echoed as stderr lines.
 
-    def __init__(self, total: int, enabled: bool, workers: int):
+    Every finished cell becomes one retroactive span on the observer
+    (cache hit/miss, mse, worker pid, rolling ETA in the attributes);
+    with ``enabled`` the same record is rendered by the obs console
+    formatter — the exact completion lines this class used to ``print``.
+    """
+
+    def __init__(self, total: int, enabled: bool, workers: int, observer=None):
         self.total = total
         self.enabled = enabled
         self.workers = max(1, workers)
+        self.observer = observer
         self.done = 0
         self.start = time.perf_counter()
 
     def update(self, spec: CellSpec, metrics: Dict, cached: bool) -> None:
         self.done += 1
-        if not self.enabled:
+        if not self.enabled and self.observer is None:
             return
         elapsed = time.perf_counter() - self.start
         remaining = self.total - self.done
         eta = elapsed / self.done * remaining if self.done else 0.0
-        status = "cache" if cached else f"{metrics.get('cell_seconds', 0.0):.2f}s"
-        print(f"[{self.done:>{len(str(self.total))}d}/{self.total}] "
-              f"{spec.label():<44s} mse={metrics.get('mse', float('nan')):.3f} "
-              f"({status}, ETA {eta:5.1f}s)", file=sys.stderr, flush=True)
+        dur = 0.0 if cached else metrics.get("cell_seconds", 0.0)
+        attrs = {"cell": spec.label(), "model": spec.model,
+                 "dataset": spec.dataset, "setting": spec.setting,
+                 "cached": cached, "mse": metrics.get("mse", float("nan")),
+                 "worker_pid": metrics.get("worker_pid"),
+                 "done": self.done, "total": self.total, "eta_s": eta}
+        rec = None
+        if self.observer is not None:
+            rec = self.observer.emit_span("grid.cell", dur, attrs)
+        if self.enabled:
+            _console.emit_record(rec if rec is not None else _obs_events.record(
+                "span_end", "grid.cell", attrs, dur_s=dur))
 
 
 def run_grid(specs: Sequence[CellSpec], workers: int = 1,
@@ -218,7 +236,23 @@ def run_grid(specs: Sequence[CellSpec], workers: int = 1,
     in-process and is the determinism reference; any ``workers`` value
     produces identical metrics because each cell seeds itself from its
     spec alone.
+
+    With an observer configured the run is wrapped in a ``grid.run`` span
+    and every cell lands as a ``grid.cell`` child span (see ``_Progress``).
     """
+    ob = _obs.active()
+    if ob is None:
+        return _run_grid(None, specs, workers, cache_dir, progress)
+    with ob.span("grid.run", {"cells": len(specs),
+                              "workers": max(1, int(workers)),
+                              "cache_dir": cache_dir}) as span:
+        run = _run_grid(ob, specs, workers, cache_dir, progress)
+        span.set(executed=run.executed, cache_hits=run.cache_hits)
+        return run
+
+
+def _run_grid(ob, specs: Sequence[CellSpec], workers: int,
+              cache_dir: Optional[str], progress: bool) -> GridRun:
     specs = list(specs)
     run = GridRun(results=[None] * len(specs), workers=max(1, int(workers)),
                   cache_dir=cache_dir)
@@ -229,7 +263,7 @@ def run_grid(specs: Sequence[CellSpec], workers: int = 1,
         store = ResultStore(os.path.join(cache_dir, "results"))
         keys = [cell_key(spec) for spec in specs]
 
-    reporter = _Progress(len(specs), progress, run.workers)
+    reporter = _Progress(len(specs), progress, run.workers, observer=ob)
     pending: List[int] = []
     for i, spec in enumerate(specs):
         hit = store.get(keys[i]) if store is not None else None

@@ -1,0 +1,47 @@
+"""Unified observability: span tracing, run events, shared metrics.
+
+One subsystem replaces the three telemetry islands that grew up around
+training (`print`), experiments (stderr progress), and serving
+(``ServerMetrics``):
+
+* **Spans + events** — ``obs.configure(path="run.jsonl")`` installs a
+  global :class:`~repro.obs.tracer.Observer`; the trainer, grid engine,
+  and HTTP front end then emit hierarchical spans and structured events
+  into a schema-versioned JSONL log (`repro trace run.jsonl` renders it).
+* **Metrics** — :class:`~repro.obs.metrics.MetricsRegistry` provides the
+  counter/gauge/histogram/quantile primitives behind the serving
+  ``/metrics`` endpoint and any training-side snapshot, with one shared
+  Prometheus text renderer.
+* **Zero cost when off** — ``obs.active()`` returns ``None`` unless
+  configured; instrumented code checks that one reference and does no
+  other work (gated by the ``trainer_obs_disabled_overhead`` benchmark
+  fact in ``BENCH_substrate.json``).
+
+See DESIGN.md §5g for the span-context contract.
+"""
+
+from . import console, context, events, report
+from .console import ConsoleSink
+from .context import SpanRef
+from .events import (
+    SCHEMA_VERSION, JsonlSink, MultiSink, NullSink, read_events, record,
+)
+from .metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, SizeHistogram,
+    escape_label_value, format_labels,
+)
+from .resource import ResourceSampler, sample_process
+from .runtime import active, configure, observe, shutdown
+from .tracer import Observer, Span
+
+__all__ = [
+    "console", "context", "events", "report",
+    "ConsoleSink", "SpanRef",
+    "SCHEMA_VERSION", "JsonlSink", "MultiSink", "NullSink", "read_events",
+    "record",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "SizeHistogram",
+    "escape_label_value", "format_labels",
+    "ResourceSampler", "sample_process",
+    "active", "configure", "observe", "shutdown",
+    "Observer", "Span",
+]

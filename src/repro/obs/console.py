@@ -1,0 +1,78 @@
+"""Console formatter: renders run events as human lines on stderr.
+
+This module is the one sanctioned home (outside ``cli.py``) for
+``print`` in the library — ``scripts/lint_ops.py`` enforces that every
+other module routes user-facing output through here (usually by emitting
+an event record and letting :class:`ConsoleSink` format it).
+
+The formatter reproduces the exact lines the trainer and grid engine used
+to print directly, so switching them onto the event sink changed the
+transport, not the output.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional
+
+from . import events
+
+
+def emit_line(text: str, stream=None) -> None:
+    """Write one console line (stderr by default), flushing immediately."""
+    print(text, file=stream if stream is not None else sys.stderr, flush=True)
+
+
+def format_record(rec: Dict) -> Optional[str]:
+    """Human line for a record, or ``None`` for kinds the console skips."""
+    kind = rec.get("kind")
+    name = rec.get("name", "")
+    attrs = rec.get("attrs", {})
+    if name == "trainer.epoch":
+        return (f"  epoch {attrs.get('epoch')}: "
+                f"train {attrs.get('train_loss', float('nan')):.4f} "
+                f"val {attrs.get('val_loss', float('nan')):.4f}")
+    if name == "grid.cell":
+        status = ("cache" if attrs.get("cached")
+                  else f"{rec.get('dur_s', 0.0):.2f}s")
+        total = attrs.get("total", 0)
+        width = len(str(total))
+        return (f"[{attrs.get('done', 0):>{width}d}/{total}] "
+                f"{attrs.get('cell', ''):<44s} "
+                f"mse={attrs.get('mse', float('nan')):.3f} "
+                f"({status}, ETA {attrs.get('eta_s', 0.0):5.1f}s)")
+    if name == "server.lifecycle":
+        return attrs.get("message", "")
+    if kind == "span_end":
+        return (f"[span] {name} {rec.get('dur_s', 0.0):.3f}s "
+                f"trace={rec.get('trace')}")
+    if kind == "event":
+        detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+        return f"[event] {name}{(' ' + detail) if detail else ''}"
+    return None          # span_start / resource / run_* stay quiet
+
+
+class ConsoleSink:
+    """An event sink that prints the formatted line for each record."""
+
+    def __init__(self, stream=None):
+        self.stream = stream
+
+    def emit(self, rec: Dict) -> None:
+        line = format_record(rec)
+        if line is not None:
+            emit_line(line, stream=self.stream)
+
+    def close(self) -> None:
+        pass
+
+
+def emit_record(rec: Optional[Dict], stream=None) -> None:
+    """Format-and-print one record (library verbose paths with no observer)."""
+    if rec is not None:
+        ConsoleSink(stream).emit(rec)
+
+
+def event_line(name: str, attrs: Dict, stream=None) -> None:
+    """Shorthand: build an event record and print its console form."""
+    emit_record(events.record("event", name, attrs), stream=stream)

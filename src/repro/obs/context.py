@@ -1,0 +1,66 @@
+"""Thread-local span context: who is the current span on *this* thread.
+
+The tracer keeps a stack of :class:`SpanRef` per thread (the same
+``threading.local`` pattern as the autodiff ``_EngineState``), so nested
+``with observer.span(...)`` blocks parent correctly and a span opened on a
+serving worker thread can never adopt a training thread's parent by
+accident.
+
+Cross-thread propagation is explicit: the producer captures
+:func:`current` (e.g. when a request handler submits a window to the
+micro-batcher) and the consumer passes that ref as ``parent=`` when it
+opens or emits its own span.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import NamedTuple, Optional
+
+
+class SpanRef(NamedTuple):
+    """Identity of one span: enough to parent children or link across threads."""
+
+    trace_id: str
+    span_id: str
+
+
+_local = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current() -> Optional[SpanRef]:
+    """The innermost open span on this thread, or ``None``."""
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+def push(ref: SpanRef) -> None:
+    _stack().append(ref)
+
+
+def pop() -> Optional[SpanRef]:
+    stack = getattr(_local, "stack", None)
+    return stack.pop() if stack else None
+
+
+def depth() -> int:
+    stack = getattr(_local, "stack", None)
+    return len(stack) if stack else 0
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (W3C-style 32 hex chars)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 hex chars)."""
+    return os.urandom(8).hex()

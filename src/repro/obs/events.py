@@ -1,0 +1,139 @@
+"""Structured run events: schema-versioned records and JSONL sinks.
+
+Every record is one flat dict (one JSON line on disk):
+
+``{"v": 1, "ts": <unix seconds>, "kind": <kind>, "name": <name>,
+   "trace": <trace id or None>, "span": <span id or None>,
+   "parent": <parent span id or None>, "attrs": {...}}``
+
+Kinds:
+
+* ``run_start`` / ``run_end`` — sink lifecycle (pid, python version);
+* ``span_start`` / ``span_end`` — hierarchical spans; ``span_end`` carries
+  ``dur_s`` and ``status`` inside ``attrs``;
+* ``event`` — a point-in-time fact (an epoch's losses, a lifecycle note);
+* ``resource`` — a background ``/proc`` RSS + CPU sample.
+
+``SCHEMA_VERSION`` is bumped on any incompatible change;
+:func:`read_events` refuses records from a different major version so the
+``repro trace`` aggregator never mis-parses old logs silently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+
+SCHEMA_VERSION = 1
+
+KINDS = ("run_start", "run_end", "span_start", "span_end", "event", "resource")
+
+
+def record(kind: str, name: str, attrs: Optional[Dict] = None, *,
+           trace: Optional[str] = None, span: Optional[str] = None,
+           parent: Optional[str] = None, dur_s: Optional[float] = None,
+           ts: Optional[float] = None) -> Dict:
+    """Build one schema-v1 record (shared by the observer and ad-hoc emitters)."""
+    rec: Dict = {
+        "v": SCHEMA_VERSION,
+        "ts": time.time() if ts is None else ts,
+        "kind": kind,
+        "name": name,
+        "trace": trace,
+        "span": span,
+        "parent": parent,
+        "attrs": dict(attrs) if attrs else {},
+    }
+    if dur_s is not None:
+        rec["dur_s"] = float(dur_s)
+    return rec
+
+
+class NullSink:
+    """Swallows records; the disabled-path stand-in."""
+
+    def emit(self, rec: Dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Appends one JSON line per record; every method is thread-safe.
+
+    Lines are flushed as they are written so a live run can be tailed (and
+    a crashed run keeps everything emitted before the crash).
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, rec: Dict) -> None:
+        line = json.dumps(rec, default=_json_default) + "\n"
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.write(line)
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+class MultiSink:
+    """Fans each record out to several sinks (JSONL + console, typically)."""
+
+    def __init__(self, sinks: Iterable):
+        self.sinks = list(sinks)
+
+    def emit(self, rec: Dict) -> None:
+        for sink in self.sinks:
+            sink.emit(rec)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def _json_default(value):
+    """Serialise numpy scalars and other stragglers without importing numpy."""
+    for attr in ("item",):          # numpy scalars expose .item()
+        if hasattr(value, attr):
+            return value.item()
+    return str(value)
+
+
+def read_events(path: str) -> List[Dict]:
+    """Parse a JSONL run log, validating the schema version of every record.
+
+    Raises ``ValueError`` on malformed JSON or an unknown schema version —
+    the trace aggregator must never silently mis-read a log.
+    """
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise ValueError(
+                    f"{path}:{line_no}: malformed JSONL record: {err}") from None
+            version = rec.get("v")
+            if version != SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path}:{line_no}: schema version {version!r} is not "
+                    f"supported (expected {SCHEMA_VERSION})")
+            if rec.get("kind") not in KINDS:
+                raise ValueError(
+                    f"{path}:{line_no}: unknown record kind {rec.get('kind')!r}")
+            records.append(rec)
+    return records

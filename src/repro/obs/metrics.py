@@ -1,0 +1,347 @@
+"""Shared metrics primitives + one Prometheus text renderer.
+
+The registry generalises what ``repro.serving.metrics.ServerMetrics``
+used to hard-code: counters (optionally labelled), gauges (set or
+callback-backed), fixed-bucket histograms with optional ring-buffer
+quantiles, and exact-value size histograms.  The serving ``/metrics``
+endpoint and any training-side snapshot render through the same
+:meth:`MetricsRegistry.render`, so there is exactly one place that knows
+the exposition format (and its label escaping rules).
+
+Naming conventions (enforced by convention, documented in README):
+``repro_`` prefix, ``_total`` suffix for counters, base units in seconds
+(``_seconds``) or bytes (``_bytes``), lowercase snake-case label names.
+
+Every mutating method is thread-safe: each metric shares its registry's
+lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter as _TallyCounter
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def escape_label_value(value: str) -> str:
+    """Prometheus text-format label escaping: backslash, quote, newline."""
+    return (str(value).replace("\\", "\\\\")
+            .replace("\n", "\\n").replace('"', '\\"'))
+
+
+def format_labels(labels: Dict) -> str:
+    """Render ``{k="v",...}`` preserving the caller's label order."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{escape_label_value(value)}"'
+                     for key, value in labels.items())
+    return "{" + inner + "}"
+
+
+class Metric:
+    """Base: a name, a HELP string, a TYPE, and the shared lock."""
+
+    prom_type = "untyped"
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock):
+        self.name = name
+        self.help = help_text
+        self._lock = lock
+
+    # -- rendering ------------------------------------------------------
+    def header_lines(self) -> List[str]:
+        return [f"# HELP {self.name} {self.help}",
+                f"# TYPE {self.name} {self.prom_type}"]
+
+    def sample_lines(self) -> List[str]:
+        raise NotImplementedError
+
+    def render_lines(self) -> List[str]:
+        return self.header_lines() + self.sample_lines()
+
+    def data(self) -> Dict:
+        """Plain-data snapshot of this metric (tests, JSON dumps)."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing counter, optionally with labels.
+
+    Label sets are rendered sorted by their value tuple, preserving the
+    insertion order of label *names* within each series.
+    """
+
+    prom_type = "counter"
+
+    def __init__(self, name, help_text, lock):
+        super().__init__(name, help_text, lock)
+        self._series: Dict[Tuple, float] = {}
+        self._label_names: Dict[Tuple, Tuple] = {}
+
+    def inc(self, amount: float = 1, labels: Optional[Dict] = None) -> None:
+        key = tuple(str(v) for v in (labels or {}).values())
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+            if key not in self._label_names:
+                self._label_names[key] = tuple((labels or {}).keys())
+
+    def value(self, labels: Optional[Dict] = None) -> float:
+        key = tuple(str(v) for v in (labels or {}).values())
+        with self._lock:
+            return self._series.get(key, 0)
+
+    def samples(self) -> List[Tuple[Dict, float]]:
+        """``(labels_dict, value)`` pairs sorted by label values."""
+        with self._lock:
+            items = sorted(self._series.items())
+            names = dict(self._label_names)
+        return [(dict(zip(names[key], key)), value) for key, value in items]
+
+    def sample_lines(self) -> List[str]:
+        return [f"{self.name}{format_labels(labels)} {_fmt_value(value)}"
+                for labels, value in self.samples()]
+
+    def data(self) -> Dict:
+        return {format_labels(labels) or "": value
+                for labels, value in self.samples()}
+
+
+class Gauge(Metric):
+    """A point-in-time value, set directly or read through a callback."""
+
+    prom_type = "gauge"
+
+    def __init__(self, name, help_text, lock):
+        super().__init__(name, help_text, lock)
+        self._value = 0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+            self._fn = None
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        """Register a callable polled at render/read time."""
+        self._fn = fn
+
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            # Same contract the old queue-depth gauge had: a broken
+            # callback reads as 0, never an exception in the scrape path.
+            try:
+                return int(fn())
+            except Exception:
+                return 0
+        with self._lock:
+            return self._value
+
+    def sample_lines(self) -> List[str]:
+        return [f"{self.name} {_fmt_value(self.value())}"]
+
+    def data(self) -> Dict:
+        return {"value": self.value()}
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram with optional exact ring-buffer quantiles.
+
+    Renders cumulative ``_bucket`` series, ``_sum``/``_count``, and — when
+    ``quantiles`` is set — ``{quantile="q"}`` series computed exactly over
+    a bounded window of recent observations.
+    """
+
+    prom_type = "histogram"
+
+    def __init__(self, name, help_text, lock, buckets: Sequence[float],
+                 quantiles: Sequence[float] = (), quantile_window: int = 4096,
+                 sum_format: str = "{:.6f}"):
+        super().__init__(name, help_text, lock)
+        self.buckets = tuple(buckets)
+        self.quantile_points = tuple(quantiles)
+        self._bucket_counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._window: deque = deque(maxlen=quantile_window)
+        self._sum_format = sum_format
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            if self.quantile_points:
+                self._window.append(value)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._bucket_counts[i] += 1
+                    break
+            else:
+                self._bucket_counts[-1] += 1
+
+    def quantiles(self, points: Optional[Sequence[float]] = None
+                  ) -> Dict[float, float]:
+        """Exact quantiles over the recent-observation ring buffer."""
+        points = self.quantile_points if points is None else points
+        with self._lock:
+            samples = sorted(self._window)
+        if not samples:
+            return {q: 0.0 for q in points}
+        last = len(samples) - 1
+        return {q: samples[min(last, int(round(q * last)))] for q in points}
+
+    def snapshot(self) -> Tuple[float, int]:
+        with self._lock:
+            return self._sum, self._count
+
+    def sample_lines(self) -> List[str]:
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total_sum, total_count = self._sum, self._count
+        lines = []
+        cumulative = 0
+        for bound, n in zip(self.buckets, counts):
+            cumulative += n
+            lines.append(f'{self.name}_bucket{{le="{bound}"}} {cumulative}')
+        lines += [
+            f'{self.name}_bucket{{le="+Inf"}} {total_count}',
+            f"{self.name}_sum {self._sum_format.format(total_sum)}",
+            f"{self.name}_count {total_count}",
+        ]
+        for q, value in self.quantiles().items():
+            lines.append(f'{self.name}{{quantile="{q}"}} {value:.6f}')
+        return lines
+
+    def data(self) -> Dict:
+        total_sum, total_count = self.snapshot()
+        return {"sum": total_sum, "count": total_count,
+                "quantiles": {str(q): v for q, v in self.quantiles().items()}}
+
+
+class SizeHistogram(Metric):
+    """Exact counts per observed integer value (micro-batch sizes).
+
+    Rendered as a cumulative histogram whose ``le`` bounds are the sizes
+    actually seen — no pre-declared bucket grid.
+    """
+
+    prom_type = "histogram"
+
+    def __init__(self, name, help_text, lock):
+        super().__init__(name, help_text, lock)
+        self._counts: _TallyCounter = _TallyCounter()
+        self._sum = 0
+        self._count = 0
+
+    def observe(self, size: int) -> None:
+        size = int(size)
+        with self._lock:
+            self._counts[size] += 1
+            self._sum += size
+            self._count += 1
+
+    def counts(self) -> Dict[int, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def snapshot(self) -> Tuple[int, int]:
+        with self._lock:
+            return self._sum, self._count
+
+    def sample_lines(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._counts.items())
+            total_sum, total_count = self._sum, self._count
+        lines = []
+        cumulative = 0
+        for size, n in items:
+            cumulative += n
+            lines.append(f'{self.name}_bucket{{le="{size}"}} {cumulative}')
+        lines += [
+            f'{self.name}_bucket{{le="+Inf"}} {total_count}',
+            f"{self.name}_sum {total_sum}",
+            f"{self.name}_count {total_count}",
+        ]
+        return lines
+
+    def data(self) -> Dict:
+        total_sum, total_count = self.snapshot()
+        return {"counts": {str(k): v for k, v in sorted(self.counts().items())},
+                "sum": total_sum, "count": total_count}
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+class MetricsRegistry:
+    """Creates, deduplicates, and renders metrics in registration order."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- constructors (get-or-create, erroring on a type clash) ---------
+    def _get_or_create(self, name: str, cls, factory) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {cls.__name__}")
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        return self._get_or_create(
+            name, Counter, lambda: Counter(name, help_text, self._lock))
+
+    def gauge(self, name: str, help_text: str) -> Gauge:
+        return self._get_or_create(
+            name, Gauge, lambda: Gauge(name, help_text, self._lock))
+
+    def histogram(self, name: str, help_text: str, buckets: Sequence[float],
+                  quantiles: Sequence[float] = (),
+                  quantile_window: int = 4096,
+                  sum_format: str = "{:.6f}") -> Histogram:
+        return self._get_or_create(
+            name, Histogram,
+            lambda: Histogram(name, help_text, self._lock, buckets,
+                              quantiles=quantiles,
+                              quantile_window=quantile_window,
+                              sum_format=sum_format))
+
+    def size_histogram(self, name: str, help_text: str) -> SizeHistogram:
+        return self._get_or_create(
+            name, SizeHistogram,
+            lambda: SizeHistogram(name, help_text, self._lock))
+
+    # -- reading --------------------------------------------------------
+    def get(self, name: str) -> Metric:
+        with self._lock:
+            return self._metrics[name]
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._metrics)
+
+    def render(self) -> str:
+        """The Prometheus text exposition over every registered metric."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render_lines())
+        return "\n".join(lines) + "\n"
+
+    def data(self) -> Dict:
+        """Plain-dict snapshot of every metric (the training-side view)."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.data() for name, metric in metrics}

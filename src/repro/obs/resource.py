@@ -1,0 +1,94 @@
+"""Background resource sampler: periodic ``/proc`` RSS + CPU events.
+
+A daemon thread wakes every ``interval_s`` and emits one ``resource``
+record with the process's resident set size (``/proc/self/status``
+``VmRSS``) and cumulative CPU seconds (``/proc/self/stat`` utime+stime).
+On platforms without ``/proc`` the sampler degrades to whatever fields it
+can read (possibly none) instead of failing.
+
+Lifecycle: ``start()`` and ``stop()`` are both idempotent; ``stop()``
+joins the thread so no sample can land after it returns.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Optional
+
+from . import events
+
+_CLK_TCK = None
+
+
+def _clock_ticks() -> float:
+    global _CLK_TCK
+    if _CLK_TCK is None:
+        try:
+            _CLK_TCK = float(os.sysconf("SC_CLK_TCK"))
+        except (AttributeError, ValueError, OSError):
+            _CLK_TCK = 100.0
+    return _CLK_TCK
+
+
+def sample_process(pid: str = "self") -> Dict[str, float]:
+    """One RSS/CPU reading; missing ``/proc`` files yield a partial dict."""
+    out: Dict[str, float] = {}
+    try:
+        with open(f"/proc/{pid}/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    out["rss_bytes"] = int(line.split()[1]) * 1024
+                    break
+    except OSError:
+        pass
+    try:
+        with open(f"/proc/{pid}/stat") as fh:
+            fields = fh.read().rsplit(") ", 1)[-1].split()
+            # fields[0] is state; utime/stime are stat fields 14/15,
+            # i.e. indices 11/12 after the "(comm) " prefix is stripped.
+            utime, stime = int(fields[11]), int(fields[12])
+            out["cpu_s"] = (utime + stime) / _clock_ticks()
+    except (OSError, IndexError, ValueError):
+        pass
+    return out
+
+
+class ResourceSampler:
+    """Emits ``resource`` records to a sink on a fixed interval."""
+
+    def __init__(self, sink, interval_s: float = 1.0):
+        self.sink = sink
+        self.interval_s = float(interval_s)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ResourceSampler":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-resource-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 5.0) -> "ResourceSampler":
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+            self._thread = None
+        return self
+
+    def _run(self) -> None:
+        # Sample once immediately so short runs still get a reading, then
+        # on the interval until stop() fires.
+        while True:
+            self.sink.emit(events.record("resource", "proc.sample",
+                                         sample_process()))
+            if self._stop.wait(self.interval_s):
+                return

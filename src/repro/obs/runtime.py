@@ -1,0 +1,88 @@
+"""Process-global observer slot: the disabled fast path is one load.
+
+Instrumented code does::
+
+    ob = obs.active()
+    if ob is not None:
+        with ob.span("trainer.fit", {...}):
+            ...
+
+With no observer configured, ``active()`` is a module-attribute read
+returning ``None`` — no allocation, no branching beyond the caller's
+``is None`` check.  This is the property the
+``trainer_obs_disabled_overhead`` benchmark fact locks in.
+
+``configure()`` installs a new global observer (closing any previous
+one); ``shutdown()`` flushes and uninstalls it.  The :func:`observe`
+context manager scopes both for tests and short runs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from .events import JsonlSink, MultiSink, NullSink
+from .console import ConsoleSink
+from .metrics import MetricsRegistry
+from .resource import ResourceSampler
+from .tracer import Observer
+
+_active: Optional[Observer] = None
+
+
+def active() -> Optional[Observer]:
+    """The installed observer, or ``None`` when observability is off."""
+    return _active
+
+
+def configure(path: Optional[str] = None, console: bool = False,
+              stream=None, resource_interval_s: Optional[float] = None,
+              registry: Optional[MetricsRegistry] = None) -> Observer:
+    """Install a global observer writing to ``path`` and/or the console."""
+    global _active
+    if _active is not None:
+        _active.close()
+        _active = None
+    sinks = []
+    if path:
+        sinks.append(JsonlSink(path))
+    if console:
+        sinks.append(ConsoleSink(stream))
+    sink = sinks[0] if len(sinks) == 1 else (
+        MultiSink(sinks) if sinks else NullSink())
+    observer = Observer(sink, registry=registry)
+    if resource_interval_s:
+        observer.sampler = ResourceSampler(
+            sink, interval_s=resource_interval_s).start()
+    _active = observer
+    return observer
+
+
+def shutdown() -> None:
+    """Close and uninstall the global observer (no-op when disabled)."""
+    global _active
+    if _active is not None:
+        _active.close()
+        _active = None
+
+
+def swap(observer: Optional[Observer]) -> Optional[Observer]:
+    """Replace the global slot without closing anything (test harness use)."""
+    global _active
+    previous = _active
+    _active = observer
+    return previous
+
+
+@contextmanager
+def observe(path: Optional[str] = None, **kwargs):
+    """Scoped observability: configure on entry, shutdown on exit."""
+    observer = configure(path=path, **kwargs)
+    try:
+        yield observer
+    finally:
+        if _active is observer:
+            shutdown()
+        else:                        # someone replaced it mid-scope
+            observer.close()

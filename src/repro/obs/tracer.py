@@ -1,0 +1,144 @@
+"""Hierarchical span tracer bound to an event sink and a metrics registry.
+
+An :class:`Observer` is the run-scoped bundle every instrumented layer
+talks to: it opens :class:`Span`\\ s (context managers that push/pop the
+thread-local context stack), emits point events, records retroactive
+spans (work measured elsewhere, e.g. a grid cell that ran in a worker
+process), and owns a :class:`~repro.obs.metrics.MetricsRegistry` for
+training-side counters.
+
+Zero-cost contract: code must obtain the observer once via
+``repro.obs.active()`` and skip every call below when it is ``None`` —
+nothing in this module is ever imported into a hot loop's disabled path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from . import context, events
+from .metrics import MetricsRegistry
+
+
+class Span:
+    """One open span; use only via ``with observer.span(...)``."""
+
+    __slots__ = ("_observer", "name", "attrs", "ref", "parent", "_t0")
+
+    def __init__(self, observer: "Observer", name: str,
+                 attrs: Optional[Dict] = None,
+                 parent: Optional[context.SpanRef] = None):
+        self._observer = observer
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.parent = parent
+        self.ref: Optional[context.SpanRef] = None
+        self._t0 = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes; they ride on the ``span_end`` record."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        parent = self.parent if self.parent is not None else context.current()
+        trace_id = parent.trace_id if parent else context.new_trace_id()
+        self.ref = context.SpanRef(trace_id, context.new_span_id())
+        self.parent = parent
+        context.push(self.ref)
+        self._observer.sink.emit(events.record(
+            "span_start", self.name, self.attrs, trace=trace_id,
+            span=self.ref.span_id,
+            parent=parent.span_id if parent else None))
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = time.perf_counter() - self._t0
+        context.pop()
+        attrs = dict(self.attrs)
+        attrs["status"] = "error" if exc_type is not None else "ok"
+        if exc is not None:
+            attrs["error"] = f"{exc_type.__name__}: {exc}"
+        self._observer.sink.emit(events.record(
+            "span_end", self.name, attrs, trace=self.ref.trace_id,
+            span=self.ref.span_id,
+            parent=self.parent.span_id if self.parent else None, dur_s=dur))
+        return False
+
+
+class Observer:
+    """Run-scoped tracer: sink + registry + (optionally) a resource sampler."""
+
+    def __init__(self, sink, registry: Optional[MetricsRegistry] = None,
+                 run_id: Optional[str] = None):
+        import platform
+        self.sink = sink
+        self.registry = registry or MetricsRegistry()
+        self.run_id = run_id or context.new_span_id()
+        self.sampler = None          # attached by runtime.configure
+        self._closed = False
+        import os
+        self.sink.emit(events.record("run_start", "run", {
+            "run_id": self.run_id, "pid": os.getpid(),
+            "python": platform.python_version(),
+        }))
+
+    # -- spans ----------------------------------------------------------
+    def span(self, name: str, attrs: Optional[Dict] = None,
+             parent: Optional[context.SpanRef] = None) -> Span:
+        """Open a span; parents to the thread's current span by default."""
+        return Span(self, name, attrs, parent=parent)
+
+    def emit_span(self, name: str, dur_s: float,
+                  attrs: Optional[Dict] = None,
+                  parent: Optional[context.SpanRef] = None) -> Dict:
+        """Record a span measured elsewhere (worker process, past work).
+
+        The span is stamped as a child of ``parent`` (or the thread's
+        current span) in the *current* trace and returned so callers can
+        also hand it to a console formatter.
+        """
+        parent = parent if parent is not None else context.current()
+        trace_id = parent.trace_id if parent else context.new_trace_id()
+        rec = events.record(
+            "span_end", name, attrs, trace=trace_id,
+            span=context.new_span_id(),
+            parent=parent.span_id if parent else None, dur_s=dur_s)
+        rec["attrs"].setdefault("status", "ok")
+        self.sink.emit(rec)
+        return rec
+
+    # -- events ---------------------------------------------------------
+    def event(self, name: str, attrs: Optional[Dict] = None) -> Dict:
+        """Emit a point-in-time event under the thread's current span."""
+        ref = context.current()
+        rec = events.record(
+            "event", name, attrs,
+            trace=ref.trace_id if ref else None,
+            span=ref.span_id if ref else None)
+        self.sink.emit(rec)
+        return rec
+
+    # -- context hand-off ----------------------------------------------
+    @staticmethod
+    def current_ref() -> Optional[context.SpanRef]:
+        """Snapshot of this thread's span context for cross-thread linking."""
+        return context.current()
+
+    # -- metrics --------------------------------------------------------
+    def metrics_text(self) -> str:
+        """Prometheus rendering of the observer's registry."""
+        return self.registry.render()
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.sampler is not None:
+            self.sampler.stop()
+        self.sink.emit(events.record("run_end", "run",
+                                     {"run_id": self.run_id}))
+        self.sink.close()

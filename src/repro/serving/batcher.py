@@ -37,6 +37,8 @@ from typing import List, Optional
 import numpy as np
 
 from ..autodiff import Tensor, no_grad, precision
+from ..obs import context as _obs_context
+from ..obs import runtime as _obs
 from .metrics import ServerMetrics
 from .registry import ModelEntry, ModelRegistry
 
@@ -90,6 +92,9 @@ class _Pending:
     future: Future
     enqueued_at: float
     deadline: Optional[float]  # monotonic; None = no deadline
+    # The submitting thread's span ref (the http.request span) so the
+    # batch.execute span can link every member request it served.
+    trace: Optional[_obs_context.SpanRef] = None
 
 
 class MicroBatcher:
@@ -140,7 +145,8 @@ class MicroBatcher:
         pending = _Pending(
             entry=entry, window=arr, key=self._batch_key(entry, arr),
             future=Future(), enqueued_at=now,
-            deadline=None if timeout_s is None else now + timeout_s)
+            deadline=None if timeout_s is None else now + timeout_s,
+            trace=_obs_context.current() if _obs.active() else None)
         try:
             self._queue.put_nowait(pending)
         except queue.Full:
@@ -210,8 +216,10 @@ class MicroBatcher:
             entry = group[0].entry
             try:
                 stacked = np.stack([p.window for p in group])
+                t0 = time.perf_counter()
                 with precision(entry.dtype), no_grad():
                     out = entry.model(Tensor(stacked)).data
+                self._emit_batch_span(group, time.perf_counter() - t0)
                 self.metrics.observe_batch(len(group))
                 for pending, row in zip(group, out):
                     pending.future.set_result(np.array(row))
@@ -219,3 +227,24 @@ class MicroBatcher:
                 for pending in group:
                     if not pending.future.done():
                         pending.future.set_exception(exc)
+
+    @staticmethod
+    def _emit_batch_span(group: List[_Pending], dur_s: float) -> None:
+        """Record the stacked forward, linking every member request's trace.
+
+        The worker thread has no span context of its own; the span's
+        ``member_traces``/``member_spans`` attrs carry the http.request
+        refs captured at submit() so ``repro trace`` can join a batched
+        forward back to the requests it served.
+        """
+        ob = _obs.active()
+        if ob is None:
+            return
+        entry = group[0].entry
+        members = [p.trace for p in group if p.trace is not None]
+        ob.emit_span("batch.execute", dur_s, {
+            "model": entry.name, "version": entry.version,
+            "policy": entry.policy, "size": len(group),
+            "member_traces": [ref.trace_id for ref in members],
+            "member_spans": [ref.span_id for ref in members],
+        }, parent=members[0] if members else None)

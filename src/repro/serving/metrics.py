@@ -1,4 +1,4 @@
-"""Thread-safe serving telemetry with a Prometheus-style text exposition.
+"""Thread-safe serving telemetry on the shared metrics registry.
 
 One :class:`ServerMetrics` instance is shared by the HTTP front end and the
 micro-batcher.  It tracks:
@@ -9,16 +9,19 @@ micro-batcher.  It tracks:
 * request latency — both fixed-bucket histogram counts and p50/p95/p99
   quantiles computed from a bounded ring buffer of recent observations.
 
-``render()`` emits the Prometheus text format (``GET /metrics``);
-``snapshot()`` returns the same numbers as a dict for tests and the
-serving benchmark.
+Since PR 5 the storage and the Prometheus text renderer live in
+:mod:`repro.obs.metrics` — this module only declares the serving series
+on a :class:`~repro.obs.metrics.MetricsRegistry` and keeps the recording
+API (``observe_request``/``observe_batch``/``snapshot``) the server and
+batcher already use.  ``render()`` output is byte-identical to the
+pre-registry implementation (locked by a golden test).
 """
 
 from __future__ import annotations
 
-import threading
-from collections import Counter, deque
 from typing import Callable, Dict, Optional, Sequence
+
+from ..obs.metrics import MetricsRegistry
 
 #: Upper bounds (seconds) of the latency histogram buckets.
 LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
@@ -30,17 +33,26 @@ QUANTILES = (0.5, 0.95, 0.99)
 class ServerMetrics:
     """Aggregates serving counters; every method is safe to call concurrently."""
 
-    def __init__(self, latency_window: int = 4096):
-        self._lock = threading.Lock()
-        self._requests_by_code: Counter = Counter()
-        self._batch_sizes: Counter = Counter()
-        self._batches_total = 0
-        self._windows_total = 0
-        self._latency_bucket_counts = [0] * (len(LATENCY_BUCKETS) + 1)
-        self._latency_sum = 0.0
-        self._latency_count = 0
-        self._recent_latencies: deque = deque(maxlen=latency_window)
-        self._queue_depth_fn: Optional[Callable[[], int]] = None
+    def __init__(self, latency_window: int = 4096,
+                 registry: Optional[MetricsRegistry] = None):
+        self.registry = registry or MetricsRegistry()
+        self._requests = self.registry.counter(
+            "repro_requests_total",
+            "HTTP requests served, by status code.")
+        self._requests_class = self.registry.counter(
+            "repro_requests_class_total",
+            "HTTP requests, by status class.")
+        self._queue_depth = self.registry.gauge(
+            "repro_queue_depth",
+            "Windows waiting in the batcher queue.")
+        self._batch_size = self.registry.size_histogram(
+            "repro_batch_size",
+            "Executed micro-batch sizes.")
+        self._latency = self.registry.histogram(
+            "repro_request_latency_seconds",
+            "Forecast request latency.",
+            buckets=LATENCY_BUCKETS, quantiles=QUANTILES,
+            quantile_window=latency_window, sum_format="{:.6f}")
 
     # ------------------------------------------------------------------
     # Recording
@@ -48,29 +60,20 @@ class ServerMetrics:
     def observe_request(self, status_code: int,
                         latency_s: Optional[float] = None) -> None:
         """Count one finished HTTP request; latency is recorded if given."""
-        with self._lock:
-            self._requests_by_code[int(status_code)] += 1
-            if latency_s is not None:
-                self._latency_sum += latency_s
-                self._latency_count += 1
-                self._recent_latencies.append(latency_s)
-                for i, bound in enumerate(LATENCY_BUCKETS):
-                    if latency_s <= bound:
-                        self._latency_bucket_counts[i] += 1
-                        break
-                else:
-                    self._latency_bucket_counts[-1] += 1
+        code = int(status_code)
+        cls = f"{code // 100}xx"
+        self._requests.inc(labels={"code": code, "class": cls})
+        self._requests_class.inc(labels={"class": cls})
+        if latency_s is not None:
+            self._latency.observe(latency_s)
 
     def observe_batch(self, size: int) -> None:
         """Record one executed micro-batch of ``size`` stacked windows."""
-        with self._lock:
-            self._batch_sizes[int(size)] += 1
-            self._batches_total += 1
-            self._windows_total += size
+        self._batch_size.observe(size)
 
     def set_queue_depth_fn(self, fn: Callable[[], int]) -> None:
         """Register a callable polled for the live queue depth gauge."""
-        self._queue_depth_fn = fn
+        self._queue_depth.set_fn(fn)
 
     # ------------------------------------------------------------------
     # Reading
@@ -78,32 +81,20 @@ class ServerMetrics:
     def latency_quantiles(
             self, quantiles: Sequence[float] = QUANTILES) -> Dict[float, float]:
         """Exact quantiles over the recent-latency ring buffer (seconds)."""
-        with self._lock:
-            samples = sorted(self._recent_latencies)
-        if not samples:
-            return {q: 0.0 for q in quantiles}
-        last = len(samples) - 1
-        return {q: samples[min(last, int(round(q * last)))] for q in quantiles}
+        return self._latency.quantiles(quantiles)
 
     def queue_depth(self) -> int:
-        fn = self._queue_depth_fn
-        try:
-            return int(fn()) if fn is not None else 0
-        except Exception:
-            return 0
+        return int(self._queue_depth.value())
 
     def snapshot(self) -> dict:
         """All counters as plain data (tests, ``/v1/models``, the bench)."""
-        with self._lock:
-            by_code = dict(self._requests_by_code)
-            batch_sizes = dict(self._batch_sizes)
-            batches = self._batches_total
-            windows = self._windows_total
-            lat_sum, lat_count = self._latency_sum, self._latency_count
-        by_class: Dict[str, int] = {}
-        for code, n in by_code.items():
-            key = f"{code // 100}xx"
-            by_class[key] = by_class.get(key, 0) + n
+        by_code = {int(labels["code"]): int(n)
+                   for labels, n in self._requests.samples()}
+        by_class = {labels["class"]: int(n)
+                    for labels, n in self._requests_class.samples()}
+        batch_sizes = self._batch_size.counts()
+        windows, batches = self._batch_size.snapshot()
+        lat_sum, lat_count = self._latency.snapshot()
         quantiles = self.latency_quantiles()
         return {
             "requests_by_code": by_code,
@@ -121,61 +112,4 @@ class ServerMetrics:
 
     def render(self) -> str:
         """The Prometheus text exposition served at ``GET /metrics``."""
-        with self._lock:
-            by_code = sorted(self._requests_by_code.items())
-            batch_sizes = sorted(self._batch_sizes.items())
-            bucket_counts = list(self._latency_bucket_counts)
-            lat_sum, lat_count = self._latency_sum, self._latency_count
-            batches, windows = self._batches_total, self._windows_total
-        quantiles = self.latency_quantiles()
-        by_class: Counter = Counter()
-        for code, n in by_code:
-            by_class[f"{code // 100}xx"] += n
-
-        lines = [
-            "# HELP repro_requests_total HTTP requests served, by status code.",
-            "# TYPE repro_requests_total counter",
-        ]
-        for code, n in by_code:
-            cls = f"{code // 100}xx"
-            lines.append(
-                f'repro_requests_total{{code="{code}",class="{cls}"}} {n}')
-        lines += [
-            "# HELP repro_requests_class_total HTTP requests, by status class.",
-            "# TYPE repro_requests_class_total counter",
-        ]
-        for cls, n in sorted(by_class.items()):
-            lines.append(f'repro_requests_class_total{{class="{cls}"}} {n}')
-        lines += [
-            "# HELP repro_queue_depth Windows waiting in the batcher queue.",
-            "# TYPE repro_queue_depth gauge",
-            f"repro_queue_depth {self.queue_depth()}",
-            "# HELP repro_batch_size Executed micro-batch sizes.",
-            "# TYPE repro_batch_size histogram",
-        ]
-        cumulative = 0
-        for size, n in batch_sizes:
-            cumulative += n
-            lines.append(f'repro_batch_size_bucket{{le="{size}"}} {cumulative}')
-        lines += [
-            f'repro_batch_size_bucket{{le="+Inf"}} {batches}',
-            f"repro_batch_size_sum {windows}",
-            f"repro_batch_size_count {batches}",
-            "# HELP repro_request_latency_seconds Forecast request latency.",
-            "# TYPE repro_request_latency_seconds histogram",
-        ]
-        cumulative = 0
-        for bound, n in zip(LATENCY_BUCKETS, bucket_counts):
-            cumulative += n
-            lines.append(
-                f'repro_request_latency_seconds_bucket{{le="{bound}"}} '
-                f"{cumulative}")
-        lines += [
-            f'repro_request_latency_seconds_bucket{{le="+Inf"}} {lat_count}',
-            f"repro_request_latency_seconds_sum {lat_sum:.6f}",
-            f"repro_request_latency_seconds_count {lat_count}",
-        ]
-        for q, value in quantiles.items():
-            lines.append(
-                f'repro_request_latency_seconds{{quantile="{q}"}} {value:.6f}')
-        return "\n".join(lines) + "\n"
+        return self.registry.render()

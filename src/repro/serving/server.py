@@ -33,6 +33,9 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import console as _console
+from ..obs import context as _obs_context
+from ..obs import runtime as _obs
 from .batcher import (
     BatcherClosedError, DeadlineExceededError, InvalidWindowError,
     MicroBatcher, QueueFullError,
@@ -94,6 +97,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if retry_after_s is not None:
             self.send_header("Retry-After", f"{retry_after_s:.3f}")
+        self._send_trace_header()
         self.end_headers()
         self.wfile.write(body)
 
@@ -102,11 +106,29 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self._send_trace_header()
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_trace_header(self) -> None:
+        # Inside an http.request span (observer configured) the handler
+        # thread's current span carries the trace id; echo it so a client
+        # can find its request in the JSONL run log (`repro trace`).
+        ref = _obs_context.current()
+        if ref is not None:
+            self.send_header("X-Trace-Id", ref.trace_id)
+
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
+        ob = _obs.active()
+        if ob is None:
+            self._handle_get()
+            return
+        with ob.span("http.request", {"method": "GET",
+                                      "path": self.path}) as span:
+            span.set(status_code=self._handle_get())
+
+    def _handle_get(self) -> int:
         srv = self._srv
         if self.path == "/healthz":
             self._send_json(200, {
@@ -114,20 +136,31 @@ class _Handler(BaseHTTPRequestHandler):
                 "models": srv.registry.names(),
                 "queue_depth": srv.batcher.queue_depth(),
             })
-            srv.metrics.observe_request(200)
+            status = 200
         elif self.path == "/v1/models":
             self._send_json(200, {"models": srv.registry.describe()})
-            srv.metrics.observe_request(200)
+            status = 200
         elif self.path == "/metrics":
             self._send_text(200, srv.metrics.render(),
                             "text/plain; version=0.0.4; charset=utf-8")
-            srv.metrics.observe_request(200)
+            status = 200
         else:
             self._send_json(404, {"error": {"type": "not_found",
                                             "detail": self.path}})
-            srv.metrics.observe_request(404)
+            status = 404
+        srv.metrics.observe_request(status)
+        return status
 
     def do_POST(self) -> None:
+        ob = _obs.active()
+        if ob is None:
+            self._handle_post()
+            return
+        with ob.span("http.request", {"method": "POST",
+                                      "path": self.path}) as span:
+            span.set(status_code=self._handle_post())
+
+    def _handle_post(self) -> int:
         srv = self._srv
         start = time.perf_counter()
         try:
@@ -141,6 +174,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(err.status, err.body(), err.retry_after_s)
             status = err.status
         srv.metrics.observe_request(status, time.perf_counter() - start)
+        return status
 
     # ------------------------------------------------------------------
     def _read_json(self) -> dict:
@@ -286,15 +320,25 @@ def build_server(config: ServingConfig, registry: ModelRegistry,
     return ForecastServer(config, registry, metrics=metrics)
 
 
+def _lifecycle(message: str, verbose: bool) -> None:
+    """Route a server lifecycle line to the console and the event sink."""
+    if verbose:
+        _console.emit_line(message)
+    ob = _obs.active()
+    if ob is not None:
+        ob.event("server.lifecycle", {"message": message})
+
+
 def run_server(server: ForecastServer, verbose: bool = True) -> int:
     """Serve until SIGINT/SIGTERM, then drain in-flight work and exit 0."""
-    if verbose:
-        for desc in server.registry.describe():
-            print(f"  model {desc['name']!r}: {desc['model']} "
-                  f"(task={desc['task']}, seq_len={desc['seq_len']}, "
-                  f"c_in={desc['c_in']}, policy={desc['batch_policy']})")
-        print(f"serving on {server.address}  "
-              "(POST /v1/forecast, GET /v1/models, /healthz, /metrics)")
+    for desc in server.registry.describe():
+        _lifecycle(f"  model {desc['name']!r}: {desc['model']} "
+                   f"(task={desc['task']}, seq_len={desc['seq_len']}, "
+                   f"c_in={desc['c_in']}, policy={desc['batch_policy']})",
+                   verbose)
+    _lifecycle(f"serving on {server.address}  "
+               "(POST /v1/forecast, GET /v1/models, /healthz, /metrics)",
+               verbose)
 
     previous = signal.getsignal(signal.SIGTERM)
 
@@ -309,13 +353,11 @@ def run_server(server: ForecastServer, verbose: bool = True) -> int:
     try:
         server.serve_forever(poll_interval=0.1)
     except KeyboardInterrupt:
-        if verbose:
-            print("\nshutting down: draining in-flight requests ...")
+        _lifecycle("\nshutting down: draining in-flight requests ...", verbose)
     finally:
         threading.Thread(target=server.shutdown, daemon=True).start()
         server.drain()
         if previous is not None:
             signal.signal(signal.SIGTERM, previous)
-    if verbose:
-        print("drained; bye")
+    _lifecycle("drained; bye", verbose)
     return 0

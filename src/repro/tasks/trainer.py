@@ -19,6 +19,9 @@ import numpy as np
 
 from ..autodiff import GraphProfiler, Tensor, no_grad, precision, resolve_dtype
 from ..nn.module import Module
+from ..obs import console as _console
+from ..obs import events as _obs_events
+from ..obs import runtime as _obs
 from ..optim import Adam, EarlyStopping, ExponentialDecay, clip_grad_norm
 
 StepFn = Callable[[object], Tuple[Tensor, np.ndarray, np.ndarray, Optional[np.ndarray]]]
@@ -109,7 +112,30 @@ class Trainer:
         return loss_sum / batches if batches else float("nan")
 
     def fit(self, train_loader, val_loader, step_fn: StepFn) -> FitResult:
-        """Train until the epoch budget or early stopping trips."""
+        """Train until the epoch budget or early stopping trips.
+
+        When an observer is configured (``repro.obs.configure``), the fit
+        runs under a ``trainer.fit`` span with one retroactive
+        ``trainer.epoch`` child span per epoch; with observability off,
+        the only extra work is the ``obs.active()`` load below (gated by
+        the ``trainer_obs_disabled_overhead`` benchmark fact).
+        """
+        ob = _obs.active()
+        if ob is None:
+            return self._fit(None, train_loader, val_loader, step_fn)
+        with ob.span("trainer.fit", {
+                "model": type(self.model).__name__,
+                "epochs": self.config.epochs,
+                "precision": self.config.precision}) as span:
+            result = self._fit(ob, train_loader, val_loader, step_fn)
+            span.set(epochs_run=result.epochs_run,
+                     train_seconds=result.train_seconds,
+                     eval_seconds=result.eval_seconds)
+            if result.profile is not None:
+                span.set(profile=result.profile)
+        return result
+
+    def _fit(self, ob, train_loader, val_loader, step_fn: StepFn) -> FitResult:
         result = FitResult()
         stopper = EarlyStopping(patience=self.config.patience)
         profiler = None
@@ -117,7 +143,8 @@ class Trainer:
             profiler = GraphProfiler().attach(self.model).start()
         start = time.time()
         try:
-            self._fit_loop(result, stopper, train_loader, val_loader, step_fn)
+            self._fit_loop(ob, result, stopper, train_loader, val_loader,
+                           step_fn)
         finally:
             if profiler is not None:
                 profiler.stop().detach()
@@ -126,8 +153,8 @@ class Trainer:
         result.seconds = time.time() - start
         return result
 
-    def _fit_loop(self, result: FitResult, stopper, train_loader, val_loader,
-                  step_fn: StepFn) -> None:
+    def _fit_loop(self, ob, result: FitResult, stopper, train_loader,
+                  val_loader, step_fn: StepFn) -> None:
         for epoch in range(self.config.epochs):
             t0 = time.perf_counter()
             train_loss = self._run_epoch(train_loader, step_fn, train=True)
@@ -140,13 +167,28 @@ class Trainer:
             result.train_losses.append(train_loss)
             result.val_losses.append(val_loss)
             result.epochs_run = epoch + 1
-            if self.config.verbose:
-                print(f"  epoch {epoch + 1}: train {train_loss:.4f} "
-                      f"val {val_loss:.4f}")
+            if ob is not None or self.config.verbose:
+                self._emit_epoch(ob, epoch + 1, train_loss, val_loss,
+                                 t1 - t0, t2 - t1)
             stopper.update(val_loss, self.model)
             if stopper.should_stop:
                 break
             self.scheduler.step()
+
+    def _emit_epoch(self, ob, epoch: int, train_loss: float, val_loss: float,
+                    train_s: float, eval_s: float) -> None:
+        """Route the per-epoch record to the event sink and/or the console."""
+        attrs = {"epoch": epoch, "train_loss": train_loss,
+                 "val_loss": val_loss, "train_seconds": train_s,
+                 "eval_seconds": eval_s}
+        rec = None
+        if ob is not None:
+            rec = ob.emit_span("trainer.epoch", train_s + eval_s, attrs)
+            ob.registry.counter("repro_train_epochs_total",
+                                "Completed training epochs.").inc()
+        if self.config.verbose:
+            _console.emit_record(rec if rec is not None else _obs_events.record(
+                "span_end", "trainer.epoch", attrs, dur_s=train_s + eval_s))
 
     def evaluate(self, loader, step_fn: StepFn) -> Tuple[float, float]:
         """Aggregate MSE/MAE over a loader (mask-aware via the step_fn).

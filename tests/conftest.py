@@ -1,8 +1,11 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.obs import runtime as obs_runtime
 from repro.utils import set_seed
 
 
@@ -11,6 +14,42 @@ def _seed_everything():
     """Make weight init / dropout / shuffling deterministic per test."""
     set_seed(1234)
     yield
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _session_trace():
+    """Trace the whole test session when REPRO_TRACE is set.
+
+    CI exports ``REPRO_TRACE=artifacts/pytest-trace.jsonl`` so a failing
+    run uploads the spans every instrumented layer emitted on the way to
+    the failure (see .github/workflows/ci.yml).
+    """
+    path = os.environ.get("REPRO_TRACE")
+    if not path:
+        yield None
+        return
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    observer = obs_runtime.configure(path=path)
+    yield observer
+    obs_runtime.shutdown()
+
+
+@pytest.fixture(autouse=True)
+def _restore_observer():
+    """Undo observer churn a test leaves behind.
+
+    Tests that call ``obs.configure``/``shutdown`` (or CLI paths that do)
+    replace the process-global slot; restore whatever was installed before
+    the test so the session-level trace observer — or the default
+    disabled state — survives.
+    """
+    before = obs_runtime.active()
+    yield
+    after = obs_runtime.active()
+    if after is not before:
+        if after is not None:
+            after.close()
+        obs_runtime.swap(before)
 
 
 @pytest.fixture

@@ -77,6 +77,28 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "imputation" in err and "forecast" in err
 
+    def test_train_trace_and_report(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        rc = main(["train", "--model", "DLinear", "--dataset", "ETTh2",
+                   "--seq-len", "24", "--pred-len", "8", "--n-steps", "600",
+                   "--epochs", "2", "--max-batches", "3", "--trace", trace])
+        assert rc == 0
+        assert "test MSE=" in capsys.readouterr().out
+
+        from repro.obs import runtime as obs_runtime
+        assert obs_runtime.active() is None  # shut down after the command
+
+        rc = main(["trace", trace])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== span tree ==" in out
+        assert "trainer.fit" in out
+        assert "== epochs ==" in out
+
+    def test_trace_missing_file(self, capsys):
+        assert main(["trace", "/nonexistent/run.jsonl"]) == 1
+        assert "error" in capsys.readouterr().err
+
     def test_decompose(self, capsys):
         rc = main(["decompose", "--dataset", "ETTh1", "--window", "64",
                    "--num-scales", "4"])

@@ -1,0 +1,446 @@
+"""Tests for the observability layer: spans, sinks, metrics, reports.
+
+The load-bearing contracts:
+
+* span nesting follows the thread-local context stack, and a captured
+  ``SpanRef`` lets a worker thread parent its spans into the submitting
+  thread's trace;
+* JSONL records round-trip bit-for-bit through ``read_events`` and the
+  reader refuses unknown schema versions/kinds;
+* the Prometheus renderer escapes label values per the text exposition
+  format;
+* the ``/proc`` resource sampler starts and stops cleanly (idempotent,
+  no thread leak);
+* library code emits no bare ``print()`` (the lint_ops guard).
+"""
+
+import json
+import os
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    ConsoleSink, JsonlSink, MetricsRegistry, Observer, ResourceSampler,
+    SpanRef, escape_label_value, read_events, record, sample_process,
+)
+from repro.obs import context as obs_context
+from repro.obs import report as obs_report
+from repro.obs import runtime as obs_runtime
+from repro.obs.console import format_record
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "scripts"))
+import lint_ops  # noqa: E402
+
+
+class _ListSink:
+    """Collects records in memory for assertions."""
+
+    def __init__(self):
+        self.records = []
+
+    def emit(self, rec):
+        self.records.append(rec)
+
+    def close(self):
+        pass
+
+
+@pytest.fixture
+def sink():
+    return _ListSink()
+
+
+@pytest.fixture
+def observer(sink):
+    ob = Observer(sink)
+    yield ob
+    ob.close()
+
+
+def _spans(sink, name=None):
+    return [r for r in sink.records if r["kind"] == "span_end"
+            and (name is None or r["name"] == name)]
+
+
+# ---------------------------------------------------------------------------
+# Span context and nesting
+# ---------------------------------------------------------------------------
+
+class TestSpans:
+    def test_nesting_same_thread(self, observer, sink):
+        with observer.span("outer") as outer:
+            with observer.span("inner") as inner:
+                assert obs_context.current() == inner.ref
+            assert obs_context.current() == outer.ref
+        assert obs_context.current() is None
+
+        outer_end = _spans(sink, "outer")[0]
+        inner_end = _spans(sink, "inner")[0]
+        assert inner_end["trace"] == outer_end["trace"]
+        assert inner_end["parent"] == outer_end["span"]
+        assert outer_end["parent"] is None
+        assert outer_end["attrs"]["status"] == "ok"
+        assert outer_end["dur_s"] >= inner_end["dur_s"]
+
+    def test_cross_thread_linking(self, observer, sink):
+        """A captured SpanRef parents a worker thread into the same trace."""
+        refs = {}
+
+        def worker(parent_ref):
+            # Fresh thread: its own context stack starts empty ...
+            assert obs_context.current() is None
+            # ... unlinked spans start a new trace,
+            with observer.span("detached"):
+                refs["detached"] = obs_context.current()
+            # ... but an explicit parent= joins the submitter's trace.
+            with observer.span("linked", parent=parent_ref):
+                refs["linked"] = obs_context.current()
+
+        with observer.span("root") as root:
+            thread = threading.Thread(target=worker, args=(root.ref,))
+            thread.start()
+            thread.join()
+            # the worker's pushes never touched this thread's stack
+            assert obs_context.current() == root.ref
+
+        root_end = _spans(sink, "root")[0]
+        assert refs["linked"].trace_id == root_end["trace"]
+        assert refs["detached"].trace_id != root_end["trace"]
+        linked_end = _spans(sink, "linked")[0]
+        assert linked_end["parent"] == root_end["span"]
+
+    def test_error_status(self, observer, sink):
+        with pytest.raises(ValueError, match="boom"):
+            with observer.span("failing"):
+                raise ValueError("boom")
+        end = _spans(sink, "failing")[0]
+        assert end["attrs"]["status"] == "error"
+        assert "ValueError: boom" in end["attrs"]["error"]
+        assert obs_context.current() is None  # popped despite the raise
+
+    def test_retroactive_span(self, observer, sink):
+        with observer.span("parent"):
+            rec = observer.emit_span("cell", 1.5, {"mse": 0.25})
+        assert rec["dur_s"] == 1.5
+        assert rec["attrs"]["status"] == "ok"
+        end = _spans(sink, "cell")[0]
+        assert end["parent"] == _spans(sink, "parent")[0]["span"]
+
+    def test_event_carries_current_span(self, observer, sink):
+        with observer.span("scope") as span:
+            observer.event("note", {"k": 1})
+        ev = [r for r in sink.records if r["kind"] == "event"][0]
+        assert ev["span"] == span.ref.span_id
+        assert ev["trace"] == span.ref.trace_id
+
+    def test_span_attrs_set_after_open(self, observer, sink):
+        with observer.span("fit") as span:
+            span.set(epochs_run=3)
+        assert _spans(sink, "fit")[0]["attrs"]["epochs_run"] == 3
+
+
+# ---------------------------------------------------------------------------
+# JSONL schema round-trip
+# ---------------------------------------------------------------------------
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        sink = JsonlSink(path)
+        ref = SpanRef(obs_context.new_trace_id(), obs_context.new_span_id())
+        written = [
+            record("run_start", "run", {"pid": 1}),
+            record("span_end", "trainer.epoch",
+                   {"epoch": 1, "loss": np.float64(0.5)},
+                   trace=ref.trace_id, span=ref.span_id, dur_s=0.25),
+            record("resource", "proc", {"rss_bytes": 1 << 20}),
+        ]
+        for rec in written:
+            sink.emit(rec)
+        sink.close()
+
+        back = read_events(path)
+        assert len(back) == 3
+        for orig, rec in zip(written, back):
+            assert rec["kind"] == orig["kind"]
+            assert rec["name"] == orig["name"]
+            assert rec["ts"] == orig["ts"]
+        # the numpy scalar serialised to a plain JSON number
+        assert back[1]["attrs"]["loss"] == 0.5
+        assert isinstance(back[1]["attrs"]["loss"], float)
+        assert back[1]["dur_s"] == 0.25
+        assert back[1]["trace"] == ref.trace_id
+
+    def test_rejects_unknown_schema_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        rec = record("event", "x")
+        rec["v"] = 999
+        path.write_text(json.dumps(rec) + "\n")
+        with pytest.raises(ValueError, match="schema version"):
+            read_events(str(path))
+
+    def test_rejects_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        rec = record("event", "x")
+        rec["kind"] = "mystery"
+        path.write_text(json.dumps(rec) + "\n")
+        with pytest.raises(ValueError, match="unknown record kind"):
+            read_events(str(path))
+
+    def test_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_events(str(path))
+
+    def test_emit_after_close_is_noop(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "run.jsonl"))
+        sink.close()
+        sink.emit(record("event", "late"))  # must not raise
+        assert read_events(str(tmp_path / "run.jsonl")) == []
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry + Prometheus renderer
+# ---------------------------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_label_escaping(self):
+        assert escape_label_value('say "hi"\\now\n') == 'say \\"hi\\"\\\\now\\n'
+        registry = MetricsRegistry()
+        registry.counter("odd_total", "Odd labels.").inc(
+            labels={"path": 'a"b\\c\nd'})
+        assert 'odd_total{path="a\\"b\\\\c\\nd"} 1' in registry.render()
+
+    def test_get_or_create_returns_same_series(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", "Hits.")
+        first.inc(amount=2)
+        registry.counter("hits_total", "Hits.").inc()
+        (labels, value), = first.samples()
+        assert labels == {} and value == 3
+
+    def test_render_order_and_headers(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", "Second registered.").inc()
+        registry.gauge("a_gauge", "First by name, second stays first.").set(2)
+        text = registry.render()
+        # registration order, not alphabetical
+        assert text.index("b_total") < text.index("a_gauge")
+        assert "# HELP b_total Second registered." in text
+        assert "# TYPE a_gauge gauge" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "Latency.",
+                                  buckets=(0.1, 1.0), quantiles=(0.5,))
+        for v in (0.05, 0.5, 5.0):
+            hist.observe(v)
+        text = registry.render()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1.0"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+
+
+# ---------------------------------------------------------------------------
+# Resource sampler lifecycle
+# ---------------------------------------------------------------------------
+
+class TestResourceSampler:
+    def test_sample_process_reads_proc(self):
+        sample = sample_process()
+        assert sample["rss_bytes"] > 0
+        assert sample["cpu_s"] >= 0.0
+
+    def test_start_stop_lifecycle(self, sink):
+        sampler = ResourceSampler(sink, interval_s=0.01)
+        assert not sampler.running
+        sampler.start()
+        sampler.start()            # idempotent
+        assert sampler.running
+        deadline = time.monotonic() + 5.0
+        while not sink.records and time.monotonic() < deadline:
+            time.sleep(0.01)
+        sampler.stop()
+        assert not sampler.running
+        count = len(sink.records)
+        assert count >= 1
+        assert all(r["kind"] == "resource" for r in sink.records)
+        sampler.stop()             # idempotent
+        time.sleep(0.05)
+        assert len(sink.records) == count  # thread really stopped
+
+
+# ---------------------------------------------------------------------------
+# Runtime slot + console formatter + report
+# ---------------------------------------------------------------------------
+
+class TestRuntime:
+    def test_disabled_fast_path_is_none(self):
+        before = obs_runtime.swap(None)
+        try:
+            assert obs_runtime.active() is None
+        finally:
+            obs_runtime.swap(before)
+
+    def test_configure_and_shutdown(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        observer = obs_runtime.configure(path=path)
+        assert obs_runtime.active() is observer
+        with observer.span("work"):
+            pass
+        obs_runtime.shutdown()
+        assert obs_runtime.active() is None
+        kinds = [r["kind"] for r in read_events(path)]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert "span_end" in kinds
+
+    def test_observe_scope(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with obs_runtime.observe(path=path) as observer:
+            assert obs_runtime.active() is observer
+        assert obs_runtime.active() is None
+
+
+class TestConsoleFormatter:
+    def test_trainer_epoch_line_matches_legacy_format(self):
+        rec = record("span_end", "trainer.epoch",
+                     {"epoch": 3, "train_loss": 0.123456, "val_loss": 0.5},
+                     dur_s=1.0)
+        assert format_record(rec) == "  epoch 3: train 0.1235 val 0.5000"
+
+    def test_grid_cell_line_matches_legacy_format(self):
+        rec = record("span_end", "grid.cell",
+                     {"cell": "TS3Net ETTh1 24", "mse": 0.456, "cached": False,
+                      "done": 2, "total": 10, "eta_s": 12.3}, dur_s=6.63)
+        line = format_record(rec)
+        assert line == (f"[ 2/10] {'TS3Net ETTh1 24':<44s} "
+                        "mse=0.456 (6.63s, ETA  12.3s)")
+        rec["attrs"]["cached"] = True
+        assert "(cache," in format_record(rec)
+
+    def test_quiet_kinds_return_none(self):
+        assert format_record(record("span_start", "x")) is None
+        assert format_record(record("resource", "proc")) is None
+        assert format_record(record("run_start", "run")) is None
+
+    def test_console_sink_writes_stream(self):
+        import io
+        stream = io.StringIO()
+        ConsoleSink(stream).emit(record(
+            "span_end", "trainer.epoch",
+            {"epoch": 1, "train_loss": 1.0, "val_loss": 2.0}, dur_s=0.1))
+        assert stream.getvalue() == "  epoch 1: train 1.0000 val 2.0000\n"
+
+
+class TestReport:
+    def _synthetic_run(self):
+        t_root = obs_context.new_trace_id()
+        fit_id = obs_context.new_span_id()
+        recs = [record("run_start", "run", {"pid": 7})]
+        recs.append(record("span_end", "trainer.fit", {"status": "ok"},
+                           trace=t_root, span=fit_id, dur_s=2.0))
+        for epoch in (1, 2):
+            recs.append(record(
+                "span_end", "trainer.epoch",
+                {"epoch": epoch, "train_loss": 1.0 / epoch,
+                 "val_loss": 2.0 / epoch, "status": "ok"},
+                trace=t_root, span=obs_context.new_span_id(),
+                parent=fit_id, dur_s=1.0))
+        recs.append(record(
+            "span_end", "grid.cell",
+            {"cell": "TS3Net ETTh1 24", "cached": False, "mse": 0.4,
+             "worker_pid": 99, "status": "ok"},
+            trace=t_root, span=obs_context.new_span_id(), dur_s=3.0))
+        recs.append(record(
+            "span_end", "http.request",
+            {"method": "POST", "status_code": 200, "status": "ok"},
+            trace=t_root, span=obs_context.new_span_id(), dur_s=0.004))
+        recs.append(record(
+            "span_end", "batch.execute", {"size": 4, "status": "ok"},
+            trace=t_root, span=obs_context.new_span_id(), dur_s=0.001))
+        recs.append(record("resource", "proc",
+                           {"rss_bytes": 64 << 20, "cpu_s": 1.5}))
+        recs.append(record("run_end", "run", {}))
+        return recs
+
+    def test_span_tree_nests_epochs_under_fit(self):
+        tree = obs_report.render_span_tree(self._synthetic_run())
+        lines = tree.splitlines()
+        fit_line = next(l for l in lines if l.startswith("trainer.fit"))
+        epoch_line = next(l for l in lines if "trainer.epoch" in l)
+        assert epoch_line.startswith("  trainer.epoch")  # indented child
+        assert " 2 " in epoch_line                       # aggregated count
+        assert fit_line is not None
+
+    def test_full_report_sections(self):
+        out = obs_report.render_report(self._synthetic_run())
+        assert "== span tree ==" in out
+        assert "== epochs ==" in out
+        assert "== grid cells ==" in out
+        assert "== serving ==" in out
+        assert "== resources ==" in out
+        assert "1 requests (200: 1)" in out
+        assert "peak RSS 64.0 MiB" in out
+        assert "(pid 99)" in out
+
+    def test_empty_log_renders_placeholder(self):
+        assert obs_report.render_report([]) == "(empty run log)"
+
+    def test_orphan_spans_become_roots(self):
+        recs = [record("span_end", "lonely", {"status": "ok"},
+                       trace="t", span="s", parent="never-seen", dur_s=0.1)]
+        tree = obs_report.render_span_tree(recs)
+        assert tree.splitlines()[1].startswith("lonely")
+
+
+# ---------------------------------------------------------------------------
+# Instrumented trainer end-to-end + lint guard
+# ---------------------------------------------------------------------------
+
+class TestTrainerIntegration:
+    def test_fit_emits_epoch_spans(self, tmp_path):
+        from repro.autodiff import Tensor, mse_loss
+        from repro.baselines import build_model
+        from repro.tasks.trainer import TrainConfig, Trainer
+
+        model = build_model("DLinear", seq_len=16, pred_len=4, c_in=2,
+                            preset="tiny")
+        trainer = Trainer(model, TrainConfig(epochs=2, lr=1e-3))
+        rng = np.random.default_rng(0)
+        batches = [(rng.standard_normal((4, 16, 2)),
+                    rng.standard_normal((4, 4, 2))) for _ in range(2)]
+
+        def step_fn(batch):
+            x, y = batch
+            pred = trainer.model(Tensor(x))
+            return mse_loss(pred, y), pred.data, y, None
+
+        path = str(tmp_path / "fit.jsonl")
+        with obs_runtime.observe(path=path) as observer:
+            trainer.fit(batches, batches[:1], step_fn)
+            counters = observer.metrics_text()
+        recs = read_events(path)
+        fits = [r for r in recs
+                if r["kind"] == "span_end" and r["name"] == "trainer.fit"]
+        epochs = [r for r in recs
+                  if r["kind"] == "span_end" and r["name"] == "trainer.epoch"]
+        assert len(fits) == 1 and fits[0]["attrs"]["epochs_run"] == 2
+        assert len(epochs) == 2
+        assert all(e["parent"] == fits[0]["span"] for e in epochs)
+        assert all("train_loss" in e["attrs"] for e in epochs)
+        assert "repro_train_epochs_total 2" in counters
+
+
+def test_no_bare_prints_in_library_code():
+    """Library output goes through the event sink; lint_ops enforces it."""
+    violations = lint_ops.find_print_violations()
+    assert violations == [], "\n".join(
+        f"{path}:{line}: {reason}: {text}"
+        for path, line, reason, text in violations)

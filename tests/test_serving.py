@@ -297,6 +297,66 @@ class TestMetrics:
         q = metrics.latency_quantiles()
         assert q[0.5] <= q[0.95] <= q[0.99]
 
+    def test_render_golden(self):
+        """The registry-backed renderer is byte-identical to the original.
+
+        This literal was captured from the pre-registry ``ServerMetrics``
+        (PR 4): the refactor onto ``repro.obs.metrics`` primitives must
+        not move a single byte of the exposition for existing series.
+        """
+        metrics = ServerMetrics()
+        metrics.observe_request(200, 0.01)
+        metrics.observe_request(200, 0.3)
+        metrics.observe_request(404)
+        metrics.observe_request(503)
+        metrics.observe_batch(1)
+        metrics.observe_batch(4)
+        metrics.observe_batch(4)
+        metrics.set_queue_depth_fn(lambda: 3)
+        expected = "\n".join([
+            "# HELP repro_requests_total HTTP requests served, by status code.",
+            "# TYPE repro_requests_total counter",
+            'repro_requests_total{code="200",class="2xx"} 2',
+            'repro_requests_total{code="404",class="4xx"} 1',
+            'repro_requests_total{code="503",class="5xx"} 1',
+            "# HELP repro_requests_class_total HTTP requests, by status class.",
+            "# TYPE repro_requests_class_total counter",
+            'repro_requests_class_total{class="2xx"} 2',
+            'repro_requests_class_total{class="4xx"} 1',
+            'repro_requests_class_total{class="5xx"} 1',
+            "# HELP repro_queue_depth Windows waiting in the batcher queue.",
+            "# TYPE repro_queue_depth gauge",
+            "repro_queue_depth 3",
+            "# HELP repro_batch_size Executed micro-batch sizes.",
+            "# TYPE repro_batch_size histogram",
+            'repro_batch_size_bucket{le="1"} 1',
+            'repro_batch_size_bucket{le="4"} 3',
+            'repro_batch_size_bucket{le="+Inf"} 3',
+            "repro_batch_size_sum 9",
+            "repro_batch_size_count 3",
+            "# HELP repro_request_latency_seconds Forecast request latency.",
+            "# TYPE repro_request_latency_seconds histogram",
+            'repro_request_latency_seconds_bucket{le="0.001"} 0',
+            'repro_request_latency_seconds_bucket{le="0.0025"} 0',
+            'repro_request_latency_seconds_bucket{le="0.005"} 0',
+            'repro_request_latency_seconds_bucket{le="0.01"} 1',
+            'repro_request_latency_seconds_bucket{le="0.025"} 1',
+            'repro_request_latency_seconds_bucket{le="0.05"} 1',
+            'repro_request_latency_seconds_bucket{le="0.1"} 1',
+            'repro_request_latency_seconds_bucket{le="0.25"} 1',
+            'repro_request_latency_seconds_bucket{le="0.5"} 2',
+            'repro_request_latency_seconds_bucket{le="1.0"} 2',
+            'repro_request_latency_seconds_bucket{le="2.5"} 2',
+            'repro_request_latency_seconds_bucket{le="5.0"} 2',
+            'repro_request_latency_seconds_bucket{le="+Inf"} 2',
+            "repro_request_latency_seconds_sum 0.310000",
+            "repro_request_latency_seconds_count 2",
+            'repro_request_latency_seconds{quantile="0.5"} 0.010000',
+            'repro_request_latency_seconds{quantile="0.95"} 0.300000',
+            'repro_request_latency_seconds{quantile="0.99"} 0.300000',
+        ]) + "\n"
+        assert metrics.render() == expected
+
 
 class _Client:
     """Minimal JSON client for the end-to-end tests."""
@@ -481,3 +541,58 @@ class TestHTTPServer:
         req.join(timeout=10)
         assert outcome.get("status") == 200
         assert np.asarray(outcome["body"]["prediction"]).shape == (PRED, CIN)
+
+
+class TestServingTrace:
+    """Request spans: X-Trace-Id header + batcher trace propagation."""
+
+    def test_no_header_without_observer(self, server):
+        from repro.obs import runtime as obs_runtime
+        before = obs_runtime.swap(None)  # mask any session-level observer
+        try:
+            host, port = server.server_address[:2]
+            _, _, headers = _Client(host, port).request("GET", "/healthz")
+        finally:
+            obs_runtime.swap(before)
+        assert "X-Trace-Id" not in headers
+
+    def test_x_trace_id_links_request_and_batch_spans(self, registry,
+                                                      tmp_path):
+        from repro.obs import runtime as obs_runtime
+        from repro.obs.events import read_events
+
+        trace_path = str(tmp_path / "serve.jsonl")
+        obs_runtime.configure(path=trace_path)
+        config = ServingConfig(port=0, max_batch_size=4, max_wait_ms=1.0,
+                               queue_size=32, default_timeout_ms=10000.0)
+        srv = build_server(config, registry)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = srv.server_address[:2]
+            status, _, headers = _Client(host, port).request(
+                "POST", "/v1/forecast",
+                {"window": periodic_window(6).tolist()})
+            assert status == 200
+            trace_id = headers["X-Trace-Id"]
+        finally:
+            srv.shutdown()
+            thread.join(timeout=10)
+            srv.drain()
+            obs_runtime.shutdown()
+
+        recs = read_events(trace_path)
+        reqs = [r for r in recs if r["kind"] == "span_end"
+                and r["name"] == "http.request"]
+        assert [r for r in reqs if r["trace"] == trace_id], \
+            "X-Trace-Id must match the request span's trace id"
+        span = next(r for r in reqs if r["trace"] == trace_id)
+        assert span["attrs"]["status_code"] == 200
+        assert span["attrs"]["method"] == "POST"
+
+        batches = [r for r in recs if r["name"] == "batch.execute"]
+        assert batches, "the stacked forward must emit a batch.execute span"
+        linked = [b for b in batches
+                  if trace_id in b["attrs"]["member_traces"]]
+        assert linked, "batch.execute must link its member request traces"
+        assert span["span"] in linked[0]["attrs"]["member_spans"]
