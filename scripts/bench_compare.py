@@ -33,7 +33,23 @@ gated when present in the current report:
 * ``trainer_obs_disabled_overhead`` (``Trainer.fit`` with the observability
   layer present but disabled, as a ratio of the uninstrumented fit) must
   stay within ``--obs-overhead-threshold`` (default 2%) — the tracing
-  layer's zero-cost-when-disabled contract.
+  layer's zero-cost-when-disabled contract;
+* ``compiled_forward_speedup`` (graph-building eager forward over the
+  compiled replay, paired-ratio protocol at the dispatch-bound shape)
+  must stay at or above ``--compiled-speedup-threshold`` (default 1.3x);
+* ``compiled_train_step_speedup`` must stay at or above
+  ``--compiled-step-speedup-threshold`` (default 1.15x — lower than the
+  forward gate because bitwise identity forces the compiled backward
+  through the same kernels as eager, capping the end-to-end ratio);
+* ``compiled_peak_saved_bytes_ratio`` (compiled/eager peak retained
+  activation bytes over an identical profiled fit) must stay at or below
+  ``--compiled-peak-bytes-threshold`` (default 1.0 — the buffer-pooled
+  replay must never retain more than the eager freeing watermark).
+
+Facts the substrate bench unconditionally records (everything above except
+the optional grid and serving sections) are *required*: a report missing
+one fails the gate with the key named, instead of silently skipping the
+check against a stale or truncated ``BENCH_substrate.json``.
 """
 
 from __future__ import annotations
@@ -143,6 +159,78 @@ def check_obs_facts(current: dict, overhead_threshold: float) -> int:
     return 0
 
 
+# Facts bench_substrate.py records on every run (the grid and serving
+# sections are optional and stay gated-when-present).  A missing key here
+# means the gate would silently pass against a stale/truncated report.
+REQUIRED_FACTS = (
+    "tfblock_freed_over_retained",
+    "trainer_obs_disabled_overhead",
+    "compiled_forward_speedup",
+    "compiled_train_step_speedup",
+    "compiled_peak_saved_bytes_ratio",
+)
+
+
+def check_required_facts(current: dict) -> int:
+    """Fail loudly, naming every expected fact missing from the report."""
+    ver = current.get("verification", {})
+    missing = [key for key in REQUIRED_FACTS if key not in ver]
+    for key in missing:
+        print(f"FAIL: required benchmark fact '{key}' is missing from the "
+              "current report — regenerate BENCH_substrate.json with "
+              "benchmarks/bench_substrate.py (stale or truncated report?)",
+              file=sys.stderr)
+    return 1 if missing else 0
+
+
+def check_compiled_facts(current: dict, fwd_threshold: float,
+                         step_threshold: float, peak_threshold: float) -> int:
+    """Gate the graph compiler's speedups and memory plan; 0 = ok, 1 = fail."""
+    ver = current.get("verification", {})
+    if "compiled_forward_speedup" not in ver:
+        return 0  # absence is reported by check_required_facts
+    failures = 0
+    fwd = float(ver["compiled_forward_speedup"])
+    step = float(ver.get("compiled_train_step_speedup", 0.0))
+    print(f"compiled: forward {fwd:.2f}x (threshold {fwd_threshold:.2f}x), "
+          f"train step {step:.2f}x (threshold {step_threshold:.2f}x); "
+          f"batch8 step {ver.get('compiled_train_step_speedup_batch8', 0):.2f}x, "
+          f"infer {ver.get('compiled_infer_forward_speedup', 0):.2f}x "
+          "(informational); "
+          f"{ver.get('compiled_ops_fused_away', '?')} ops fused away, "
+          f"{ver.get('compiled_pool_buffers', '?')} pooled buffers")
+    if fwd < fwd_threshold:
+        print(f"FAIL: compiled forward replay only reached {fwd:.2f}x the "
+              f"interpreted forward (minimum {fwd_threshold:.2f}x) — the "
+              "compiler is no longer paying for its dispatch",
+              file=sys.stderr)
+        failures += 1
+    if step < step_threshold:
+        print(f"FAIL: compiled train step only reached {step:.2f}x eager "
+              f"(minimum {step_threshold:.2f}x); note the backward half is "
+              "compute-parity by the bitwise contract, so regressions here "
+              "are in replay dispatch or the finalised backward program",
+              file=sys.stderr)
+        failures += 1
+    if not ver.get("compiled_validated", False):
+        print("FAIL: compiled step was not bitwise-validated (capture "
+              "disabled itself or validation never ran)", file=sys.stderr)
+        failures += 1
+    if "compiled_peak_saved_bytes_ratio" in ver:
+        ratio = float(ver["compiled_peak_saved_bytes_ratio"])
+        print(f"compiled: peak saved-activation bytes "
+              f"{ver.get('compiled_peak_saved_bytes', 0):,} vs eager "
+              f"{ver.get('eager_peak_saved_bytes', 0):,} = {ratio:.3f}x "
+              f"(threshold {peak_threshold:.2f}x)")
+        if ratio > peak_threshold:
+            print(f"FAIL: compiled execution retained {ratio:.3f}x the eager "
+                  f"peak saved-activation bytes (limit {peak_threshold:.2f}x) "
+                  "— the memory plan exceeds the freeing watermark",
+                  file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
 def compare(current: dict, baseline: dict, threshold: float) -> int:
     cur_t = current.get("timings", {})
     base_t = baseline.get("timings", {})
@@ -203,6 +291,23 @@ def main(argv=None) -> int:
                         help="allowed Trainer.fit slowdown with tracing "
                              "disabled, vs the uninstrumented fit "
                              "(0.02 = 2%%)")
+    parser.add_argument("--compiled-speedup-threshold", type=float,
+                        default=1.3,
+                        help="minimum compiled/eager forward speedup at the "
+                             "dispatch-bound bench shape (1.3 = replay must "
+                             "run the forward >=1.3x faster)")
+    parser.add_argument("--compiled-step-speedup-threshold", type=float,
+                        default=1.15,
+                        help="minimum compiled/eager full-train-step speedup "
+                             "(lower than the forward gate: the backward "
+                             "half is compute-parity by the bitwise "
+                             "contract)")
+    parser.add_argument("--compiled-peak-bytes-threshold", type=float,
+                        default=1.0,
+                        help="max compiled/eager peak saved-activation "
+                             "bytes ratio over an identical profiled fit "
+                             "(1.0 = the memory plan must not exceed the "
+                             "eager freeing watermark)")
     args = parser.parse_args(argv)
     for path in (args.current, args.baseline):
         if not os.path.exists(path):
@@ -210,13 +315,18 @@ def main(argv=None) -> int:
             return 2
     current = load(args.current)
     status = compare(current, load(args.baseline), args.threshold)
+    required_status = check_required_facts(current)
     grid_status = check_grid_facts(current, args.warm_threshold)
     memory_status = check_memory_facts(current, args.free_threshold)
     serving_status = check_serving_facts(current,
                                          args.serving_speedup_threshold)
     obs_status = check_obs_facts(current, args.obs_overhead_threshold)
-    return (status or grid_status or memory_status or serving_status
-            or obs_status)
+    compiled_status = check_compiled_facts(
+        current, args.compiled_speedup_threshold,
+        args.compiled_step_speedup_threshold,
+        args.compiled_peak_bytes_threshold)
+    return (status or required_status or grid_status or memory_status
+            or serving_status or obs_status or compiled_status)
 
 
 if __name__ == "__main__":

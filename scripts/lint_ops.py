@@ -4,9 +4,11 @@
 1. The op registry is the single door into the autodiff tape.  Greps
    ``src/repro`` for hand-rolled tape construction outside ``autodiff/``
    — anonymous ``_backward`` closures, direct ``_parents``/``_node``
-   wiring, ``OpNode(...)`` instantiation, or the retired ``Tensor._make``
-   — so new code cannot bypass ``apply()``/``@register_op`` (and with it
-   the gradient-check sweep, the hooks, and the freeing policy).
+   wiring, ``OpNode(...)`` instantiation, the retired ``Tensor._make``,
+   or mutation of the ``registered_ops()`` view — so new code cannot
+   bypass ``apply()``/``@register_op`` (and with it the gradient-check
+   sweep, the hooks, the freeing policy, and the graph compiler, which
+   all assume the registry describes every op on the tape).
 
 2. Library code must not ``print()``.  Progress and diagnostics route
    through the event sink (``repro.obs``) so they land in the JSONL run
@@ -39,6 +41,11 @@ FORBIDDEN = [
     (re.compile(r"\._node\b"), "direct _node access"),
     (re.compile(r"\bTensor\._make\b"), "retired Tensor._make constructor"),
     (re.compile(r"\bOpNode\("), "direct OpNode construction"),
+    (re.compile(r"registered_ops\(\)\s*(\[[^\]]*\]\s*=[^=]"
+                r"|\.\s*(pop|popitem|update|clear|setdefault)\b)"),
+     "registered_ops() mutation (use @register_op)"),
+    (re.compile(r"\bdel\s+registered_ops\(\)"),
+     "registered_ops() mutation (use @register_op)"),
 ]
 
 

@@ -13,9 +13,13 @@ from .ops import (
     concat, stack, pad, relu, gelu, sigmoid, softmax, leaky_relu, dropout,
     where, conv2d, conv1d, avg_pool1d, avg_pool2d, max_pool2d,
     mse_loss, mae_loss, masked_mse_loss, unfold2d, fold2d,
-    log_softmax, cross_entropy_loss, window_view,
+    log_softmax, cross_entropy_loss, window_view, instance_std,
 )
 from .grad_check import check_gradients, check_registered_op, numerical_gradient
+from .compile import (
+    CompileUnsupported, CompiledForward, CompiledGraph, CompiledStep,
+    make_compiled_forward,
+)
 
 __all__ = [
     "Tensor", "apply", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones",
@@ -25,8 +29,11 @@ __all__ = [
     "leaky_relu", "dropout", "where", "conv2d", "conv1d", "avg_pool1d",
     "avg_pool2d", "max_pool2d", "mse_loss", "mae_loss", "masked_mse_loss",
     "unfold2d", "fold2d", "window_view", "log_softmax",
-    "cross_entropy_loss", "check_gradients", "check_registered_op",
+    "cross_entropy_loss", "instance_std",
+    "check_gradients", "check_registered_op",
     "numerical_gradient",
+    "CompileUnsupported", "CompiledForward", "CompiledGraph", "CompiledStep",
+    "make_compiled_forward",
     "OpNode", "register_op", "get_op", "registered_ops", "HookHandle",
     "add_op_forward_hook", "add_op_backward_hook", "GraphProfiler",
     "format_profile",

@@ -87,7 +87,7 @@ def _retained_nbytes(saved: tuple) -> int:
 class OpNode:
     """One recorded operation: the IR unit ``Tensor.backward()`` walks."""
 
-    __slots__ = ("op", "parents", "saved", "saved_bytes", "freed")
+    __slots__ = ("op", "parents", "saved", "saved_bytes", "freed", "needs")
 
     def __init__(self, op: str, parents: tuple, saved: tuple):
         self.op = op
@@ -95,6 +95,11 @@ class OpNode:
         self.saved = saved
         self.saved_bytes = _retained_nbytes(saved)
         self.freed = False
+        # Per-parent "gradient wanted" mask, filled in by the backward
+        # driver (eager walk or compiled program) just before dispatch.
+        # ``None`` means "compute everything"; op backwards that honour the
+        # mask skip dead input gradients (the sink would discard them).
+        self.needs = None
 
     def free(self) -> int:
         """Drop saved activations + parent links; returns the bytes released."""

@@ -1,0 +1,224 @@
+"""Ahead-of-time memory planning for compiled graph replay.
+
+PR 3's eager engine *frees* saved activations after backward; this module
+extends that into a plan computed once per trace: elementwise instructions
+whose NumPy forward is a single ufunc are rewritten to write ``out=`` into
+a preallocated buffer, so steady-state replays allocate ~zero new
+activation arrays for those slots.
+
+Two pooling regimes, chosen by the graph's mode:
+
+* **training graphs** — every poolable instruction gets its *own*
+  persistent buffer, reused across steps.  Buffers are never shared
+  between slots within a step because backward reads saved forward values
+  (``mul`` saves both operands, ``exp`` saves its output, ...) that must
+  survive until that node's backward runs.
+* **inference graphs** (``no_grad`` — nothing is saved) — buffers are
+  additionally *shared between slots* via a liveness linear scan: a
+  buffer is recycled once every consumer of its slot's alias group has
+  executed.  Liveness is tracked at **level** granularity (the parallel
+  scheduler's wavefronts), so a buffer is only freed when the whole level
+  containing its last consumer has completed — correct under both serial
+  and parallel dispatch.
+
+View-producing ops (reshape/transpose/slice) alias their parent's base
+buffer; alias groups are tracked jointly so a buffer is never recycled
+while a view of it is still consumed.  Graph-output slots — and any slot
+in an output's alias group — are never pooled: their arrays are handed to
+callers (e.g. a serving row) and must not be overwritten by the next
+replay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+# Op name -> (ufunc, arity, save_mode). ``save_mode`` emulates what the
+# registered forward stashes for backward:
+#   "none" — nothing saved (add/sub/neg save no arrays)
+#   "ab"   — both operand arrays (mul/div)
+#   "out"  — the output array (exp/sqrt/tanh)
+#   "src"  — the input array (log/abs/sin/cos)
+#   "pow"  — the input array plus the scalar exponent kwarg
+UFUNC_OPS: Dict[str, Tuple[np.ufunc, int, str]] = {
+    "add": (np.add, 2, "none"),
+    "sub": (np.subtract, 2, "none"),
+    "mul": (np.multiply, 2, "ab"),
+    "div": (np.true_divide, 2, "ab"),
+    "neg": (np.negative, 1, "none"),
+    "exp": (np.exp, 1, "out"),
+    "sqrt": (np.sqrt, 1, "out"),
+    "tanh": (np.tanh, 1, "out"),
+    "log": (np.log, 1, "src"),
+    "abs": (np.abs, 1, "src"),
+    "sin": (np.sin, 1, "src"),
+    "cos": (np.cos, 1, "src"),
+    "pow": (np.power, 1, "pow"),
+}
+
+
+def base_root(arr: np.ndarray) -> np.ndarray:
+    """Follow ``.base`` chains to the owning array of a (possibly) view."""
+    while isinstance(arr.base, np.ndarray):
+        arr = arr.base
+    return arr
+
+
+class BufferPlan:
+    """Slot -> persistent-buffer assignment from traced liveness intervals.
+
+    ``assignments`` maps instruction index -> buffer id; ``realize()``
+    materialises the pool lazily (first pooled replay) as exact
+    ``(shape, dtype)`` ``np.empty`` arrays.
+    """
+
+    def __init__(self) -> None:
+        self.assignments: Dict[int, int] = {}
+        self._buffer_spec: Dict[int, Tuple[tuple, np.dtype]] = {}
+        self._buffers: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def plan(self, instrs: List, outputs: frozenset, share: bool) -> None:
+        """Compute assignments for ``instrs`` (see module docstring).
+
+        Each instruction must expose ``index``, ``level``, ``op``,
+        ``parent_slots``, ``out_slot``, ``stateful``, and the capture-time
+        output array ``out_arr``.  ``share`` enables the cross-slot
+        liveness scan (inference graphs only).
+        """
+        producer = {ins.out_slot: ins for ins in instrs}
+
+        # Alias groups: union slots connected by view edges (an op whose
+        # output is a view of a parent slot's base buffer).
+        group_of: Dict[int, int] = {}
+
+        def find(slot: int) -> int:
+            root = slot
+            while group_of.get(root, root) != root:
+                root = group_of[root]
+            group_of[slot] = root
+            return root
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                group_of[ra] = rb
+
+        slot_arr: Dict[int, np.ndarray] = {}
+        for ins in instrs:
+            slot_arr[ins.out_slot] = ins.out_arr
+        alien_view = set()
+        for ins in instrs:
+            out = ins.out_arr
+            if out.base is None:
+                continue
+            root = base_root(out)
+            linked = False
+            for pslot in ins.parent_slots:
+                parr = slot_arr.get(pslot)
+                if parr is not None and base_root(parr) is root:
+                    union(ins.out_slot, pslot)
+                    linked = True
+                    break
+            if not linked:
+                # View of an array the trace does not own (e.g. a strided
+                # window over an op-internal temporary): never pool it.
+                alien_view.add(ins.out_slot)
+
+        # Slots whose arrays escape the replay: graph outputs and anything
+        # aliasing them.
+        out_groups = {find(s) for s in outputs}
+        escaping = {s for s in slot_arr if find(s) in out_groups}
+
+        def poolable(ins) -> bool:
+            # The C-contiguity check keeps pooled replay layout-identical to
+            # eager execution: pool buffers are C-ordered ``np.empty``, so an
+            # instruction whose eager output was differently strided must
+            # keep allocating eagerly (downstream BLAS calls can pick
+            # layout-dependent code paths with different FP summation order).
+            return (ins.op in UFUNC_OPS
+                    and not ins.stateful
+                    and ins.out_arr.base is None
+                    and ins.out_arr.flags.c_contiguous
+                    and ins.out_slot not in escaping
+                    and ins.out_slot not in alien_view)
+
+        if not share:
+            next_id = 0
+            for ins in instrs:
+                if poolable(ins):
+                    self.assignments[ins.index] = next_id
+                    self._buffer_spec[next_id] = (
+                        ins.out_arr.shape, ins.out_arr.dtype)
+                    next_id += 1
+            return
+
+        # Liveness at level granularity: a slot group dies after the level
+        # of its last consumer completes (groups containing escaping slots
+        # never die).
+        last_level: Dict[int, int] = {}
+        for ins in instrs:
+            for pslot in ins.parent_slots:
+                if pslot in slot_arr:
+                    g = find(pslot)
+                    last_level[g] = max(last_level.get(g, -1), ins.level)
+            # An unconsumed produced slot still lives through its own level.
+            g = find(ins.out_slot)
+            last_level.setdefault(g, ins.level)
+        for g in {find(s) for s in escaping}:
+            last_level[g] = 1 << 60
+
+        next_id = 0
+        free: Dict[Tuple[tuple, np.dtype], List[int]] = {}
+        expiry: Dict[int, List[Tuple[int, Tuple[tuple, np.dtype]]]] = {}
+        current_level = None
+        for ins in sorted(instrs, key=lambda i: (i.level, i.index)):
+            if ins.level != current_level:
+                # Entering a new level: recycle buffers whose alias group's
+                # last consumer sits strictly below it.
+                for lvl in list(expiry):
+                    if lvl < ins.level:
+                        for buf_id, spec in expiry.pop(lvl):
+                            free.setdefault(spec, []).append(buf_id)
+                current_level = ins.level
+            if not poolable(ins):
+                continue
+            spec = (ins.out_arr.shape, ins.out_arr.dtype)
+            avail = free.get(spec)
+            if avail:
+                buf_id = avail.pop()
+            else:
+                buf_id = next_id
+                next_id += 1
+                self._buffer_spec[buf_id] = spec
+            self.assignments[ins.index] = buf_id
+            death = last_level[find(ins.out_slot)]
+            if death < (1 << 60):
+                expiry.setdefault(death, []).append((buf_id, spec))
+
+    # ------------------------------------------------------------------
+    def buffer_for(self, index: int) -> Optional[np.ndarray]:
+        """The persistent output buffer for instruction ``index`` (lazy)."""
+        buf_id = self.assignments.get(index)
+        if buf_id is None:
+            return None
+        buf = self._buffers.get(buf_id)
+        if buf is None:
+            shape, dtype = self._buffer_spec[buf_id]
+            buf = self._buffers[buf_id] = np.empty(shape, dtype=dtype)
+        return buf
+
+    @property
+    def pooled_instructions(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def pool_buffers(self) -> int:
+        return len(self._buffer_spec)
+
+    @property
+    def pool_bytes(self) -> int:
+        return sum(int(np.prod(shape)) * np.dtype(dtype).itemsize
+                   for shape, dtype in self._buffer_spec.values())

@@ -22,7 +22,8 @@ from .tensor import Tensor, apply
 
 __all__ = [
     "concat", "stack", "pad", "relu", "gelu", "sigmoid", "softmax",
-    "leaky_relu", "dropout", "where", "conv2d", "conv1d", "avg_pool1d",
+    "leaky_relu", "dropout", "instance_std", "where", "conv2d", "conv1d",
+    "avg_pool1d",
     "avg_pool2d", "max_pool2d", "mse_loss", "mae_loss", "masked_mse_loss",
     "log_softmax", "cross_entropy_loss",
     "unfold2d", "fold2d", "window_view",
@@ -31,6 +32,47 @@ __all__ = [
 
 def _as_tensor(x) -> Tensor:
     return x if isinstance(x, Tensor) else Tensor(x)
+
+
+# ``np.einsum(..., optimize=True)`` recomputes the contraction path and
+# re-validates it on every call — pure Python overhead that dominates small
+# convolutions.  The contraction list depends only on (subscripts, operand
+# shapes) and path search is deterministic, so caching it once and replaying
+# numpy's own execution loop (the same ``bmm_einsum`` / ``c_einsum`` helpers
+# ``np.einsum`` dispatches to) is bitwise identical to ``optimize=True``.
+_EINSUM_PLANS: dict = {}
+
+try:  # numpy internals; fall back to the public API if they move
+    from numpy._core.einsumfunc import bmm_einsum as _bmm_einsum
+    from numpy._core.multiarray import c_einsum as _c_einsum
+except ImportError:  # pragma: no cover - depends on numpy version
+    _bmm_einsum = None
+    _c_einsum = None
+
+
+def cached_einsum(subscripts: str, *operands: np.ndarray) -> np.ndarray:
+    key = (subscripts, tuple(op.shape for op in operands))
+    plan = _EINSUM_PLANS.get(key)
+    if plan is None:
+        if len(_EINSUM_PLANS) >= 256:  # unbounded shapes must not leak
+            _EINSUM_PLANS.clear()
+        if _bmm_einsum is not None:
+            _, contractions = np.einsum_path(
+                subscripts, *operands, optimize=True, einsum_call=True)
+            plan = tuple(
+                (c[0], next(x for x in c if isinstance(x, str)))
+                for c in contractions)
+        else:
+            plan = np.einsum_path(subscripts, *operands, optimize=True)[0]
+        _EINSUM_PLANS[key] = plan
+    if not isinstance(plan, tuple):  # public-API fallback: a path list
+        return np.einsum(subscripts, *operands, optimize=plan)
+    ops = list(operands)
+    for inds, estr in plan:
+        tmp = [ops.pop(x) for x in inds]
+        ops.append(_bmm_einsum(estr, *tmp) if len(tmp) == 2
+                   else _c_einsum(estr, *tmp))
+    return ops[0]
 
 
 # ---------------------------------------------------------------------------
@@ -93,6 +135,26 @@ class _Stack:
         return (lambda a, b: stack([a, b], axis=1)), [a, b]
 
 
+def _constant_pad(arr: np.ndarray, pad_width, value=0,
+                  inner: Optional[tuple] = None) -> np.ndarray:
+    """Constant-mode ``np.pad`` as allocate + interior copy.
+
+    Bitwise identical to ``np.pad(..., mode="constant")`` (constant fill,
+    then the source block verbatim) without np.pad's per-call Python
+    argument normalisation.
+    """
+    if inner is None:
+        inner = tuple(slice(p[0], p[0] + s)
+                      for p, s in zip(pad_width, arr.shape))
+    out_shape = tuple(s + p[0] + p[1] for s, p in zip(arr.shape, pad_width))
+    if value == 0:
+        out = np.zeros(out_shape, dtype=arr.dtype)
+    else:
+        out = np.full(out_shape, value, dtype=arr.dtype)
+    out[inner] = arr
+    return out
+
+
 def pad(x: Tensor, pad_width: Sequence[Tuple[int, int]],
         mode: str = "constant", value: float = 0.0) -> Tensor:
     """Differentiable ``np.pad`` for constant / edge / reflect modes."""
@@ -106,12 +168,14 @@ def pad(x: Tensor, pad_width: Sequence[Tuple[int, int]],
 class _Pad:
     @staticmethod
     def forward(ctx, x, *, pad_width, mode, value):
-        if mode == "constant":
+        src_shape = x.data.shape
+        inner = tuple(slice(p[0], p[0] + s) for p, s in zip(pad_width, src_shape))
+        if mode == "constant" and len(pad_width) == x.data.ndim:
+            out = _constant_pad(x.data, pad_width, value, inner)
+        elif mode == "constant":
             out = np.pad(x.data, pad_width, mode="constant", constant_values=value)
         else:
             out = np.pad(x.data, pad_width, mode=mode)
-        src_shape = x.data.shape
-        inner = tuple(slice(p[0], p[0] + s) for p, s in zip(pad_width, src_shape))
         ctx.save(pad_width, mode, inner, src_shape)
         return out
 
@@ -325,6 +389,42 @@ class _Softmax:
         return (lambda a: softmax(a, axis=-1)), [a]
 
 
+def instance_std(x: Tensor, axis: int = 1, eps: float = 1e-5) -> Tensor:
+    """Per-instance standard deviation ``sqrt(var(x, axis) + eps)``.
+
+    The instance-normalisation statistic of the TimesNet protocol as a
+    single tape node, so models can compute it *on-tape* (usually under
+    ``no_grad()``) instead of baking a batch-dependent constant — which is
+    what lets the graph compiler replay normalisation per batch.  The
+    forward is byte-for-byte ``np.sqrt(np.var(x, axis, keepdims=True) +
+    eps)``.
+    """
+    return apply("instance_std", _as_tensor(x), axis=axis, eps=eps)
+
+
+@register_op("instance_std")
+class _InstanceStd:
+    @staticmethod
+    def forward(ctx, x, *, axis, eps):
+        out = np.sqrt(np.var(x.data, axis=axis, keepdims=True) + eps)
+        ctx.save(x.data, out, axis)
+        return out
+
+    @staticmethod
+    def backward(node, grad, sink):
+        src, out, axis = node.saved
+        # d std / d x_i = (x_i - mu) / (N * std); the mean's dependence on
+        # x_i cancels inside var's gradient.
+        mu = src.mean(axis=axis, keepdims=True)
+        count = src.shape[axis]
+        sink(0, grad * (src - mu) / (count * out))
+
+    @staticmethod
+    def sample(rng):
+        a = Tensor(rng.standard_normal((3, 6, 2)), requires_grad=True)
+        return (lambda a: instance_std(a, axis=1, eps=1e-5)), [a]
+
+
 def dropout(x: Tensor, p: float, training: bool,
             rng: Optional[np.random.Generator] = None) -> Tensor:
     """Inverted dropout; identity when not training or ``p == 0``."""
@@ -425,7 +525,7 @@ class _Conv2d:
         out_h = (h - kh) // stride + 1
         out_w = (w - kw) // stride + 1
         windows = window_view(x.data, kh, kw, stride)  # (N, C, oh, ow, kh, kw) view
-        out = np.einsum("nchwkl,ockl->nohw", windows, weight.data, optimize=True)
+        out = cached_einsum("nchwkl,ockl->nohw", windows, weight.data)
         if bias is not None:
             out = out + bias.data.reshape(1, o, 1, 1)
         ctx.save(windows, weight.data, (n, c, h, w), (o, kh, kw, out_h, out_w),
@@ -437,10 +537,13 @@ class _Conv2d:
         windows, w_data, x_shape, w_geom, stride, has_bias = node.saved
         n, c, h, w = x_shape
         o, kh, kw, out_h, out_w = w_geom
-        grad_w = np.einsum("nohw,nchwkl->ockl", grad, windows, optimize=True)
-        sink(1, grad_w)
-        if has_bias:
+        needs = node.needs
+        if needs is None or needs[1]:
+            sink(1, cached_einsum("nohw,nchwkl->ockl", grad, windows))
+        if has_bias and (needs is None or needs[2]):
             sink(2, grad.sum(axis=(0, 2, 3)))
+        if needs is not None and not needs[0]:
+            return
         # Input gradient as a transposed convolution: dilate the output
         # gradient by the stride, pad by kernel-1, and correlate with the
         # spatially flipped kernel — one strided-view einsum, no Python
@@ -451,11 +554,11 @@ class _Conv2d:
             dilated = np.zeros((n, o, (out_h - 1) * stride + 1,
                                 (out_w - 1) * stride + 1), dtype=grad.dtype)
             dilated[:, :, ::stride, ::stride] = grad
-        padded = np.pad(dilated, ((0, 0), (0, 0), (kh - 1, kh - 1),
-                                  (kw - 1, kw - 1)))
+        padded = _constant_pad(dilated, ((0, 0), (0, 0), (kh - 1, kh - 1),
+                                         (kw - 1, kw - 1)))
         flipped = w_data[:, :, ::-1, ::-1]
-        grad_x = np.einsum("nohwkl,ockl->nchw", window_view(padded, kh, kw),
-                           flipped, optimize=True)
+        grad_x = cached_einsum("nohwkl,ockl->nchw", window_view(padded, kh, kw),
+                               flipped)
         if grad_x.shape[2:] != (h, w):
             # Rows/cols past the last window (when (h-kh) % stride != 0)
             # never reached the output, so their gradient is zero.

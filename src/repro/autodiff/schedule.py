@@ -1,0 +1,135 @@
+"""Deterministic parallel dispatch of compiled-graph wavefronts.
+
+The compiler levels the instruction list (level = 1 + max parent level),
+which exposes the forward's natural parallelism: TS3Net's m mother-wavelet
+CWT branches and the trend/regular/fluctuant heads land on common levels
+with no data edges between them.  Replay executes levels in order with a
+barrier between them; *within* a level, instructions are split into
+contiguous index-ordered chunks across a shared thread pool.
+
+Determinism argument (bit-identical to serial): instructions on one level
+are pairwise independent by construction — each writes only its own
+output slot (and saved tuple) and reads slots produced on strictly lower
+levels, so no scheduling order can change any operand.  Each instruction
+performs the *same* NumPy calls it would serially; IEEE-754 arithmetic is
+deterministic per call, so every output is bitwise identical regardless
+of interleaving.  The barrier join is by future order, but results are
+disjoint writes, so join order is immaterial.
+
+Stateful instructions (dropout consuming the global RNG stream) never
+reach this module — the compiler pins such graphs to serial capture-order
+replay so the RNG stream matches eager execution draw-for-draw.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence
+
+# Ops whose per-call cost justifies a thread handoff; a level is only
+# parallelised when it carries at least two of these.
+HEAVY_OPS = frozenset({
+    "conv2d", "matmul", "cwt_amplitude", "iwt", "max_pool2d", "unfold2d",
+    "fold2d",
+})
+
+_pool_lock = threading.Lock()
+_pool: Optional[ThreadPoolExecutor] = None
+_pool_size = 0
+
+
+def _get_pool(workers: int) -> ThreadPoolExecutor:
+    """Process-wide executor, grown (never shrunk) to ``workers`` threads."""
+    global _pool, _pool_size
+    with _pool_lock:
+        if _pool is None or _pool_size < workers:
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+            _pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-compiled")
+            _pool_size = workers
+        return _pool
+
+
+def compute_levels(instrs: Sequence) -> List[int]:
+    """Wavefront level per instruction: 1 + max level of producing parents."""
+    producer_level: Dict[int, int] = {}
+    levels = []
+    for ins in instrs:
+        level = 1 + max((producer_level.get(s, 0) for s in ins.parent_slots),
+                        default=0)
+        producer_level[ins.out_slot] = level
+        levels.append(level)
+    return levels
+
+
+def plan_waves(instrs: Sequence, min_heavy: int = 2) -> List[List[int]]:
+    """Group instruction indices into executable waves (levels in order).
+
+    Levels with fewer than ``min_heavy`` heavy instructions are merged
+    into serial runs — a thread handoff costs more than a small ufunc.
+    Returns a list of waves; single-element waves (or waves marked serial
+    by the executor) run inline.
+    """
+    by_level: Dict[int, List[int]] = {}
+    for i, ins in enumerate(instrs):
+        by_level.setdefault(ins.level, []).append(i)
+    waves = []
+    for level in sorted(by_level):
+        waves.append(by_level[level])
+    return waves
+
+
+def wave_is_parallel(instrs: Sequence, wave: List[int],
+                     min_heavy: int = 2) -> bool:
+    heavy = sum(1 for i in wave if instrs[i].op in HEAVY_OPS)
+    return len(wave) >= 2 and heavy >= min_heavy
+
+
+def run_waves(runners: Sequence[Callable[[], None]],
+              waves: Sequence[Sequence[int]],
+              parallel_flags: Sequence[bool],
+              workers: int,
+              thread_init: Optional[Callable[[], None]] = None) -> None:
+    """Execute ``runners`` wave by wave; parallel waves use the pool.
+
+    ``thread_init`` runs at the start of every worker chunk so pool
+    threads adopt the replaying thread's engine state (default dtype) —
+    fresh threads otherwise boot with ``_EngineState`` defaults.
+    """
+    if workers <= 1:
+        for wave in waves:
+            for i in wave:
+                runners[i]()
+        return
+    pool = _get_pool(workers)
+    for wave, parallel in zip(waves, parallel_flags):
+        if not parallel:
+            for i in wave:
+                runners[i]()
+            continue
+        chunks = _chunk(wave, workers)
+
+        def run_chunk(chunk):
+            if thread_init is not None:
+                thread_init()
+            for i in chunk:
+                runners[i]()
+
+        futures = [pool.submit(run_chunk, chunk) for chunk in chunks[1:]]
+        run_chunk(chunks[0])  # the replaying thread takes the first share
+        for fut in futures:
+            fut.result()
+
+
+def _chunk(wave: Sequence[int], workers: int) -> List[List[int]]:
+    """Deterministic contiguous split of a wave into <= ``workers`` chunks."""
+    n = min(workers, len(wave))
+    size, extra = divmod(len(wave), n)
+    chunks, start = [], 0
+    for k in range(n):
+        end = start + size + (1 if k < extra else 0)
+        chunks.append(list(wave[start:end]))
+        start = end
+    return chunks

@@ -56,6 +56,11 @@ class _EngineState(threading.local):
 
     grad_enabled = True
     default_dtype = DEFAULT_DTYPE
+    # Optional graph-capture sink installed by the compiler
+    # (repro.autodiff.compile): called once per apply() with the op name,
+    # parents, kwargs, output tensor, and OpNode (or None).  Thread-local,
+    # so a capture on one thread never observes another thread's tape.
+    capture = None
 
 
 _state = _EngineState()
@@ -269,28 +274,7 @@ class Tensor:
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
-        order: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            tensor_, processed = stack.pop()
-            if processed:
-                order.append(tensor_)
-                continue
-            if id(tensor_) in visited:
-                continue
-            visited.add(id(tensor_))
-            stack.append((tensor_, True))
-            node = tensor_._node
-            if node is not None:
-                if node.freed:
-                    raise RuntimeError(
-                        f"backward through {node.op!r} a second time, but its "
-                        "saved activations were already freed; pass "
-                        "retain_graph=True to the first backward")
-                for parent in node.parents:
-                    if parent.requires_grad and id(parent) not in visited:
-                        stack.append((parent, False))
+        order = _topo_order(self)
 
         # Pending gradient buffers, keyed by tensor id.  ``owned`` marks
         # buffers this walk allocated itself: those accumulate in place
@@ -448,6 +432,38 @@ class Tensor:
 # The single door into the tape
 # ---------------------------------------------------------------------------
 
+def _topo_order(root: "Tensor") -> list:
+    """Iterative DFS topological order of ``root``'s recorded graph.
+
+    Shared by ``Tensor.backward`` and the graph compiler's capture pass so
+    the compiled backward program replays nodes in exactly the order the
+    eager walk would process them (reverse of this list).
+    """
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        tensor_, processed = stack.pop()
+        if processed:
+            order.append(tensor_)
+            continue
+        if id(tensor_) in visited:
+            continue
+        visited.add(id(tensor_))
+        stack.append((tensor_, True))
+        node = tensor_._node
+        if node is not None:
+            if node.freed:
+                raise RuntimeError(
+                    f"backward through {node.op!r} a second time, but its "
+                    "saved activations were already freed; pass "
+                    "retain_graph=True to the first backward")
+            for parent in node.parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+    return order
+
+
 def apply(name: str, *parents: Tensor, **kwargs) -> Tensor:
     """Run registered op ``name`` on ``parents``, recording an OpNode.
 
@@ -470,6 +486,8 @@ def apply(name: str, *parents: Tensor, **kwargs) -> Tensor:
     if requires:
         node = OpNode(name, parents, ctx.saved)
         out._node = node
+    if _state.capture is not None:
+        _state.capture(name, parents, kwargs, out, node)
     if _forward_hooks:
         nbytes = node.saved_bytes if node is not None else 0
         for hook in tuple(_forward_hooks.values()):
@@ -501,6 +519,10 @@ def _run_node_backward(node: OpNode, grad: np.ndarray,
             owned.add(key)
 
     spec = get_op(node.op)
+    # Dead-gradient elimination: tell the op which parent gradients are
+    # actually wanted so it can skip computing the rest (the sink above
+    # would only discard them).
+    node.needs = tuple(p.requires_grad for p in parents)
     if _backward_hooks:
         t0 = _clock()
         spec.backward(node, grad, sink)
@@ -550,8 +572,11 @@ class _Sub:
 
     @staticmethod
     def backward(node, grad, sink):
-        sink(0, grad)
-        sink(1, -grad)
+        needs = node.needs
+        if needs is None or needs[0]:
+            sink(0, grad)
+        if needs is None or needs[1]:
+            sink(1, -grad)
 
     @staticmethod
     def sample(rng):
@@ -569,8 +594,11 @@ class _Mul:
     @staticmethod
     def backward(node, grad, sink):
         a, b = node.saved
-        sink(0, grad * b)
-        sink(1, grad * a)
+        needs = node.needs
+        if needs is None or needs[0]:
+            sink(0, grad * b)
+        if needs is None or needs[1]:
+            sink(1, grad * a)
 
     @staticmethod
     def sample(rng):
@@ -588,8 +616,11 @@ class _Div:
     @staticmethod
     def backward(node, grad, sink):
         a, b = node.saved
-        sink(0, grad / b)
-        sink(1, -grad * a / (b ** 2))
+        needs = node.needs
+        if needs is None or needs[0]:
+            sink(0, grad / b)
+        if needs is None or needs[1]:
+            sink(1, -grad * a / (b ** 2))
 
     @staticmethod
     def sample(rng):
@@ -642,26 +673,36 @@ class _MatMul:
     @staticmethod
     def backward(node, grad, sink):
         a, b = node.saved
+        needs = node.needs
+        need_a = needs is None or needs[0]
+        need_b = needs is None or needs[1]
         if a.ndim == 1 and b.ndim == 1:
-            sink(0, grad * b)
-            sink(1, grad * a)
+            if need_a:
+                sink(0, grad * b)
+            if need_b:
+                sink(1, grad * a)
             return
         if a.ndim == 1:
             # (k,) @ (..., k, n) -> (..., n)
-            sink(0, (grad[..., None, :] * b).sum(axis=-1).reshape(a.shape)
-                 if b.ndim > 2 else b @ grad)
-            sink(1, np.multiply.outer(a, grad) if b.ndim == 2
-                 else a[:, None] * grad[..., None, :])
+            if need_a:
+                sink(0, (grad[..., None, :] * b).sum(axis=-1).reshape(a.shape)
+                     if b.ndim > 2 else b @ grad)
+            if need_b:
+                sink(1, np.multiply.outer(a, grad) if b.ndim == 2
+                     else a[:, None] * grad[..., None, :])
             return
         if b.ndim == 1:
-            sink(0, np.multiply.outer(grad, b).reshape(a.shape)
-                 if a.ndim == 2 else grad[..., None] * b)
-            sink(1, (a * grad[..., None]).reshape(-1, a.shape[-1]).sum(axis=0))
+            if need_a:
+                sink(0, np.multiply.outer(grad, b).reshape(a.shape)
+                     if a.ndim == 2 else grad[..., None] * b)
+            if need_b:
+                sink(1, (a * grad[..., None]).reshape(-1, a.shape[-1])
+                     .sum(axis=0))
             return
-        grad_a = grad @ np.swapaxes(b, -1, -2)
-        grad_b = np.swapaxes(a, -1, -2) @ grad
-        sink(0, grad_a)
-        sink(1, grad_b)
+        if need_a:
+            sink(0, grad @ np.swapaxes(b, -1, -2))
+        if need_b:
+            sink(1, np.swapaxes(a, -1, -2) @ grad)
 
     @staticmethod
     def sample(rng):
@@ -692,11 +733,19 @@ class _Reshape:
         return (lambda a: a.reshape(3, 4)), [a]
 
 
+_TRANSPOSE_INV: dict = {}
+
+
 @register_op("transpose")
 class _Transpose:
     @staticmethod
     def forward(ctx, a, *, axes):
-        ctx.save(np.argsort(axes))
+        # The inverse permutation depends only on ``axes``; cache it (the
+        # saved array is read-only in backward, so sharing is safe).
+        inv = _TRANSPOSE_INV.get(axes)
+        if inv is None:
+            inv = _TRANSPOSE_INV[axes] = np.argsort(axes)
+        ctx.save(inv)
         return a.data.transpose(axes)
 
     @staticmethod

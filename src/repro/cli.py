@@ -69,7 +69,8 @@ def cmd_train(args) -> int:
           f"{model.num_parameters():,} parameters")
 
     cfg = TrainConfig(epochs=args.epochs, lr=args.lr, verbose=True,
-                      profile=args.profile)
+                      profile=args.profile, compiled=args.compiled,
+                      compile_workers=args.compile_workers)
     if args.task == "forecast":
         task = ForecastTask(seq_len=args.seq_len, pred_len=args.pred_len,
                             batch_size=args.batch_size,
@@ -188,7 +189,7 @@ def cmd_serve(args) -> int:
               f"{len(args.checkpoint)} --checkpoint", file=sys.stderr)
         return 1
 
-    registry = ModelRegistry(expect_task="forecast")
+    registry = ModelRegistry(expect_task="forecast", compiled=args.compiled)
     for i, path in enumerate(args.checkpoint):
         name = names[i] if names else peek_metadata(path).get("model", path)
         try:
@@ -248,6 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--max-batches", type=int, default=30)
     train.add_argument("--mask-ratio", type=float, default=0.25)
     train.add_argument("--save", default=None, help="checkpoint path (.npz)")
+    train.add_argument("--compiled", action="store_true",
+                       help="capture/replay compiled training steps "
+                            "(bitwise-validated, eager fallback on any "
+                            "unsupported construct or shape change)")
+    train.add_argument("--compile-workers", type=int, default=1,
+                       help="thread-pool width for parallel subgraph "
+                            "dispatch in compiled mode (1 = serial)")
     train.add_argument("--profile", action="store_true",
                        help="record per-op/per-module telemetry during the "
                             "fit and print the parameter + profile tables")
@@ -280,6 +288,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "are shed with a 503")
     serve.add_argument("--timeout-ms", type=float, default=2000.0,
                        help="default per-request deadline")
+    serve.add_argument("--compiled", action="store_true",
+                       help="serve each model through a compiled forward "
+                            "graph (bitwise-validated per input shape; "
+                            "hot-reload swaps in a fresh compile)")
     serve.add_argument("--trace", default=None, metavar="PATH",
                        help="write a JSONL run trace with one span per "
                             "request (trace id echoed in X-Trace-Id)")

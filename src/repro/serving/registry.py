@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from ..autodiff import make_compiled_forward
 from ..baselines.registry import build_model
 from ..nn import load_checkpoint, peek_metadata, validate_checkpoint_metadata
 
@@ -71,6 +72,12 @@ class ModelEntry:
     policy: str
     dtype: np.dtype
     version: int
+    # CompiledForward for this entry's weights, or None (registry built
+    # without --compiled, or the architecture is not traceable).  Living
+    # on the immutable entry makes hot-reload invalidation structural:
+    # the swapped-in entry carries a fresh instance, so no compiled graph
+    # can outlive the weights it was traced against.
+    compiled: Optional[Any] = None
     loaded_at: float = field(default_factory=time.time)
 
     @property
@@ -100,6 +107,7 @@ class ModelEntry:
             "c_in": self.c_in,
             "dtype": str(self.dtype),
             "batch_policy": self.policy,
+            "compiled": self.compiled is not None,
             "version": self.version,
             "loaded_at": self.loaded_at,
             "checkpoint": self.path,
@@ -110,11 +118,14 @@ class ModelEntry:
 class ModelRegistry:
     """Named, hot-reloadable model store shared by the server threads."""
 
-    def __init__(self, expect_task: Optional[str] = "forecast"):
+    def __init__(self, expect_task: Optional[str] = "forecast",
+                 compiled: bool = False, compile_workers: int = 1):
         self._lock = threading.Lock()
         self._entries: Dict[str, ModelEntry] = {}
         self._next_version = 1
         self._expect_task = expect_task
+        self._compiled = compiled
+        self._compile_workers = compile_workers
 
     # ------------------------------------------------------------------
     def _build_entry(self, name: str, path: str, version: int) -> ModelEntry:
@@ -133,9 +144,12 @@ class ModelRegistry:
         model.eval()
         params = model.parameters()
         dtype = params[0].data.dtype if params else np.dtype(np.float64)
+        compiled = (make_compiled_forward(model, workers=self._compile_workers)
+                    if self._compiled else None)
         return ModelEntry(name=name, path=path, model=model, meta=meta,
                           policy=resolve_batch_policy(model),
-                          dtype=np.dtype(dtype), version=version)
+                          dtype=np.dtype(dtype), version=version,
+                          compiled=compiled)
 
     def load(self, name: str, path: str) -> ModelEntry:
         """Register ``path`` under ``name``; rejects duplicate names."""
