@@ -18,8 +18,15 @@
    check is AST-based: ``print(`` inside docstrings or comments does not
    trip it.
 
-Run directly (exit 1 on violations) or via ``tests/test_op_registry.py``
-and ``tests/test_obs.py``.
+3. Every registered :class:`~repro.tasks.registry.TaskSpec` must be
+   complete: loader factory, step function, non-empty metric bundle,
+   model construction/rebuild, a full serving contract (singular/plural
+   keys, batch policy, postprocess, body_extra), and a unique CLI
+   inference subcommand.  A half-declared task would otherwise only fail
+   at runtime deep inside the trainer, the HTTP server, or argparse.
+
+Run directly (exit 1 on violations) or via ``tests/test_op_registry.py``,
+``tests/test_obs.py``, and ``tests/test_task_registry.py``.
 """
 
 from __future__ import annotations
@@ -101,8 +108,70 @@ def find_print_violations(src: Path = SRC) -> List[Tuple[str, int, str, str]]:
     return violations
 
 
+# Spec callables every task must supply; None or a non-callable fails.
+_SPEC_CALLABLES = (
+    "make_config", "channels", "loaders", "step", "evaluate", "build",
+    "rebuild", "out_len", "checkpoint_extra", "add_infer_args", "run_infer",
+    "format_result",
+)
+_CONTRACT_CALLABLES = ("batch_policy", "postprocess", "body_extra")
+
+
+def find_task_violations() -> List[Tuple[str, int, str, str]]:
+    """Registry-completeness check: every TaskSpec fully declared.
+
+    Imports the live registry (CI runs this script without
+    ``PYTHONPATH=src``, so the path is bootstrapped here) and verifies
+    each spec carries every callable, a metric bundle, a serving
+    contract, and a unique inference subcommand.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.tasks import registry
+    finally:
+        sys.path.pop(0)
+    rel = "src/repro/tasks/registry.py"
+    violations = []
+
+    def flag(spec_name: str, problem: str) -> None:
+        violations.append((rel, 0, "incomplete TaskSpec",
+                           f"task {spec_name!r}: {problem}"))
+
+    seen_commands = {}
+    for spec in registry.task_specs():
+        for attr in _SPEC_CALLABLES:
+            if not callable(getattr(spec, attr)):
+                flag(spec.name, f"{attr} is not callable")
+        if spec.needs_split == (spec.load_data is not None):
+            flag(spec.name, "load_data must be set iff needs_split is False")
+        if not spec.metric_names:
+            flag(spec.name, "metric_names is empty")
+        if not spec.summary:
+            flag(spec.name, "summary is empty")
+        if not spec.setting_name or not spec.setting_arg:
+            flag(spec.name, "setting_name/setting_arg missing")
+        contract = spec.serving
+        if contract is None:
+            flag(spec.name, "serving contract missing")
+        else:
+            if not contract.singular or not contract.plural:
+                flag(spec.name, "serving singular/plural keys missing")
+            for attr in _CONTRACT_CALLABLES:
+                if not callable(getattr(contract, attr)):
+                    flag(spec.name, f"serving {attr} is not callable")
+        if not spec.infer_command:
+            flag(spec.name, "infer_command is empty")
+        elif spec.infer_command in seen_commands:
+            flag(spec.name, f"infer_command {spec.infer_command!r} collides "
+                            f"with task {seen_commands[spec.infer_command]!r}")
+        else:
+            seen_commands[spec.infer_command] = spec.name
+    return violations
+
+
 def main() -> int:
-    violations = find_violations() + find_print_violations()
+    violations = (find_violations() + find_print_violations()
+                  + find_task_violations())
     for path, line_no, reason, line in violations:
         print(f"{path}:{line_no}: {reason}: {line}")
     if violations:
@@ -112,7 +181,7 @@ def main() -> int:
               "src/repro/obs/console.py)")
         return 1
     print("lint_ops: clean — no tape construction outside autodiff/, no "
-          "bare print() in library code")
+          "bare print() in library code, all TaskSpecs complete")
     return 0
 
 

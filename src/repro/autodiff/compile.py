@@ -1063,7 +1063,7 @@ class CompiledStep:
     """
 
     def __init__(self, model, step_fn: Callable, workers: int = 1,
-                 max_graphs: int = 8):
+                 max_graphs: int = 8, tag: str = ""):
         if not hasattr(model, "trace_signature"):
             raise CompileUnsupported(
                 f"{type(model).__name__} does not expose trace_signature(); "
@@ -1072,6 +1072,11 @@ class CompiledStep:
         self.step_fn = step_fn
         self.workers = workers
         self.max_graphs = max_graphs
+        # Trace-key namespace (the task name when fitting through the task
+        # registry): two tasks may train the same model with different
+        # step_fns over identically-shaped batches, and their captures
+        # must never collide.
+        self.tag = tag
         self._graphs: "OrderedDict[tuple, list]" = OrderedDict()
         # Content-hash -> trace signature.  trace_signature() replays the
         # normalisation + trend decomposition eagerly, which costs real
@@ -1116,6 +1121,7 @@ class CompiledStep:
 
     def _key(self, arrays) -> tuple:
         return (
+            self.tag,
             tuple((a.shape, a.dtype.str) for a in arrays),
             bool(getattr(self.model, "training", True)),
             np.dtype(_state.default_dtype).str,
@@ -1127,24 +1133,31 @@ class CompiledStep:
         if self.disabled:
             return self._eager(batch)
         try:
+            # Normalise the batch structure: forecasting yields (x, y)
+            # tuples, imputation/anomaly yield one bare window array.  The
+            # trace key and graph binding always see a tuple of arrays;
+            # the step_fn sees the original structure (``payload``).
+            bare = not isinstance(batch, (tuple, list))
+            items = (batch,) if bare else batch
             default = np.dtype(_state.default_dtype)
             arrays = tuple(
                 a if type(a) is np.ndarray and a.dtype == default
                 else (as_array(a)
                       if np.issubdtype(np.asarray(a).dtype, np.floating)
                       else np.asarray(a))
-                for a in batch)
+                for a in items)
+            payload = arrays[0] if bare else arrays
             key = self._key(arrays)
         except Exception as exc:  # trace keys must never break training
             self._disable(f"trace key failed: {exc!r}")
             return self._eager(batch)
         entry = self._graphs.get(key)
         if entry is None:
-            return self._capture(key, arrays)
+            return self._capture(key, arrays, payload)
         self._graphs.move_to_end(key)
         graph, validated = entry
         if not validated:
-            return self._validate(key, entry, arrays)
+            return self._validate(key, entry, arrays, payload)
         # AOT-resolved zero_grad: ``Module.zero_grad`` re-walks the module
         # tree every call; the parameter set is fixed for a live trace.
         params = self._params
@@ -1158,21 +1171,21 @@ class CompiledStep:
         return float(loss_arr)
 
     # -- capture -------------------------------------------------------
-    def _capture(self, key, arrays) -> float:
+    def _capture(self, key, arrays, payload) -> float:
         model = self.model
         state0 = _rng_state()
         model.zero_grad()
         tape = _CaptureTape()
         try:
             with _capturing(tape):
-                loss = self.step_fn(arrays)[0]
+                loss = self.step_fn(payload)[0]
         except CompileUnsupported as exc:
             # The traced step may have consumed RNG draws before failing;
             # rewind and run the whole step eagerly so the trajectory is
             # exactly what an uncompiled run would produce.
             _restore_rng(state0)
             self._disable(str(exc))
-            return self._eager(arrays)
+            return self._eager(payload)
         try:
             if not isinstance(loss, Tensor) or not loss.requires_grad:
                 raise CompileUnsupported("step loss is not a grad tensor")
@@ -1202,13 +1215,13 @@ class CompiledStep:
         return float(loss.data)
 
     # -- bitwise validation against a redundant eager step -------------
-    def _validate(self, key, entry, arrays) -> float:
+    def _validate(self, key, entry, arrays, payload) -> float:
         model = self.model
         graph = entry[0]
         params = list(model.parameters())
         state0 = _rng_state()
         model.zero_grad()
-        loss = self.step_fn(arrays)[0]
+        loss = self.step_fn(payload)[0]
         loss.backward()
         eager_loss = float(loss.data)
         eager_loss_bytes = loss.data.tobytes()

@@ -1,11 +1,16 @@
 """Command-line interface: train / evaluate / decompose without writing code.
 
+The ``--task`` choices, the per-task inference subcommands (``forecast``,
+``impute``, ``detect``, ``classify``), and ``serve --task`` are all derived
+from the :mod:`repro.tasks.registry` — adding a task there adds it here.
+
 Examples::
 
     python -m repro list
     python -m repro train --model TS3Net --dataset ETTh1 --epochs 3 \
         --save ts3net_etth1.npz
     python -m repro train --model DLinear --dataset Weather --task imputation
+    python -m repro train --model TS3Net --task classification
     python -m repro forecast --checkpoint ts3net_etth1.npz --dataset ETTh1
     python -m repro serve --checkpoint ts3net_etth1.npz --port 8321
     python -m repro decompose --dataset ETTh2 --window 192
@@ -21,13 +26,12 @@ workers + persistent result cache)::
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from typing import Optional
 
-import numpy as np
-
-from .autodiff import Tensor, format_profile, no_grad
-from .baselines.registry import ABLATION_NAMES, MODEL_NAMES, TSD_NAMES, build_model
+from .autodiff import format_profile
+from .baselines.registry import ABLATION_NAMES, MODEL_NAMES, TSD_NAMES
 from .data.specs import FORECAST_DATASETS
 from .data.dataset import load_dataset
 from .nn import (
@@ -37,7 +41,8 @@ from .nn import (
 from .obs import report as obs_report
 from .obs import runtime as obs_runtime
 from .tasks import (
-    ForecastTask, ImputationTask, TrainConfig, run_forecast, run_imputation,
+    TrainConfig, get_task, rebuild_from_metadata, run_task, task_names,
+    task_specs,
 )
 from .utils import set_seed
 
@@ -55,36 +60,33 @@ def cmd_list(_args) -> int:
     print("models:    " + ", ".join(MODEL_NAMES))
     print("ablations: " + ", ".join(ABLATION_NAMES + TSD_NAMES))
     print("datasets:  " + ", ".join(FORECAST_DATASETS))
+    print("tasks:     " + ", ".join(task_names()))
     return 0
 
 
 def cmd_train(args) -> int:
+    spec = get_task(args.task)
     set_seed(args.seed)
-    split = load_dataset(args.dataset, n_steps=args.n_steps, seed=args.seed)
-    c_in = split.train.shape[1]
-    model = build_model(args.model, seq_len=args.seq_len,
-                        pred_len=args.pred_len, c_in=c_in, task=args.task,
-                        preset=args.preset)
-    print(f"{args.model} on {args.dataset} ({args.task}): "
+    config = spec.make_config(args.seq_len, getattr(args, spec.setting_arg),
+                              batch_size=args.batch_size,
+                              max_train_batches=args.max_batches,
+                              max_eval_batches=args.max_batches,
+                              seed=args.seed)
+    if spec.needs_split:
+        data = load_dataset(args.dataset, n_steps=args.n_steps,
+                            seed=args.seed)
+    else:
+        data = spec.load_data(args.dataset, args.n_steps, args.seed, config)
+    c_in = spec.channels(data)
+    model = spec.build(args.model, config, c_in=c_in, preset=args.preset)
+    print(f"{args.model} on {args.dataset} ({spec.name}): "
           f"{model.num_parameters():,} parameters")
 
     cfg = TrainConfig(epochs=args.epochs, lr=args.lr, verbose=True,
                       profile=args.profile, compiled=args.compiled,
                       compile_workers=args.compile_workers)
-    if args.task == "forecast":
-        task = ForecastTask(seq_len=args.seq_len, pred_len=args.pred_len,
-                            batch_size=args.batch_size,
-                            max_train_batches=args.max_batches,
-                            max_eval_batches=args.max_batches)
-        result = run_forecast(model, split, task, cfg)
-    else:
-        task = ImputationTask(seq_len=args.seq_len,
-                              mask_ratio=args.mask_ratio,
-                              batch_size=args.batch_size,
-                              max_train_batches=args.max_batches,
-                              max_eval_batches=args.max_batches)
-        result = run_imputation(model, split, task, cfg)
-    print(f"test MSE={result.mse:.4f} MAE={result.mae:.4f} "
+    result = run_task(spec, model, data, config, cfg)
+    print(f"{spec.format_result(result)} "
           f"({result.epochs_run} epochs, {result.seconds:.0f}s)")
 
     if args.profile and result.profile is not None:
@@ -95,43 +97,35 @@ def cmd_train(args) -> int:
 
     if args.save:
         save_checkpoint(model, args.save, metadata={
-            "model": args.model, "dataset": args.dataset, "task": args.task,
-            "seq_len": args.seq_len, "pred_len": args.pred_len, "c_in": c_in,
-            "preset": args.preset, "mse": result.mse, "mae": result.mae,
+            "model": args.model, "dataset": args.dataset, "task": spec.name,
+            "seq_len": args.seq_len, "pred_len": spec.out_len(config),
+            "c_in": c_in, "preset": args.preset,
+            **spec.checkpoint_extra(model, config),
+            **result.metrics,
         })
         print(f"checkpoint written to {args.save}")
     return 0
 
 
-def cmd_forecast(args) -> int:
-    # The same validation the serving ModelRegistry applies: reject bare
-    # archives and non-forecast checkpoints (an imputation model re-built
-    # here would plot garbage as a "forecast").
+def cmd_infer(spec, args) -> int:
+    """Offline inference from a checkpoint, for any task in the registry.
+
+    The same validation the serving ModelRegistry applies: reject bare
+    archives and checkpoints trained for a different task (an imputation
+    model re-built here would plot garbage as a "forecast").
+    """
     try:
         meta = validate_checkpoint_metadata(
-            peek_metadata(args.checkpoint), expect_task="forecast",
+            peek_metadata(args.checkpoint), expect_task=spec.name,
             source=args.checkpoint)
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
     set_seed(args.seed)
-    split = load_dataset(args.dataset or meta["dataset"],
-                         n_steps=args.n_steps, seed=args.seed)
-    model = build_model(meta["model"], seq_len=meta["seq_len"],
-                        pred_len=meta["pred_len"], c_in=meta["c_in"],
-                        task=meta["task"], preset=meta.get("preset", "tiny"),
-                        **(meta.get("overrides") or {}))
+    model = rebuild_from_metadata(meta)
     load_checkpoint(model, args.checkpoint)
     model.eval()
-
-    window = split.test[:meta["seq_len"]]
-    with no_grad():
-        pred = model(Tensor(window[None])).data[0]
-    from .experiments.plotting import ascii_lineplot
-    truth = split.test[meta["seq_len"]:meta["seq_len"] + pred.shape[0], 0]
-    print(f"{meta['model']} forecast on {args.dataset or meta['dataset']} "
-          f"(channel 0):")
-    print(ascii_lineplot({"GroundTruth": truth, "Prediction": pred[:, 0]}))
+    print(spec.run_infer(args, meta, model))
     return 0
 
 
@@ -189,7 +183,7 @@ def cmd_serve(args) -> int:
               f"{len(args.checkpoint)} --checkpoint", file=sys.stderr)
         return 1
 
-    registry = ModelRegistry(expect_task="forecast", compiled=args.compiled)
+    registry = ModelRegistry(expect_task=args.task, compiled=args.compiled)
     for i, path in enumerate(args.checkpoint):
         name = names[i] if names else peek_metadata(path).get("model", path)
         try:
@@ -241,13 +235,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(train)
     train.add_argument("--model", default="TS3Net")
     train.add_argument("--task", default="forecast",
-                       choices=["forecast", "imputation"])
+                       choices=list(task_names()))
     train.add_argument("--preset", default="tiny", choices=["tiny", "paper"])
     train.add_argument("--epochs", type=int, default=3)
     train.add_argument("--lr", type=float, default=2e-3)
     train.add_argument("--batch-size", type=int, default=16)
     train.add_argument("--max-batches", type=int, default=30)
     train.add_argument("--mask-ratio", type=float, default=0.25)
+    train.add_argument("--anomaly-ratio", type=float, default=0.01)
+    train.add_argument("--num-classes", type=int, default=3)
     train.add_argument("--save", default=None, help="checkpoint path (.npz)")
     train.add_argument("--compiled", action="store_true",
                        help="capture/replay compiled training steps "
@@ -263,16 +259,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a JSONL run trace (spans, epoch metrics, "
                             "resource samples) for `repro trace PATH`")
 
-    forecast = sub.add_parser("forecast", help="forecast from a checkpoint")
-    forecast.add_argument("--checkpoint", required=True)
-    forecast.add_argument("--dataset", default=None)
-    forecast.add_argument("--n-steps", type=int, default=2000)
-    forecast.add_argument("--seed", type=int, default=0)
+    # One offline-inference subcommand per registered task (`forecast`,
+    # `impute`, `detect`, `classify`); each spec owns its extra flags.
+    for spec in task_specs():
+        infer = sub.add_parser(spec.infer_command, help=spec.infer_help)
+        infer.add_argument("--checkpoint", required=True)
+        infer.add_argument("--seed", type=int, default=0)
+        spec.add_infer_args(infer)
 
     serve = sub.add_parser(
         "serve", help="serve checkpoints over HTTP with micro-batching")
     serve.add_argument("--checkpoint", action="append", required=True,
                        help="checkpoint (.npz) to serve; repeatable")
+    serve.add_argument("--task", default=None, choices=list(task_names()),
+                       help="only accept checkpoints trained for this task "
+                            "(default: serve any registered task)")
     serve.add_argument("--name", action="append", default=None,
                        help="serving name for the matching --checkpoint "
                             "(default: the checkpoint's model name)")
@@ -327,8 +328,10 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_table(argv[0], argv[1:])
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "train": cmd_train,
-                "forecast": cmd_forecast, "decompose": cmd_decompose,
+                "decompose": cmd_decompose,
                 "serve": cmd_serve, "trace": cmd_trace}
+    for spec in task_specs():
+        handlers[spec.infer_command] = functools.partial(cmd_infer, spec)
     handler = handlers[args.command]
     if not getattr(args, "trace", None) or args.command == "trace":
         return handler(args)

@@ -153,6 +153,30 @@ class ImputationWindows:
         return np.take(self._view, starts, axis=0, out=out)
 
 
+class LabeledWindows:
+    """(sample, label) pairs for classification: x (N, T, C), integer y (N,).
+
+    No ``gather``/``batch_shape`` — the DataLoader's generic path stacks
+    items into ``(xs, ys)`` batches, which is plenty for the labeled-set
+    sizes the classification task uses.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray):
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if len(x) != len(y):
+            raise ValueError(
+                f"samples and labels disagree: {len(x)} vs {len(y)}")
+        self.x = x
+        self.y = y
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def __getitem__(self, idx: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self.x[idx], self.y[idx]
+
+
 class DataLoader:
     """Batched iteration over a window dataset with optional shuffling.
 

@@ -4,12 +4,12 @@ engine that schedules their cells (parallel workers + result caching)."""
 from .configs import SCALES, Scale, format_table3, get_scale
 from .engine import (
     CellSpec, GridRun, cell_key, execute_cell, forecast_cell,
-    imputation_cell, run_grid,
+    imputation_cell, run_grid, task_cell,
 )
 from .results import ResultTable
 from .runner import (
     clear_dataset_cache, get_dataset, run_forecast_cell, run_imputation_cell,
-    set_data_cache_dir,
+    run_task_cell, set_data_cache_dir,
 )
 from .store import ResultStore, code_fingerprint
 from . import table2, table4, table5, table6, table7, table8, table9
@@ -18,8 +18,9 @@ from . import figures, sensitivity
 __all__ = [
     "SCALES", "Scale", "format_table3", "get_scale", "ResultTable",
     "CellSpec", "GridRun", "cell_key", "execute_cell", "forecast_cell",
-    "imputation_cell", "run_grid", "ResultStore", "code_fingerprint",
-    "get_dataset", "run_forecast_cell", "run_imputation_cell",
+    "imputation_cell", "run_grid", "task_cell", "ResultStore",
+    "code_fingerprint", "get_dataset", "run_forecast_cell",
+    "run_imputation_cell", "run_task_cell",
     "set_data_cache_dir", "clear_dataset_cache",
     "table2", "table4", "table5", "table6", "table7", "table8", "table9",
     "figures", "sensitivity",

@@ -43,6 +43,7 @@ from . import runner
 from ..obs import console as _console
 from ..obs import events as _obs_events
 from ..obs import runtime as _obs
+from ..tasks.registry import UnknownTaskError, get_task
 from .configs import get_scale
 from .store import ResultStore, canonical_key, code_fingerprint
 
@@ -98,6 +99,16 @@ def imputation_cell(model: str, dataset: str, mask_ratio: float,
                     overrides=_freeze_overrides(overrides))
 
 
+def task_cell(task: str, model: str, dataset: str, setting,
+              scale: str = "tiny", seed: int = 0, noise_rho: float = 0.0,
+              overrides: Optional[Dict] = None) -> CellSpec:
+    """A cell for any registered task; validates the name eagerly."""
+    get_task(task)   # raises UnknownTaskError (with known names) up front
+    return CellSpec(task=task, model=model, dataset=dataset, setting=setting,
+                    scale=scale, seed=seed, noise_rho=noise_rho,
+                    overrides=_freeze_overrides(overrides))
+
+
 # ---------------------------------------------------------------------------
 # Content-addressed cache keys
 # ---------------------------------------------------------------------------
@@ -133,17 +144,19 @@ def cell_key(spec: CellSpec) -> str:
 def execute_cell(spec: CellSpec) -> Dict:
     """Run one cell in-process; returns metrics + timing fields."""
     start = time.perf_counter()
-    if spec.task == FORECAST:
-        metrics = runner.run_forecast_cell(
-            spec.model, spec.dataset, int(spec.setting), scale=spec.scale,
-            seed=spec.seed, noise_rho=spec.noise_rho,
-            model_overrides=spec.overrides_dict())
-    elif spec.task == IMPUTATION:
-        metrics = runner.run_imputation_cell(
-            spec.model, spec.dataset, float(spec.setting), scale=spec.scale,
-            seed=spec.seed, model_overrides=spec.overrides_dict())
-    else:
-        raise ValueError(f"unknown cell task {spec.task!r}")
+    try:
+        task = get_task(spec.task)
+    except UnknownTaskError as exc:
+        raise ValueError(f"unknown cell task: {exc}") from None
+    # The setting keeps its historical scalar type per task (pred_len is an
+    # int, mask_ratio a float) so cached keys and configs stay stable.
+    setting = (int(spec.setting) if spec.task == FORECAST
+               else float(spec.setting) if spec.task == IMPUTATION
+               else spec.setting)
+    metrics = runner.run_task_cell(
+        task, spec.model, spec.dataset, setting, scale=spec.scale,
+        seed=spec.seed, noise_rho=spec.noise_rho,
+        model_overrides=spec.overrides_dict())
     metrics["cell_seconds"] = time.perf_counter() - start
     metrics["worker_pid"] = os.getpid()
     return metrics

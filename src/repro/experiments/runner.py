@@ -16,12 +16,10 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
-from ..baselines.registry import build_model
 from ..data.cache import DatasetCache
 from ..data.dataset import SplitData
 from ..data.noise import inject_noise
-from ..tasks.forecasting import ForecastTask, run_forecast
-from ..tasks.imputation import ImputationTask, run_imputation
+from ..tasks.registry import TaskSpec, get_task, run_task
 from ..tasks.trainer import TrainConfig
 from ..utils import set_seed
 from .configs import Scale, get_scale
@@ -65,61 +63,65 @@ def _timing_fields(result) -> Dict[str, float]:
             "epoch_seconds": list(result.epoch_seconds)}
 
 
-def run_forecast_cell(model_name: str, dataset: str, pred_len: int,
-                      scale: str = "tiny", seed: int = 0,
-                      noise_rho: float = 0.0,
-                      model_overrides: Optional[Dict] = None) -> Dict[str, float]:
-    """Train + evaluate one Table IV cell; returns ``{"mse", "mae"}``.
+def run_task_cell(task, model_name: str, dataset: str, setting,
+                  scale: str = "tiny", seed: int = 0, noise_rho: float = 0.0,
+                  model_overrides: Optional[Dict] = None) -> Dict[str, float]:
+    """Train + evaluate one grid cell for any registered task.
+
+    ``task`` is a registry name or a :class:`~repro.tasks.registry.
+    TaskSpec`; the spec supplies the config, data, model construction, and
+    metric bundle, so one runner serves every table.  Returns the task's
+    metrics plus the timing fields.
 
     ``noise_rho`` reproduces the Table VIII robustness protocol (noise
-    injected into the training inputs). The noise stream is seeded with
-    ``rho`` as well as ``seed`` so distinct noise settings are distinct
-    measurements everywhere downstream (in particular in the engine's
-    content-addressed result store, where a Table VIII cell must never
-    collide with the clean Table IV cell it perturbs).
+    injected into the training inputs of split-based tasks). The noise
+    stream is seeded with ``rho`` as well as ``seed`` so distinct noise
+    settings are distinct measurements everywhere downstream (in
+    particular in the engine's content-addressed result store, where a
+    Table VIII cell must never collide with the clean Table IV cell it
+    perturbs).
     """
+    spec = task if isinstance(task, TaskSpec) else get_task(task)
     sc = get_scale(scale)
     seq_len, _ = sc.windows_for(dataset)
-    split = get_dataset(dataset, sc, seed=seed)
-    if noise_rho > 0.0:
-        rng = np.random.default_rng([seed + 777, int(round(noise_rho * 1e6))])
-        split = SplitData(train=inject_noise(split.train, noise_rho, rng),
-                          val=split.val, test=split.test,
-                          scaler=split.scaler, name=split.name)
+    config = spec.make_config(seq_len, setting, batch_size=sc.batch_size,
+                              max_train_batches=sc.max_train_batches,
+                              max_eval_batches=sc.max_eval_batches, seed=seed)
+    if spec.needs_split:
+        data = get_dataset(dataset, sc, seed=seed)
+        if noise_rho > 0.0:
+            rng = np.random.default_rng(
+                [seed + 777, int(round(noise_rho * 1e6))])
+            data = SplitData(train=inject_noise(data.train, noise_rho, rng),
+                             val=data.val, test=data.test,
+                             scaler=data.scaler, name=data.name)
+    else:
+        data = spec.load_data(dataset, sc.steps_for(dataset), seed, config)
 
     set_seed(seed)
     overrides = dict(_model_overrides(sc))
     overrides.update(model_overrides or {})
-    model = build_model(model_name, seq_len=seq_len, pred_len=pred_len,
-                        c_in=split.train.shape[1], task="forecast",
-                        preset=sc.preset, **overrides)
+    model = spec.build(model_name, config, c_in=spec.channels(data),
+                       preset=sc.preset, **overrides)
 
-    task = ForecastTask(seq_len=seq_len, pred_len=pred_len,
-                        batch_size=sc.batch_size,
-                        max_train_batches=sc.max_train_batches,
-                        max_eval_batches=sc.max_eval_batches, seed=seed)
-    result = run_forecast(model, split, task, _train_config(sc))
-    return {"mse": result.mse, "mae": result.mae, **_timing_fields(result)}
+    result = run_task(spec, model, data, config, _train_config(sc))
+    return {**result.metrics, **_timing_fields(result)}
+
+
+def run_forecast_cell(model_name: str, dataset: str, pred_len: int,
+                      scale: str = "tiny", seed: int = 0,
+                      noise_rho: float = 0.0,
+                      model_overrides: Optional[Dict] = None) -> Dict[str, float]:
+    """Train + evaluate one Table IV cell; returns ``{"mse", "mae"}``."""
+    return run_task_cell("forecast", model_name, dataset, pred_len,
+                         scale=scale, seed=seed, noise_rho=noise_rho,
+                         model_overrides=model_overrides)
 
 
 def run_imputation_cell(model_name: str, dataset: str, mask_ratio: float,
                         scale: str = "tiny", seed: int = 0,
                         model_overrides: Optional[Dict] = None) -> Dict[str, float]:
     """Train + evaluate one Table V cell; returns ``{"mse", "mae"}``."""
-    sc = get_scale(scale)
-    seq_len, _ = sc.windows_for(dataset)
-    split = get_dataset(dataset, sc, seed=seed)
-
-    set_seed(seed)
-    overrides = dict(_model_overrides(sc))
-    overrides.update(model_overrides or {})
-    model = build_model(model_name, seq_len=seq_len, pred_len=seq_len,
-                        c_in=split.train.shape[1], task="imputation",
-                        preset=sc.preset, **overrides)
-
-    task = ImputationTask(seq_len=seq_len, mask_ratio=mask_ratio,
-                          batch_size=sc.batch_size,
-                          max_train_batches=sc.max_train_batches,
-                          max_eval_batches=sc.max_eval_batches, seed=seed)
-    result = run_imputation(model, split, task, _train_config(sc))
-    return {"mse": result.mse, "mae": result.mae, **_timing_fields(result)}
+    return run_task_cell("imputation", model_name, dataset, mask_ratio,
+                         scale=scale, seed=seed,
+                         model_overrides=model_overrides)

@@ -27,11 +27,17 @@ def validate_checkpoint_metadata(meta: Dict[str, Any],
     """Check that ``meta`` describes a rebuildable model; return it.
 
     Raises ``ValueError`` when required keys are missing (e.g. a bare
-    ``.npz`` not written by ``repro train --save``) or when the checkpoint
-    was trained for a different task than ``expect_task`` — loading an
-    imputation checkpoint into a forecast path produces garbage, so this is
-    rejected up front rather than detected downstream.
+    ``.npz`` not written by ``repro train --save``), when the checkpoint's
+    task is not in the task registry (the error names the known tasks),
+    when a task-specific required key declared by that task's ``TaskSpec``
+    is absent, or when the checkpoint was trained for a different task than
+    ``expect_task`` — loading an imputation checkpoint into a forecast path
+    produces garbage, so this is rejected up front rather than detected
+    downstream.
     """
+    # Imported here: repro.tasks.registry is a higher layer than nn.
+    from ..tasks.registry import UnknownTaskError, get_task
+
     missing = [key for key in REQUIRED_METADATA_KEYS if key not in meta]
     if missing:
         raise ValueError(
@@ -42,6 +48,14 @@ def validate_checkpoint_metadata(meta: Dict[str, Any],
         if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
             raise ValueError(
                 f"{source} metadata {key}={value!r} is not a positive integer")
+    try:
+        spec = get_task(meta["task"])
+    except UnknownTaskError as exc:
+        raise ValueError(f"{source} {exc}") from None
+    task_missing = [key for key in spec.required_metadata if key not in meta]
+    if task_missing:
+        raise ValueError(
+            f"{source} is missing task {spec.name!r} metadata {task_missing}")
     if expect_task is not None and meta["task"] != expect_task:
         raise ValueError(
             f"{source} was trained for task {meta['task']!r}, not "

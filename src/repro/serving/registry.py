@@ -35,30 +35,16 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..autodiff import make_compiled_forward
-from ..baselines.registry import build_model
 from ..nn import load_checkpoint, peek_metadata, validate_checkpoint_metadata
+# The policy classifier lives with the TaskSpec registry now (every task
+# declares its serving batch policy there); re-exported for compatibility.
+from ..tasks.registry import (  # noqa: F401
+    STACK_SAFE_CLASSES, get_task, resolve_batch_policy,
+)
 
 
 class UnknownModelError(KeyError):
     """Requested serving name is not registered."""
-
-
-#: Architectures verified to be pure per-sample maps (stacked forwards are
-#: bit-identical to per-window forwards for any grouping by shape/dtype).
-STACK_SAFE_CLASSES = frozenset({
-    "DLinear", "LightTS", "PatchTST", "FEDformer", "Informer",
-    "TSDCNN", "TSDTrans",
-})
-
-
-def resolve_batch_policy(model) -> str:
-    """Classify how the micro-batcher may group windows for ``model``."""
-    signature = getattr(model, "batch_signature", None)
-    if callable(signature):
-        return "signature"
-    if type(model).__name__ in STACK_SAFE_CLASSES:
-        return "stack"
-    return "solo"
 
 
 @dataclass(frozen=True)
@@ -118,7 +104,7 @@ class ModelEntry:
 class ModelRegistry:
     """Named, hot-reloadable model store shared by the server threads."""
 
-    def __init__(self, expect_task: Optional[str] = "forecast",
+    def __init__(self, expect_task: Optional[str] = None,
                  compiled: bool = False, compile_workers: int = 1):
         self._lock = threading.Lock()
         self._entries: Dict[str, ModelEntry] = {}
@@ -129,17 +115,13 @@ class ModelRegistry:
 
     # ------------------------------------------------------------------
     def _build_entry(self, name: str, path: str, version: int) -> ModelEntry:
+        # Validation checks the checkpoint's task against the registry and
+        # names the known tasks when it is unrecognised; the model is then
+        # rebuilt through that task's spec (one door for every consumer).
         meta = validate_checkpoint_metadata(
             peek_metadata(path), expect_task=self._expect_task, source=path)
-        overrides = meta.get("overrides") or {}
-        if not isinstance(overrides, dict):
-            raise ValueError(
-                f"{path} metadata 'overrides' must be a dict of model "
-                f"kwargs, got {type(overrides).__name__}")
-        model = build_model(
-            meta["model"], seq_len=meta["seq_len"], pred_len=meta["pred_len"],
-            c_in=meta["c_in"], task=meta["task"],
-            preset=meta.get("preset", "tiny"), **overrides)
+        spec = get_task(meta["task"])
+        model = spec.rebuild(meta)
         load_checkpoint(model, path)
         model.eval()
         params = model.parameters()
@@ -147,7 +129,7 @@ class ModelRegistry:
         compiled = (make_compiled_forward(model, workers=self._compile_workers)
                     if self._compiled else None)
         return ModelEntry(name=name, path=path, model=model, meta=meta,
-                          policy=resolve_batch_policy(model),
+                          policy=spec.serving.batch_policy(model),
                           dtype=np.dtype(dtype), version=version,
                           compiled=compiled)
 
@@ -200,9 +182,13 @@ class ModelRegistry:
         with self._lock:
             return len(self._entries)
 
-    def default_name(self) -> Optional[str]:
-        """The single registered name, or None when ambiguous/empty."""
+    def default_name(self, task: Optional[str] = None) -> Optional[str]:
+        """The single registered name, or None when ambiguous/empty.
+
+        With ``task``, considers only entries trained for that task — the
+        per-task endpoints default to "the one model serving this task".
+        """
         with self._lock:
-            if len(self._entries) == 1:
-                return next(iter(self._entries))
-        return None
+            names = [name for name, entry in self._entries.items()
+                     if task is None or entry.task == task]
+        return names[0] if len(names) == 1 else None

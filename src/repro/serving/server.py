@@ -2,9 +2,15 @@
 
 Endpoints (JSON in/out, stdlib ``http.server`` only):
 
-* ``POST /v1/forecast``  — body ``{"model": name?, "window": [[...], ...]}``
-  or ``{"windows": [...]}`` for a client-side batch; optional
-  ``"timeout_ms"``.  Returns ``{"model", "version", "predictions"}``.
+* ``POST /v1/<task>``    — one endpoint per registered
+  :class:`~repro.tasks.registry.TaskSpec` (``/v1/forecast``,
+  ``/v1/imputation``, ``/v1/anomaly``, ``/v1/classification``); body
+  ``{"model": name?, "window": [[...], ...]}`` or ``{"windows": [...]}``
+  for a client-side batch; optional ``"timeout_ms"``.  The response keys
+  come from the task's :class:`~repro.tasks.registry.ServingContract`
+  (``predictions``/``reconstructions``/``scores``/``classifications``),
+  and every task's batched outputs stay bit-identical to single forwards
+  under its declared batch policy.
 * ``GET  /v1/models``    — registered checkpoints and their batch policies.
 * ``GET  /healthz``      — liveness (also reports queue depth).
 * ``GET  /metrics``      — Prometheus text exposition (see ``metrics.py``).
@@ -12,8 +18,10 @@ Endpoints (JSON in/out, stdlib ``http.server`` only):
 Robustness contract:
 
 * bounded queue → ``503`` with ``Retry-After`` (load shedding, never a
-  hang); unknown model → ``404``; malformed body or wrong window shape →
-  structured ``400``; expired deadline → ``504``;
+  hang); unknown task endpoint or model → ``404`` naming the known ones;
+  model registered for a different task than the endpoint → ``400``;
+  malformed body or wrong window shape → structured ``400``; expired
+  deadline → ``504``;
 * every request runs under a deadline (client ``timeout_ms`` clamped to
   ``max_timeout_ms``, default ``default_timeout_ms``);
 * SIGINT/SIGTERM stop accepting connections, drain the batcher (queued
@@ -36,6 +44,7 @@ import numpy as np
 from ..obs import console as _console
 from ..obs import context as _obs_context
 from ..obs import runtime as _obs
+from ..tasks.registry import UnknownTaskError, get_task, task_names
 from .batcher import (
     BatcherClosedError, DeadlineExceededError, InvalidWindowError,
     MicroBatcher, QueueFullError,
@@ -164,10 +173,18 @@ class _Handler(BaseHTTPRequestHandler):
         srv = self._srv
         start = time.perf_counter()
         try:
-            if self.path != "/v1/forecast":
+            prefix, _, task = self.path.partition("/v1/")
+            if prefix or not task:
                 raise RequestError(404, "not_found", self.path)
+            try:
+                spec = get_task(task)
+            except UnknownTaskError:
+                raise RequestError(
+                    404, "unknown_task",
+                    f"no task endpoint {self.path!r}; known: "
+                    + ", ".join(f"/v1/{n}" for n in task_names())) from None
             payload = self._read_json()
-            response = self._forecast(payload)
+            response = self._infer(spec, payload)
             self._send_json(200, response)
             status = 200
         except RequestError as err:
@@ -194,16 +211,29 @@ class _Handler(BaseHTTPRequestHandler):
                                "body must be a JSON object")
         return payload
 
-    def _forecast(self, payload: dict) -> dict:
+    def _infer(self, spec, payload: dict) -> dict:
         srv = self._srv
         cfg = srv.config
 
-        name = payload.get("model") or srv.registry.default_name()
+        name = payload.get("model") or srv.registry.default_name(
+            task=spec.name)
         if not name:
             raise RequestError(
                 400, "invalid_request",
-                "multiple models are registered; pass \"model\": <name> "
-                f"(one of {srv.registry.names()})")
+                f"no unique model serves task {spec.name!r}; pass "
+                f"\"model\": <name> (registered: {srv.registry.names()})")
+        try:
+            entry = srv.registry.get(name)
+        except UnknownModelError:
+            raise RequestError(
+                404, "unknown_model",
+                f"no model {name!r}; registered: {srv.registry.names()}"
+            ) from None
+        if entry.task != spec.name:
+            raise RequestError(
+                400, "task_mismatch",
+                f"model {name!r} was trained for task {entry.task!r}, not "
+                f"{spec.name!r}; POST it to /v1/{entry.task}")
 
         if "window" in payload and "windows" in payload:
             raise RequestError(400, "invalid_request",
@@ -231,9 +261,11 @@ class _Handler(BaseHTTPRequestHandler):
                                "timeout_ms must be positive")
 
         futures = []
+        arrays = []
         try:
             for window in windows:
                 arr = self._parse_window(window)
+                arrays.append(arr)
                 futures.append(
                     srv.batcher.submit(name, arr, timeout_s=timeout_s))
         except UnknownModelError:
@@ -250,11 +282,11 @@ class _Handler(BaseHTTPRequestHandler):
                                retry_after_s=0.05) from None
 
         deadline = time.monotonic() + timeout_s
-        predictions = []
+        outputs = []
         for future in futures:
             remaining = max(0.0, deadline - time.monotonic())
             try:
-                predictions.append(future.result(timeout=remaining + 0.25))
+                outputs.append(future.result(timeout=remaining + 0.25))
             except DeadlineExceededError as err:
                 raise RequestError(504, "deadline_exceeded", str(err)) from None
             except (TimeoutError, FutureTimeoutError):
@@ -263,12 +295,19 @@ class _Handler(BaseHTTPRequestHandler):
             except Exception as err:  # model failure inside the batch
                 raise RequestError(500, "inference_error", str(err)) from None
 
-        entry = srv.registry.get(name)
+        # Pure per-row postprocessing on the (bit-identical) batched model
+        # outputs: the response inherits the determinism guarantee.
+        contract = spec.serving
+        try:
+            rows = [contract.postprocess(entry, out, arr, payload)
+                    for out, arr in zip(outputs, arrays)]
+        except ValueError as err:
+            raise RequestError(400, "invalid_request", str(err)) from None
+
         body = {"model": name, "version": entry.version,
-                "pred_len": entry.pred_len,
-                "predictions": [p.tolist() for p in predictions]}
+                **contract.body_extra(entry), contract.plural: rows}
         if single:
-            body["prediction"] = body["predictions"][0]
+            body[contract.singular] = rows[0]
         return body
 
     @staticmethod
@@ -336,8 +375,9 @@ def run_server(server: ForecastServer, verbose: bool = True) -> int:
                    f"(task={desc['task']}, seq_len={desc['seq_len']}, "
                    f"c_in={desc['c_in']}, policy={desc['batch_policy']})",
                    verbose)
+    endpoints = ", ".join(f"POST /v1/{name}" for name in task_names())
     _lifecycle(f"serving on {server.address}  "
-               "(POST /v1/forecast, GET /v1/models, /healthz, /metrics)",
+               f"({endpoints}, GET /v1/models, /healthz, /metrics)",
                verbose)
 
     previous = signal.getsignal(signal.SIGTERM)

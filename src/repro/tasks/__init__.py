@@ -1,21 +1,41 @@
-"""Task drivers: training loop, metrics, forecasting, imputation."""
+"""Task drivers: the TaskSpec registry, shared trainer, and four tasks.
 
-from .metrics import evaluate_all, mae, mape, mse, rmse
+Every task (forecast, imputation, classification, anomaly) declares its
+full contract — loaders, step function, metrics, checkpoint metadata,
+serving schema, CLI inference — as a :class:`~repro.tasks.registry.
+TaskSpec`; every layer (experiments grid, serialization, serving, CLI)
+dispatches through :func:`~repro.tasks.registry.get_task`.
+"""
+
+from .metrics import accuracy, evaluate_all, f1_score, mae, mape, mse, rmse
+from .registry import (
+    STACK_SAFE_CLASSES, ServingContract, TaskSpec, UnknownTaskError,
+    get_task, rebuild_from_metadata, register_task, resolve_batch_policy,
+    run_task, task_names, task_specs,
+)
 from .trainer import FitResult, TrainConfig, Trainer
 from .forecasting import ForecastTask, forecast_step, predict, run_forecast
 from .imputation import ImputationTask, imputation_step, run_imputation
-from .anomaly import AnomalyResult, detect_anomalies, score_series
+from .anomaly import (
+    AnomalyResult, AnomalyTask, detect_anomalies, reconstruction_step,
+    run_anomaly, score_series,
+)
 from .classification import (
-    ClassificationResult, SeriesClassifier, make_classification_dataset,
-    run_classification,
+    ClassificationResult, ClassificationTask, SeriesClassifier,
+    classification_step, make_classification_dataset, run_classification,
 )
 
 __all__ = [
-    "evaluate_all", "mae", "mape", "mse", "rmse",
+    "accuracy", "evaluate_all", "f1_score", "mae", "mape", "mse", "rmse",
+    "STACK_SAFE_CLASSES", "ServingContract", "TaskSpec", "UnknownTaskError",
+    "get_task", "rebuild_from_metadata", "register_task",
+    "resolve_batch_policy", "run_task", "task_names", "task_specs",
     "FitResult", "TrainConfig", "Trainer",
     "ForecastTask", "forecast_step", "predict", "run_forecast",
     "ImputationTask", "imputation_step", "run_imputation",
-    "AnomalyResult", "detect_anomalies", "score_series",
-    "ClassificationResult", "SeriesClassifier",
-    "make_classification_dataset", "run_classification",
+    "AnomalyResult", "AnomalyTask", "detect_anomalies",
+    "reconstruction_step", "run_anomaly", "score_series",
+    "ClassificationResult", "ClassificationTask", "SeriesClassifier",
+    "classification_step", "make_classification_dataset",
+    "run_classification",
 ]

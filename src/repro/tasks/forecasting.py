@@ -3,7 +3,9 @@
 Given a model that maps a (B, seq_len, C) lookback window to a
 (B, pred_len, C) horizon, this module wires up the windowed loaders, MSE
 training, and test-set MSE/MAE evaluation on standardised data — the exact
-measurement the paper reports.
+measurement the paper reports.  The full contract (loaders, step, metrics,
+checkpoint metadata, serving schema, CLI inference) is declared as the
+``forecast`` :class:`~repro.tasks.registry.TaskSpec` at the bottom.
 """
 
 from __future__ import annotations
@@ -13,9 +15,13 @@ from typing import Optional
 
 import numpy as np
 
-from ..autodiff import Tensor, mse_loss
-from ..data.dataset import DataLoader, ForecastWindows, SplitData
+from ..autodiff import Tensor, mse_loss, no_grad
+from ..data.dataset import DataLoader, ForecastWindows, SplitData, load_dataset
 from ..nn.module import Module
+from .registry import (
+    ServingContract, TaskSpec, checkpoint_overrides, register_task,
+    resolve_batch_policy, run_task,
+)
 from .trainer import FitResult, TrainConfig, Trainer
 
 
@@ -64,18 +70,11 @@ def forecast_step(model: Module):
 def run_forecast(model: Module, split: SplitData, task: ForecastTask,
                  train_cfg: Optional[TrainConfig] = None) -> FitResult:
     """Train ``model`` on ``split`` and return test MSE/MAE in the result."""
-    train_loader, val_loader, test_loader = task.loaders(split)
-    trainer = Trainer(model, train_cfg)
-    step = forecast_step(model)
-    result = trainer.fit(train_loader, val_loader, step)
-    result.mse, result.mae = trainer.evaluate(test_loader, step)
-    result.eval_seconds += trainer.last_eval_seconds
-    return result
+    return run_task(FORECAST_SPEC, model, split, task, train_cfg)
 
 
 def predict(model: Module, x: np.ndarray) -> np.ndarray:
     """Convenience inference helper: (T, C) or (B, T, C) -> predictions."""
-    from ..autodiff import no_grad
     squeeze = x.ndim == 2
     if squeeze:
         x = x[None]
@@ -83,3 +82,95 @@ def predict(model: Module, x: np.ndarray) -> np.ndarray:
     with no_grad():
         out = model(Tensor(np.asarray(x, dtype=float)))
     return out.data[0] if squeeze else out.data
+
+
+# ---------------------------------------------------------------------------
+# TaskSpec wiring
+# ---------------------------------------------------------------------------
+
+def _make_config(seq_len, setting, *, batch_size=32, max_train_batches=None,
+                 max_eval_batches=None, seed=0) -> ForecastTask:
+    return ForecastTask(seq_len=seq_len, pred_len=int(setting),
+                        batch_size=batch_size,
+                        max_train_batches=max_train_batches,
+                        max_eval_batches=max_eval_batches, seed=seed)
+
+
+def _evaluate(trainer: Trainer, test_loader, model, config, data):
+    mse, mae = trainer.evaluate(test_loader, forecast_step(model))
+    return {"mse": mse, "mae": mae}
+
+
+def _build(model_name, config, c_in, preset="tiny", **overrides):
+    from ..baselines.registry import build_model
+    return build_model(model_name, seq_len=config.seq_len,
+                       pred_len=config.pred_len, c_in=c_in, task="forecast",
+                       preset=preset, **overrides)
+
+
+def _rebuild(meta):
+    from ..baselines.registry import build_model
+    return build_model(meta["model"], seq_len=meta["seq_len"],
+                       pred_len=meta["pred_len"], c_in=meta["c_in"],
+                       task="forecast", preset=meta.get("preset", "tiny"),
+                       **checkpoint_overrides(meta))
+
+
+def _add_infer_args(parser) -> None:
+    parser.add_argument("--dataset", default=None)
+    parser.add_argument("--n-steps", type=int, default=2000)
+
+
+def _run_infer(args, meta, model) -> str:
+    """Forecast one test window from a checkpoint; returns an ASCII plot."""
+    from ..experiments.plotting import ascii_lineplot
+    split = load_dataset(args.dataset or meta["dataset"],
+                         n_steps=args.n_steps, seed=args.seed)
+    window = split.test[:meta["seq_len"]]
+    model.eval()
+    with no_grad():
+        pred = model(Tensor(window[None])).data[0]
+    truth = split.test[meta["seq_len"]:meta["seq_len"] + pred.shape[0], 0]
+    header = (f"{meta['model']} forecast on "
+              f"{args.dataset or meta['dataset']} (channel 0):")
+    return header + "\n" + ascii_lineplot(
+        {"GroundTruth": truth, "Prediction": pred[:, 0]})
+
+
+def _format_result(result: FitResult) -> str:
+    return f"test MSE={result.mse:.4f} MAE={result.mae:.4f}"
+
+
+FORECAST_SPEC = register_task(TaskSpec(
+    name="forecast",
+    summary="map a lookback window to a pred_len-step horizon (Table IV)",
+    setting_name="pred_len",
+    setting_arg="pred_len",
+    default_setting=24,
+    needs_split=True,
+    make_config=_make_config,
+    load_data=None,
+    channels=lambda split: split.train.shape[1],
+    loaders=lambda split, config: config.loaders(split),
+    step=lambda model, config: forecast_step(model),
+    evaluate=_evaluate,
+    metric_names=("mse", "mae"),
+    model_task="forecast",
+    build=_build,
+    rebuild=_rebuild,
+    out_len=lambda config: config.pred_len,
+    checkpoint_extra=lambda model, config: {},
+    serving=ServingContract(
+        singular="prediction",
+        plural="predictions",
+        description="window (seq_len x c_in) -> horizon (pred_len x c_in)",
+        batch_policy=resolve_batch_policy,
+        postprocess=lambda entry, row, window, payload: row.tolist(),
+        body_extra=lambda entry: {"pred_len": entry.pred_len},
+    ),
+    infer_command="forecast",
+    infer_help="forecast from a checkpoint",
+    add_infer_args=_add_infer_args,
+    run_infer=_run_infer,
+    format_result=_format_result,
+))

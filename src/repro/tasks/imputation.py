@@ -3,7 +3,8 @@
 Length-96 windows have a random fraction of (time, channel) points masked
 to zero; the model reconstructs the full window and the loss/metrics are
 computed on the masked positions only — the TimesNet imputation protocol
-the paper follows.
+the paper follows.  The full contract is declared as the ``imputation``
+:class:`~repro.tasks.registry.TaskSpec` at the bottom.
 """
 
 from __future__ import annotations
@@ -13,10 +14,16 @@ from typing import Optional
 
 import numpy as np
 
-from ..autodiff import Tensor, masked_mse_loss
-from ..data.dataset import DataLoader, ImputationWindows, SplitData
+from ..autodiff import Tensor, masked_mse_loss, no_grad
+from ..data.dataset import DataLoader, ImputationWindows, SplitData, load_dataset
 from ..data.masking import mask_batch
 from ..nn.module import Module
+from .metrics import mae as mae_metric
+from .metrics import mse as mse_metric
+from .registry import (
+    ServingContract, TaskSpec, checkpoint_overrides, register_task,
+    resolve_batch_policy, run_task,
+)
 from .trainer import FitResult, TrainConfig, Trainer
 
 
@@ -67,12 +74,106 @@ def imputation_step(model: Module, mask_ratio: float, seed: int = 0):
 def run_imputation(model: Module, split: SplitData, task: ImputationTask,
                    train_cfg: Optional[TrainConfig] = None) -> FitResult:
     """Train ``model`` to impute and return masked-position MSE/MAE."""
-    train_loader, val_loader, test_loader = task.loaders(split)
-    trainer = Trainer(model, train_cfg)
-    result = trainer.fit(train_loader, val_loader,
-                         imputation_step(model, task.mask_ratio, task.seed))
+    return run_task(IMPUTATION_SPEC, model, split, task, train_cfg)
+
+
+# ---------------------------------------------------------------------------
+# TaskSpec wiring
+# ---------------------------------------------------------------------------
+
+def _make_config(seq_len, setting, *, batch_size=16, max_train_batches=None,
+                 max_eval_batches=None, seed=0) -> ImputationTask:
+    return ImputationTask(seq_len=seq_len, mask_ratio=float(setting),
+                          batch_size=batch_size,
+                          max_train_batches=max_train_batches,
+                          max_eval_batches=max_eval_batches, seed=seed)
+
+
+def _evaluate(trainer: Trainer, test_loader, model, config, data):
     # Evaluation uses a fixed seed so every model sees identical masks.
-    eval_step = imputation_step(model, task.mask_ratio, seed=10_000 + task.seed)
-    result.mse, result.mae = trainer.evaluate(test_loader, eval_step)
-    result.eval_seconds += trainer.last_eval_seconds
-    return result
+    eval_step = imputation_step(model, config.mask_ratio,
+                                seed=10_000 + config.seed)
+    mse, mae = trainer.evaluate(test_loader, eval_step)
+    return {"mse": mse, "mae": mae}
+
+
+def _build(model_name, config, c_in, preset="tiny", **overrides):
+    from ..baselines.registry import build_model
+    return build_model(model_name, seq_len=config.seq_len,
+                       pred_len=config.seq_len, c_in=c_in, task="imputation",
+                       preset=preset, **overrides)
+
+
+def _rebuild(meta):
+    from ..baselines.registry import build_model
+    return build_model(meta["model"], seq_len=meta["seq_len"],
+                       pred_len=meta["pred_len"], c_in=meta["c_in"],
+                       task="imputation", preset=meta.get("preset", "tiny"),
+                       **checkpoint_overrides(meta))
+
+
+def _add_infer_args(parser) -> None:
+    parser.add_argument("--dataset", default=None)
+    parser.add_argument("--n-steps", type=int, default=2000)
+    parser.add_argument("--mask-ratio", type=float, default=None,
+                        help="fraction of points to mask (default: the "
+                             "ratio the checkpoint was trained with)")
+
+
+def _run_infer(args, meta, model) -> str:
+    """Mask one test window, reconstruct it, and report masked MSE/MAE."""
+    split = load_dataset(args.dataset or meta["dataset"],
+                         n_steps=args.n_steps, seed=args.seed)
+    ratio = (args.mask_ratio if args.mask_ratio is not None
+             else meta.get("mask_ratio", 0.25))
+    window = split.test[None, :meta["seq_len"]]
+    rng = np.random.default_rng(args.seed)
+    masked, mask = mask_batch(window, ratio, rng=rng, fill="mean")
+    model.eval()
+    with no_grad():
+        recon = model(Tensor(masked)).data
+    return (f"{meta['model']} imputation on "
+            f"{args.dataset or meta['dataset']}: masked {mask.mean():.1%} "
+            f"of points\nmasked-position MSE="
+            f"{mse_metric(recon, window, mask):.4f} "
+            f"MAE={mae_metric(recon, window, mask):.4f}")
+
+
+def _format_result(result: FitResult) -> str:
+    return f"test MSE={result.mse:.4f} MAE={result.mae:.4f}"
+
+
+IMPUTATION_SPEC = register_task(TaskSpec(
+    name="imputation",
+    summary="reconstruct randomly masked points of a window (Table V)",
+    setting_name="mask_ratio",
+    setting_arg="mask_ratio",
+    default_setting=0.25,
+    needs_split=True,
+    make_config=_make_config,
+    load_data=None,
+    channels=lambda split: split.train.shape[1],
+    loaders=lambda split, config: config.loaders(split),
+    step=lambda model, config: imputation_step(model, config.mask_ratio,
+                                               config.seed),
+    evaluate=_evaluate,
+    metric_names=("mse", "mae"),
+    model_task="imputation",
+    build=_build,
+    rebuild=_rebuild,
+    out_len=lambda config: config.seq_len,
+    checkpoint_extra=lambda model, config: {"mask_ratio": config.mask_ratio},
+    serving=ServingContract(
+        singular="reconstruction",
+        plural="reconstructions",
+        description="window (seq_len x c_in) -> full reconstruction",
+        batch_policy=resolve_batch_policy,
+        postprocess=lambda entry, row, window, payload: row.tolist(),
+        body_extra=lambda entry: {"seq_len": entry.seq_len},
+    ),
+    infer_command="impute",
+    infer_help="mask and reconstruct a window from a checkpoint",
+    add_infer_args=_add_infer_args,
+    run_infer=_run_infer,
+    format_result=_format_result,
+))

@@ -39,6 +39,37 @@ def mape(pred: np.ndarray, target: np.ndarray, eps: float = 1e-8) -> float:
     return float(np.mean(np.abs((pred - target) / (np.abs(target) + eps))))
 
 
+def accuracy(pred: np.ndarray, target: np.ndarray) -> float:
+    """Fraction of exactly matching labels (NaN on empty input)."""
+    pred, target = np.asarray(pred), np.asarray(target)
+    if pred.size == 0:
+        return float("nan")
+    return float((pred == target).mean())
+
+
+def f1_score(pred: np.ndarray, target: np.ndarray,
+             average: str = "macro") -> float:
+    """Macro-averaged F1 over the label set seen in ``pred`` or ``target``.
+
+    A class absent from both predictions and targets contributes nothing;
+    a class with zero precision+recall contributes an F1 of 0 (the sklearn
+    zero_division=0 convention).  NaN on empty input.
+    """
+    if average != "macro":
+        raise ValueError(f"unsupported average {average!r}; only 'macro'")
+    pred, target = np.asarray(pred), np.asarray(target)
+    if pred.size == 0:
+        return float("nan")
+    scores = []
+    for label in np.unique(np.concatenate([pred, target])):
+        tp = float(((pred == label) & (target == label)).sum())
+        fp = float(((pred == label) & (target != label)).sum())
+        fn = float(((pred != label) & (target == label)).sum())
+        denom = 2 * tp + fp + fn
+        scores.append(2 * tp / denom if denom else 0.0)
+    return float(np.mean(scores))
+
+
 def evaluate_all(pred: np.ndarray, target: np.ndarray,
                  mask: Optional[np.ndarray] = None) -> Dict[str, float]:
     """MSE/MAE bundle in the shape the experiment tables expect."""

@@ -62,6 +62,10 @@ class FitResult:
     val_losses: List[float] = field(default_factory=list)
     mse: float = float("nan")
     mae: float = float("nan")
+    # Full task-specific metric bundle (e.g. accuracy/f1 for
+    # classification, threshold/detection_rate for anomaly); mse/mae above
+    # stay filled when the task reports them, for legacy consumers.
+    metrics: Dict[str, float] = field(default_factory=dict)
     epochs_run: int = 0
     seconds: float = 0.0
     epoch_seconds: List[float] = field(default_factory=list)
@@ -127,7 +131,8 @@ class Trainer:
         return loss_sum / batches if batches else float("nan")
 
     def fit(self, train_loader, val_loader, step_fn: StepFn,
-            compiled: Optional[bool] = None) -> FitResult:
+            compiled: Optional[bool] = None,
+            task: Optional[str] = None) -> FitResult:
         """Train until the epoch budget or early stopping trips.
 
         ``compiled`` overrides ``TrainConfig.compiled``: when on, training
@@ -135,6 +140,10 @@ class Trainer:
         (capture/replay with fusion, buffer pooling, and parallel
         dispatch), which is bitwise-validated against the eager step and
         falls back to eager execution on any unsupported construct.
+        ``task`` (the registry name, when fitting through
+        ``repro.tasks.registry.run_task``) tags the compiled trace key so
+        different tasks' captures of the same model never collide, and is
+        recorded on the fit span.
 
         When an observer is configured (``repro.obs.configure``), the fit
         runs under a ``trainer.fit`` span with one retroactive
@@ -144,12 +153,14 @@ class Trainer:
         """
         use_compiled = self.config.compiled if compiled is None else compiled
         self._compiled_step = (
-            self._make_compiled_step(step_fn) if use_compiled else None)
+            self._make_compiled_step(step_fn, tag=task or "")
+            if use_compiled else None)
         ob = _obs.active()
         if ob is None:
             return self._fit(None, train_loader, val_loader, step_fn)
         with ob.span("trainer.fit", {
                 "model": type(self.model).__name__,
+                "task": task or "",
                 "epochs": self.config.epochs,
                 "precision": self.config.precision}) as span:
             result = self._fit(ob, train_loader, val_loader, step_fn)
@@ -160,11 +171,11 @@ class Trainer:
                 span.set(profile=result.profile)
         return result
 
-    def _make_compiled_step(self, step_fn: StepFn):
+    def _make_compiled_step(self, step_fn: StepFn, tag: str = ""):
         from ..autodiff.compile import CompiledStep, CompileUnsupported
         try:
             return CompiledStep(self.model, step_fn,
-                                workers=self.config.compile_workers)
+                                workers=self.config.compile_workers, tag=tag)
         except CompileUnsupported as exc:
             ob = _obs.active()
             if ob is not None:

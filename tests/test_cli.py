@@ -105,3 +105,104 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "TF distribution" in out
+
+
+class TestRegistryDerivedParser:
+    def test_train_task_choices_from_registry(self):
+        from repro.tasks import task_names
+        for name in task_names():
+            args = build_parser().parse_args(["train", "--task", name])
+            assert args.task == name
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--task", "nonsense"])
+
+    def test_infer_subcommand_per_task(self):
+        from repro.tasks import task_specs
+        for spec in task_specs():
+            args = build_parser().parse_args(
+                [spec.infer_command, "--checkpoint", "m.npz"])
+            assert args.checkpoint == "m.npz"
+
+    def test_serve_task_choices(self):
+        args = build_parser().parse_args(["serve", "--checkpoint", "m.npz"])
+        assert args.task is None
+        args = build_parser().parse_args(
+            ["serve", "--checkpoint", "m.npz", "--task", "anomaly"])
+        assert args.task == "anomaly"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--checkpoint", "m.npz", "--task", "nonsense"])
+
+    def test_list_names_tasks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "classification" in out and "anomaly" in out
+
+
+class TestTaskCommands:
+    def test_train_anomaly_and_detect(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "anom.npz")
+        rc = main(["train", "--model", "DLinear", "--dataset", "ETTh2",
+                   "--task", "anomaly", "--seq-len", "24", "--n-steps", "600",
+                   "--epochs", "1", "--max-batches", "3",
+                   "--anomaly-ratio", "0.05", "--save", ckpt])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "test MSE=" in out and "detection_rate=" in out
+
+        rc = main(["detect", "--checkpoint", ckpt, "--n-steps", "600"])
+        assert rc == 0
+        assert "flagged" in capsys.readouterr().out
+
+    def test_train_classification_and_classify(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "clf.npz")
+        rc = main(["train", "--model", "TS3Net", "--task", "classification",
+                   "--seq-len", "32", "--epochs", "1", "--max-batches", "4",
+                   "--num-classes", "3", "--save", ckpt])
+        assert rc == 0
+        assert "accuracy=" in capsys.readouterr().out
+
+        rc = main(["classify", "--checkpoint", ckpt, "--n-samples", "9"])
+        assert rc == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_impute_from_checkpoint(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "imp.npz")
+        rc = main(["train", "--model", "DLinear", "--dataset", "Weather",
+                   "--task", "imputation", "--seq-len", "24",
+                   "--n-steps", "600", "--epochs", "1", "--max-batches", "3",
+                   "--save", ckpt])
+        assert rc == 0
+        capsys.readouterr()
+
+        rc = main(["impute", "--checkpoint", ckpt, "--n-steps", "600"])
+        assert rc == 0
+        assert "masked-position MSE=" in capsys.readouterr().out
+
+    def test_detect_rejects_forecast_checkpoint(self, tmp_path, capsys):
+        from repro.baselines import build_model
+        from repro.nn import save_checkpoint
+        model = build_model("DLinear", seq_len=24, pred_len=8, c_in=3,
+                            task="forecast", preset="tiny")
+        path = str(tmp_path / "fc.npz")
+        save_checkpoint(model, path, metadata={
+            "model": "DLinear", "dataset": "ETTh1", "task": "forecast",
+            "seq_len": 24, "pred_len": 8, "c_in": 3, "preset": "tiny"})
+        assert main(["detect", "--checkpoint", path]) == 1
+        err = capsys.readouterr().err
+        assert "forecast" in err and "anomaly" in err
+
+    def test_infer_unknown_task_checkpoint_names_known(self, tmp_path,
+                                                       capsys):
+        from repro.baselines import build_model
+        from repro.nn import save_checkpoint
+        model = build_model("DLinear", seq_len=24, pred_len=8, c_in=3,
+                            task="forecast", preset="tiny")
+        path = str(tmp_path / "odd.npz")
+        save_checkpoint(model, path, metadata={
+            "model": "DLinear", "dataset": "ETTh1", "task": "nonsense",
+            "seq_len": 24, "pred_len": 8, "c_in": 3, "preset": "tiny"})
+        assert main(["forecast", "--checkpoint", path]) == 1
+        err = capsys.readouterr().err
+        assert "unknown task 'nonsense'" in err
+        assert "classification" in err

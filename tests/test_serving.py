@@ -596,3 +596,155 @@ class TestServingTrace:
                   if trace_id in b["attrs"]["member_traces"]]
         assert linked, "batch.execute must link its member request traces"
         assert span["span"] in linked[0]["attrs"]["member_spans"]
+
+
+def make_task_ckpt(path, task, model_name="DLinear", seed=0):
+    """Checkpoint for any registered task, with its required metadata."""
+    set_seed(seed)
+    meta = {"model": model_name, "dataset": "unit", "task": task,
+            "seq_len": SEQ, "c_in": CIN, "preset": "tiny"}
+    if task == "forecast":
+        model = build_model(model_name, seq_len=SEQ, pred_len=PRED, c_in=CIN,
+                            task="forecast", preset="tiny")
+        meta["pred_len"] = PRED
+    elif task in ("imputation", "anomaly"):
+        model = build_model(model_name, seq_len=SEQ, pred_len=SEQ, c_in=CIN,
+                            task="imputation", preset="tiny")
+        meta["pred_len"] = SEQ
+        if task == "imputation":
+            meta["mask_ratio"] = 0.25
+        else:
+            meta["anomaly_ratio"] = 0.01
+    else:  # classification
+        from repro.tasks import SeriesClassifier
+        backbone = build_model("TS3Net", seq_len=SEQ, pred_len=SEQ, c_in=CIN,
+                               task="classification", preset="tiny")
+        model = SeriesClassifier(backbone, d_model=backbone.config.d_model,
+                                 num_classes=3)
+        meta.update(model="TS3Net", pred_len=SEQ,
+                    num_classes=3, d_model=backbone.config.d_model)
+    save_checkpoint(model, str(path), metadata=meta)
+    return str(path)
+
+
+@pytest.fixture
+def task_server(tmp_path):
+    """One server hosting a model per registered task endpoint."""
+    reg = ModelRegistry()
+    for task in ("forecast", "imputation", "anomaly", "classification"):
+        reg.load(task + "-m", make_task_ckpt(tmp_path / f"{task}.npz", task))
+    config = ServingConfig(port=0, max_batch_size=4, max_wait_ms=1.0,
+                           queue_size=32, default_timeout_ms=10000.0)
+    srv = build_server(config, reg)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv, reg
+    srv.shutdown()
+    thread.join(timeout=10)
+    srv.drain()
+
+
+class TestPerTaskEndpoints:
+    """Every registered TaskSpec gets a POST /v1/<task> endpoint, and the
+    batched outputs stay bit-identical to single forwards per task."""
+
+    def test_imputation_reconstruction_bitwise(self, task_server):
+        srv, reg = task_server
+        host, port = srv.server_address[:2]
+        window = periodic_window(6)
+        status, body, _ = _Client(host, port).request(
+            "POST", "/v1/imputation",
+            {"model": "imputation-m", "window": window.tolist()})
+        assert status == 200
+        assert body["seq_len"] == SEQ
+        want = single_forward(reg.get("imputation-m"), window)
+        got = np.asarray(body["reconstruction"], dtype=np.float64)
+        assert got.shape == (SEQ, CIN)
+        assert repr(got) == repr(want)
+
+    def test_anomaly_scores_bitwise(self, task_server):
+        srv, reg = task_server
+        host, port = srv.server_address[:2]
+        window = periodic_window(5)
+        status, body, _ = _Client(host, port).request(
+            "POST", "/v1/anomaly",
+            {"model": "anomaly-m", "window": window.tolist(),
+             "anomaly_ratio": 0.1})
+        assert status == 200
+        recon = single_forward(reg.get("anomaly-m"), window)
+        want = np.abs(recon - window).mean(axis=-1)
+        got = np.asarray(body["score"]["scores"], dtype=np.float64)
+        assert repr(got) == repr(want)
+        threshold = float(np.quantile(want, 0.9))
+        assert body["score"]["threshold"] == threshold
+        assert body["score"]["detections"] == (want > threshold).tolist()
+
+    def test_anomaly_client_batch_matches_singles(self, task_server):
+        srv, reg = task_server
+        host, port = srv.server_address[:2]
+        windows = [periodic_window(4, seed=i) for i in range(3)]
+        status, body, _ = _Client(host, port).request(
+            "POST", "/v1/anomaly",
+            {"model": "anomaly-m", "windows": [w.tolist() for w in windows]})
+        assert status == 200
+        assert len(body["scores"]) == 3
+        entry = reg.get("anomaly-m")
+        for row, window in zip(body["scores"], windows):
+            want = np.abs(single_forward(entry, window) - window).mean(axis=-1)
+            assert repr(np.asarray(row["scores"])) == repr(want)
+
+    def test_anomaly_invalid_ratio_is_400(self, task_server):
+        srv, _ = task_server
+        host, port = srv.server_address[:2]
+        status, body, _ = _Client(host, port).request(
+            "POST", "/v1/anomaly",
+            {"model": "anomaly-m", "window": periodic_window(4).tolist(),
+             "anomaly_ratio": 1.5})
+        assert status == 400
+        assert body["error"]["type"] == "invalid_request"
+        assert "anomaly_ratio" in body["error"]["detail"]
+
+    def test_classification_label_bitwise(self, task_server):
+        srv, reg = task_server
+        host, port = srv.server_address[:2]
+        window = periodic_window(7)
+        status, body, _ = _Client(host, port).request(
+            "POST", "/v1/classification",
+            {"model": "classification-m", "window": window.tolist()})
+        assert status == 200
+        logits = single_forward(reg.get("classification-m"), window)
+        assert body["classification"]["label"] == int(np.argmax(logits))
+        got = np.asarray(body["classification"]["logits"], dtype=np.float64)
+        assert repr(got) == repr(logits)
+
+    def test_unknown_task_endpoint_names_known(self, task_server):
+        srv, _ = task_server
+        host, port = srv.server_address[:2]
+        status, body, _ = _Client(host, port).request(
+            "POST", "/v1/nonsense",
+            {"window": periodic_window(4).tolist()})
+        assert status == 404
+        assert body["error"]["type"] == "unknown_task"
+        for task in ("forecast", "imputation", "anomaly", "classification"):
+            assert f"/v1/{task}" in body["error"]["detail"]
+
+    def test_task_mismatch_is_400(self, task_server):
+        srv, _ = task_server
+        host, port = srv.server_address[:2]
+        status, body, _ = _Client(host, port).request(
+            "POST", "/v1/forecast",
+            {"model": "imputation-m", "window": periodic_window(4).tolist()})
+        assert status == 400
+        assert body["error"]["type"] == "task_mismatch"
+        assert "/v1/imputation" in body["error"]["detail"]
+
+    def test_default_model_resolved_per_task(self, task_server):
+        # Four models are registered but each task has exactly one, so a
+        # request without "model" must resolve to that task's model.
+        srv, _ = task_server
+        host, port = srv.server_address[:2]
+        status, body, _ = _Client(host, port).request(
+            "POST", "/v1/imputation",
+            {"window": periodic_window(6).tolist()})
+        assert status == 200
+        assert body["model"] == "imputation-m"

@@ -1,0 +1,154 @@
+"""Tests for the TaskSpec registry: lookup, rebuild, and completeness.
+
+The registry is the one door every layer dispatches tasks through
+(``data`` → ``trainer`` → ``experiments`` grid → ``nn.serialization`` →
+``serving`` → ``cli``); these tests pin the lookup contract, the
+checkpoint-rebuild path, and the lint-enforced completeness of every
+registered spec.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.baselines import build_model
+from repro.nn import save_checkpoint, validate_checkpoint_metadata
+from repro.tasks import (
+    TaskSpec, UnknownTaskError, get_task, rebuild_from_metadata,
+    register_task, resolve_batch_policy, task_names, task_specs,
+)
+from repro.tasks.registry import _REGISTRY, checkpoint_overrides
+from repro.utils import set_seed
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "scripts"))
+import lint_ops  # noqa: E402
+
+
+class TestLookup:
+    def test_all_four_tasks_registered(self):
+        assert task_names() == ("forecast", "imputation", "anomaly",
+                                "classification")
+
+    def test_get_task_returns_matching_spec(self):
+        for name in task_names():
+            assert get_task(name).name == name
+
+    def test_task_specs_order_matches_names(self):
+        assert tuple(s.name for s in task_specs()) == task_names()
+
+    def test_unknown_task_raises_with_known_names(self):
+        with pytest.raises(UnknownTaskError) as exc:
+            get_task("nonsense")
+        msg = str(exc.value)
+        assert "unknown task 'nonsense'" in msg
+        for name in task_names():
+            assert name in msg
+
+    def test_unknown_task_is_a_key_error(self):
+        with pytest.raises(KeyError):
+            get_task("nonsense")
+
+    def test_register_task_roundtrip(self):
+        base = get_task("forecast")
+        try:
+            spec = register_task(TaskSpec(
+                **{**base.__dict__, "name": "_test_only"}))
+            assert get_task("_test_only") is spec
+        finally:
+            _REGISTRY.pop("_test_only", None)
+
+
+class TestRebuild:
+    def _meta(self, task="forecast", **extra):
+        meta = {"model": "DLinear", "dataset": "unit", "task": task,
+                "seq_len": 24, "pred_len": 8, "c_in": 3, "preset": "tiny"}
+        meta.update(extra)
+        return meta
+
+    def test_rebuild_forecast_matches_build_model(self):
+        set_seed(0)
+        want = build_model("DLinear", seq_len=24, pred_len=8, c_in=3,
+                           task="forecast", preset="tiny")
+        got = rebuild_from_metadata(self._meta())
+        assert type(got).__name__ == "DLinear"
+        assert got.num_parameters() == want.num_parameters()
+
+    def test_rebuild_unknown_task_names_known(self):
+        with pytest.raises(UnknownTaskError, match="known tasks"):
+            rebuild_from_metadata(self._meta(task="nonsense"))
+
+    def test_rebuild_classification_uses_head_metadata(self):
+        meta = self._meta(task="classification", model="TS3Net", pred_len=24,
+                          num_classes=4, d_model=16)
+        model = rebuild_from_metadata(meta)
+        assert model.num_classes == 4 and model.d_model == 16
+
+    def test_checkpoint_overrides_validates_type(self):
+        assert checkpoint_overrides({"overrides": {"d_model": 8}}) == \
+            {"d_model": 8}
+        assert checkpoint_overrides({}) == {}
+        with pytest.raises(ValueError, match="must be a dict"):
+            checkpoint_overrides({"overrides": [1, 2]}, source="x.npz")
+
+
+class TestBatchPolicy:
+    def test_stack_safe_architecture(self):
+        model = build_model("DLinear", seq_len=24, pred_len=8, c_in=3)
+        assert resolve_batch_policy(model) == "stack"
+
+    def test_signature_architecture(self):
+        model = build_model("TS3Net", seq_len=24, pred_len=8, c_in=3,
+                            preset="tiny")
+        assert resolve_batch_policy(model) == "signature"
+
+    def test_unknown_architecture_defaults_solo(self):
+        assert resolve_batch_policy(object()) == "solo"
+
+
+class TestSerializationContract:
+    def test_unknown_checkpoint_task_names_known_tasks(self):
+        meta = {"model": "DLinear", "task": "nonsense", "seq_len": 24,
+                "pred_len": 8, "c_in": 3}
+        with pytest.raises(ValueError) as exc:
+            validate_checkpoint_metadata(meta, source="x.npz")
+        msg = str(exc.value)
+        assert "unknown task 'nonsense'" in msg and "forecast" in msg
+
+    def test_missing_task_specific_metadata(self):
+        meta = {"model": "TS3Net", "task": "classification", "seq_len": 24,
+                "pred_len": 24, "c_in": 2}
+        with pytest.raises(ValueError, match="classification.*metadata"):
+            validate_checkpoint_metadata(meta, source="x.npz")
+
+    def test_saved_checkpoint_passes_validation(self, tmp_path):
+        set_seed(0)
+        model = build_model("DLinear", seq_len=24, pred_len=8, c_in=3)
+        path = tmp_path / "m.npz"
+        save_checkpoint(model, str(path), metadata={
+            "model": "DLinear", "dataset": "unit", "task": "forecast",
+            "seq_len": 24, "pred_len": 8, "c_in": 3})
+        from repro.nn import peek_metadata
+        meta = validate_checkpoint_metadata(peek_metadata(str(path)),
+                                            expect_task="forecast",
+                                            source=str(path))
+        assert meta["task"] == "forecast"
+
+
+class TestCompleteness:
+    def test_lint_reports_no_violations(self):
+        assert lint_ops.find_task_violations() == []
+
+    def test_serving_contracts_fully_declared(self):
+        for spec in task_specs():
+            contract = spec.serving
+            assert contract is not None, spec.name
+            assert contract.singular and contract.plural
+            assert callable(contract.batch_policy)
+            assert callable(contract.postprocess)
+            assert callable(contract.body_extra)
+
+    def test_infer_commands_unique(self):
+        commands = [s.infer_command for s in task_specs()]
+        assert len(set(commands)) == len(commands)
+        assert set(commands) == {"forecast", "impute", "detect", "classify"}

@@ -1,15 +1,19 @@
-"""Tests for metrics, the trainer, and the forecasting/imputation drivers."""
+"""Tests for metrics, the trainer, and the per-task drivers."""
 
 import numpy as np
 import pytest
 
+from repro.autodiff import Tensor
 from repro.baselines import build_model
 from repro.data import load_dataset
 from repro.tasks import (
-    ForecastTask, ImputationTask, TrainConfig, Trainer, evaluate_all,
-    forecast_step, imputation_step, mae, mape, mse, predict, rmse,
-    run_forecast, run_imputation,
+    AnomalyTask, ForecastTask, ImputationTask, TrainConfig, Trainer,
+    accuracy, detect_anomalies, evaluate_all, f1_score, forecast_step,
+    imputation_step, mae, mape, mse, predict, rmse, run_anomaly,
+    run_forecast, run_imputation, run_task, score_series,
 )
+from repro.tasks.classification import CLASSIFICATION_SPEC
+from repro.utils import set_seed
 
 
 class TestMetrics:
@@ -145,3 +149,128 @@ class TestImputationDriver:
         _, _, _, mask1 = s1(window)
         _, _, _, mask2 = s2(window)
         np.testing.assert_array_equal(mask1, mask2)
+
+
+class TestClassificationMetrics:
+    def test_accuracy_known(self):
+        assert accuracy(np.array([0, 1, 2, 1]), np.array([0, 1, 1, 1])) == 0.75
+
+    def test_accuracy_empty_is_nan(self):
+        assert np.isnan(accuracy(np.empty(0, int), np.empty(0, int)))
+
+    def test_f1_perfect(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert f1_score(y, y) == 1.0
+
+    def test_f1_fully_wrong(self):
+        assert f1_score(np.array([0, 0]), np.array([1, 1])) == 0.0
+
+    def test_f1_known_value(self):
+        # class 0: tp=1 fp=1 fn=0 -> 2/3; class 1: tp=1 fp=0 fn=1 -> 2/3
+        pred = np.array([0, 0, 1])
+        target = np.array([0, 1, 1])
+        assert f1_score(pred, target) == pytest.approx(2.0 / 3.0)
+
+    def test_f1_counts_class_seen_only_in_pred(self):
+        # class 2 appears only in pred: tp=0 -> F1 0, dragging the macro
+        # mean; class 0 has tp=1 fn=1 -> 2/3, so macro = 1/3.
+        pred = np.array([0, 2])
+        target = np.array([0, 0])
+        assert f1_score(pred, target) == pytest.approx(1.0 / 3.0)
+
+    def test_f1_rejects_other_averages(self):
+        with pytest.raises(ValueError, match="only 'macro'"):
+            f1_score(np.array([0]), np.array([0]), average="micro")
+
+    def test_f1_empty_is_nan(self):
+        assert np.isnan(f1_score(np.empty(0, int), np.empty(0, int)))
+
+
+class _CountingRecon:
+    """Stub model whose k-th forward adds k to the window, so the residual
+    of window k is exactly k (constant over points/channels)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def eval(self):
+        pass
+
+    def __call__(self, t):
+        self.calls += 1
+        return Tensor(t.data + float(self.calls))
+
+
+class TestAnomalyScoring:
+    def test_overlap_averages_window_residuals(self):
+        # seq_len=4, stride=2 over 6 points: window 1 covers 0-3 (residual
+        # 1), window 2 covers 2-5 (residual 2); the overlap averages them.
+        data = np.zeros((6, 2))
+        scores = score_series(_CountingRecon(), data, seq_len=4, stride=2)
+        np.testing.assert_allclose(scores, [1.0, 1.0, 1.5, 1.5, 2.0, 2.0])
+
+    def test_uncovered_tail_scores_zero(self):
+        # 7 points, seq_len=4, stride=4: only 0-3 are covered.
+        data = np.zeros((7, 2))
+        scores = score_series(_CountingRecon(), data, seq_len=4, stride=4)
+        np.testing.assert_allclose(scores, [1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0])
+
+    def test_detect_flags_top_fraction(self):
+        data = np.zeros((8, 1))
+        result = detect_anomalies(_CountingRecon(), data, seq_len=2,
+                                  anomaly_ratio=0.25, stride=2)
+        # scores are 1,1,2,2,3,3,4,4; the 0.75-quantile threshold keeps
+        # only the strictly-greater top pair.
+        assert result.threshold == pytest.approx(3.25)
+        assert result.detections.sum() == 2
+        assert result.detection_rate() == pytest.approx(0.25)
+
+    def test_constant_scores_flag_nothing(self):
+        # threshold == every score and detection is strictly-greater
+        class _Zero:
+            def eval(self):
+                pass
+
+            def __call__(self, t):
+                return t
+
+        result = detect_anomalies(_Zero(), np.ones((8, 1)), seq_len=4,
+                                  anomaly_ratio=0.01)
+        assert result.detections.sum() == 0
+
+    @pytest.mark.parametrize("ratio", [0.0, 1.0, -0.5, 2.0])
+    def test_ratio_out_of_range_rejected(self, ratio):
+        with pytest.raises(ValueError, match="anomaly_ratio"):
+            detect_anomalies(_CountingRecon(), np.zeros((8, 1)), seq_len=4,
+                             anomaly_ratio=ratio)
+
+
+class TestAnomalyDriver:
+    def test_run_anomaly_reports_metric_bundle(self, split):
+        model = _tiny_model(task="imputation", pred_len=24)
+        task = AnomalyTask(seq_len=24, anomaly_ratio=0.05, batch_size=8,
+                           stride=24, max_train_batches=4,
+                           max_eval_batches=2)
+        result = run_anomaly(model, split, task, TrainConfig(epochs=1))
+        assert set(result.metrics) == {"mse", "mae", "threshold",
+                                       "detection_rate"}
+        assert np.isfinite(result.mse) and np.isfinite(result.mae)
+        assert 0.0 <= result.metrics["detection_rate"] <= 1.0
+
+
+class TestClassificationDriverGolden:
+    def test_fixed_seed_accuracy_and_f1(self):
+        """Exact fixed-seed metrics for the registry-driven pipeline."""
+        spec = CLASSIFICATION_SPEC
+        config = spec.make_config(32, 3, batch_size=8, max_train_batches=6,
+                                  max_eval_batches=4, seed=0)
+        data = spec.load_data("unit", 0, 0, config)
+        set_seed(0)
+        model = spec.build("TS3Net", config, c_in=spec.channels(data),
+                           preset="tiny")
+        result = run_task(spec, model, data, config,
+                          TrainConfig(epochs=2, lr=2e-3))
+        assert result.metrics["accuracy"] == 0.25
+        assert result.metrics["f1"] == 0.13333333333333333
+        assert result.train_losses == [1.1273060176245988,
+                                       1.0925552440739068]
