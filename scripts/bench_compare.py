@@ -30,6 +30,12 @@ gated when present in the current report:
   ``max_batch_size=1`` configuration, recorded by
   ``scripts/bench_serving.py``) must stay at or above
   ``--serving-speedup-threshold`` (default 3x);
+* the pre-fork cluster facts recorded by ``bench_serving.py --cluster``:
+  ``cluster_batched_matches_single`` (proxied responses bit-identical to
+  ``single_forward``), ``cluster_overload_clean`` + accepted-p99 under
+  the deadline (clean shedding), and ``cluster_scaling`` which must stay
+  at or above ``--cluster-scaling-threshold`` (default 1.7x) — enforced
+  only on hosts whose usable CPU count covers the largest worker count;
 * ``trainer_obs_disabled_overhead`` (``Trainer.fit`` with the observability
   layer present but disabled, as a ratio of the uninstrumented fit) must
   stay within ``--obs-overhead-threshold`` (default 2%) — the tracing
@@ -136,6 +142,65 @@ def check_serving_facts(current: dict, speedup_threshold: float) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def check_cluster_facts(current: dict, scaling_threshold: float) -> int:
+    """Gate the pre-fork cluster facts recorded by bench_serving --cluster.
+
+    Machine-independent facts (proxied bit-identity, clean overload
+    shedding, accepted-p99 under the deadline) are hard gates.  The
+    worker-scaling ratio is only enforced when the host exposes at least
+    as many usable CPUs as the largest worker count — on a 1-core CI
+    box, 4 workers time-slice one core and the ratio is meaningless
+    (same precedent as ``grid_parallel_speedup``).
+    """
+    ver = current.get("verification", {})
+    if "cluster_scaling" not in ver:
+        return 0
+    failures = 0
+    scaling = float(ver["cluster_scaling"])
+    workers = int(ver.get("cluster_scaling_workers", 0))
+    cpus = int(ver.get("cluster_usable_cpus", 0))
+    counts = ver.get("cluster_worker_counts", [])
+    rates = ", ".join(
+        f"{w}w={ver.get(f'cluster_rps_{w}w', 0):.0f}rps/"
+        f"p99 {ver.get(f'cluster_p99_ms_{w}w', 0):.1f}ms" for w in counts)
+    enforced = cpus >= workers
+    print(f"cluster: {rates}; scaling {scaling:.2f}x at {workers} workers "
+          f"on {cpus} usable cpu(s) "
+          + (f"(threshold {scaling_threshold:.1f}x)" if enforced
+             else "(informational; host has too few cores to scale)"))
+    if enforced and scaling < scaling_threshold:
+        print(f"FAIL: cluster throughput only scaled {scaling:.2f}x at "
+              f"{workers} workers (minimum {scaling_threshold:.1f}x on a "
+              f"{cpus}-cpu host) — the pre-fork tier is not adding "
+              "capacity", file=sys.stderr)
+        failures += 1
+    if not ver.get("cluster_batched_matches_single", False):
+        print("FAIL: proxied cluster responses diverged from the "
+              "single_forward reference — the determinism contract broke "
+              "somewhere across the front-end hop or the shared weights",
+              file=sys.stderr)
+        failures += 1
+    if not ver.get("cluster_overload_clean", False):
+        print("FAIL: the overload burst produced outcomes other than "
+              "200/503-with-Retry-After (or never shed) — load shedding "
+              "is not clean", file=sys.stderr)
+        failures += 1
+    p99 = float(ver.get("cluster_overload_accepted_p99_ms", float("inf")))
+    deadline = float(ver.get("cluster_overload_deadline_ms", 0.0))
+    print(f"cluster: overload accepted p99 {p99:.1f}ms "
+          f"(deadline {deadline:.0f}ms), shed "
+          f"{float(ver.get('cluster_overload_shed_fraction', 0)):.1%} at "
+          f"{float(ver.get('cluster_overload_offered_multiple', 0)):.1f}x "
+          "capacity")
+    if p99 >= deadline:
+        print(f"FAIL: accepted requests' p99 ({p99:.1f}ms) exceeded the "
+              f"configured deadline ({deadline:.0f}ms) under overload — "
+              "admission control is queueing instead of shedding",
+              file=sys.stderr)
+        failures += 1
+    return 1 if failures else 0
 
 
 def check_obs_facts(current: dict, overhead_threshold: float) -> int:
@@ -287,6 +352,12 @@ def main(argv=None) -> int:
                         help="minimum micro-batched/unbatched serving "
                              "throughput ratio (3.0 = batching must "
                              "sustain >=3x the unbatched request rate)")
+    parser.add_argument("--cluster-scaling-threshold", type=float,
+                        default=1.7,
+                        help="minimum sustained throughput ratio of the "
+                             "largest cluster worker count over 1 worker "
+                             "(enforced only on hosts with enough usable "
+                             "CPUs; recorded by bench_serving --cluster)")
     parser.add_argument("--obs-overhead-threshold", type=float, default=0.02,
                         help="allowed Trainer.fit slowdown with tracing "
                              "disabled, vs the uninstrumented fit "
@@ -320,13 +391,16 @@ def main(argv=None) -> int:
     memory_status = check_memory_facts(current, args.free_threshold)
     serving_status = check_serving_facts(current,
                                          args.serving_speedup_threshold)
+    cluster_status = check_cluster_facts(current,
+                                         args.cluster_scaling_threshold)
     obs_status = check_obs_facts(current, args.obs_overhead_threshold)
     compiled_status = check_compiled_facts(
         current, args.compiled_speedup_threshold,
         args.compiled_step_speedup_threshold,
         args.compiled_peak_bytes_threshold)
     return (status or required_status or grid_status or memory_status
-            or serving_status or obs_status or compiled_status)
+            or serving_status or cluster_status or obs_status
+            or compiled_status)
 
 
 if __name__ == "__main__":

@@ -14,9 +14,18 @@ under a ``serving`` section plus gateable ``verification`` facts;
 ``scripts/bench_compare.py`` fails CI when ``serving_batched_speedup``
 drops below its ``--serving-speedup-threshold`` (default 3x).
 
+``--cluster`` additionally benches the pre-fork cluster
+(``repro.serving.cluster``): a 64-client closed loop against 1/2/4
+worker processes (throughput + p99 per worker count), a bit-identity
+check of proxied responses against ``single_forward``, and an overload
+burst against a tiny admission queue (clean shedding: only 200/503
+outcomes, accepted p99 under the configured deadline).  The scaling
+ratio is gated by ``bench_compare.py`` only on hosts with enough usable
+CPUs; the correctness facts are gated everywhere.
+
 Typical usage::
 
-    PYTHONPATH=src python scripts/bench_serving.py
+    PYTHONPATH=src python scripts/bench_serving.py [--cluster]
     python scripts/bench_compare.py
 """
 
@@ -137,6 +146,173 @@ def run_load(host: str, port: int, model: str, bodies: list, clients: int,
     }
 
 
+def run_overload(host: str, port: int, model: str, bodies: list,
+                 clients: int, duration: float, warmup: float,
+                 deadline_ms: float) -> dict:
+    """Closed-loop burst against a tiny queue: measure shedding hygiene.
+
+    Every outcome must be a 200 (latency recorded), a 503 carrying a
+    ``Retry-After`` hint (clean shed), or a 504 (the per-request
+    deadline fired on an admitted request — enforced, not hung).
+    Transport errors or any other status count as dirty and fail the
+    ``cluster_overload_clean`` fact downstream.
+    """
+    stop = threading.Event()
+    recording = threading.Event()
+    lock = threading.Lock()
+    accepted = []
+    counts = {"shed": 0, "expired": 0, "errors": 0, "attempts": 0}
+
+    def worker(idx: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        i = idx
+        while not stop.is_set():
+            body = bodies[i % len(bodies)]
+            i += clients
+            start = time.perf_counter()
+            try:
+                conn.request("POST", "/v1/forecast", body,
+                             {"Content-Type": "application/json"})
+                resp = conn.getresponse()
+                resp.read()
+                status = resp.status
+                retry_after = resp.getheader("Retry-After")
+            except Exception:
+                status, retry_after = -1, None
+                conn.close()
+                conn = http.client.HTTPConnection(host, port, timeout=30)
+            elapsed = time.perf_counter() - start
+            if not recording.is_set():
+                continue
+            with lock:
+                counts["attempts"] += 1
+                if status == 200:
+                    accepted.append(elapsed)
+                elif status == 503 and retry_after is not None:
+                    counts["shed"] += 1
+                elif status == 504:
+                    counts["expired"] += 1
+                else:
+                    counts["errors"] += 1
+        conn.close()
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    time.sleep(warmup)
+    recording.set()
+    t0 = time.perf_counter()
+    time.sleep(duration)
+    recording.clear()
+    measured = time.perf_counter() - t0
+    stop.set()
+    for t in threads:
+        t.join(timeout=10)
+
+    lats = sorted(accepted)
+    p99 = (lats[min(len(lats) - 1, int(round(0.99 * (len(lats) - 1))))]
+           if lats else float("inf"))
+    return {
+        "attempts": counts["attempts"],
+        "accepted": len(lats),
+        "shed": counts["shed"],
+        "expired": counts["expired"],
+        "errors": counts["errors"],
+        "offered_rps": counts["attempts"] / measured,
+        "accepted_rps": len(lats) / measured,
+        "shed_fraction": counts["shed"] / max(counts["attempts"], 1),
+        "accepted_p99_ms": p99 * 1e3,
+        "deadline_ms": deadline_ms,
+        "clean": (counts["errors"] == 0 and counts["shed"] > 0
+                  and len(lats) > 0),
+    }
+
+
+def bench_cluster_config(checkpoint: str, model: str, workers: int,
+                         serving, bodies: list, windows: list, clients: int,
+                         duration: float, warmup: float,
+                         spool_root: str) -> dict:
+    """One cluster run at ``workers`` processes: load + bit-identity."""
+    from repro.serving import single_forward
+    from repro.serving.cluster import ClusterConfig, build_cluster
+
+    config = ClusterConfig(
+        workers=workers, host="127.0.0.1", port=0,
+        spool_dir=os.path.join(spool_root, f"w{workers}"), serving=serving,
+        expect_task="forecast")
+    server = build_cluster(config, {model: checkpoint})
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        # Bit-identity through the extra hop: proxied responses must
+        # repr-match the local single_forward reference, per worker count.
+        reference = ModelRegistry(expect_task="forecast")
+        entry = reference.load(model, checkpoint)
+        matches = True
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        for window in windows:
+            body = json.dumps({"model": model,
+                               "window": window.tolist()}).encode()
+            conn.request("POST", "/v1/forecast", body,
+                         {"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            payload = json.loads(resp.read())
+            if resp.status != 200 or repr(np.asarray(
+                    payload["prediction"])) != repr(
+                    single_forward(entry, window)):
+                matches = False
+        conn.close()
+        result = run_load(host, port, model, bodies, clients, duration,
+                          warmup)
+        result["workers"] = workers
+        result["matches_single"] = matches
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.drain()
+    return result
+
+
+def bench_cluster_overload(checkpoint: str, model: str, workers: int,
+                           bodies: list, clients: int, duration: float,
+                           warmup: float, deadline_ms: float,
+                           spool_root: str) -> dict:
+    """Overload burst: tiny queue, many clients, clean shedding required.
+
+    The per-worker admission queue is deliberately small (6 slots) so the
+    closed-loop client herd exerts >10x concurrency pressure on it and
+    the 503 + Retry-After path carries most of the load.
+    """
+    from repro.serving.cluster import ClusterConfig, build_cluster
+
+    queue_size = 6
+    serving = ServingConfig(host="127.0.0.1", port=0, max_batch_size=8,
+                            max_wait_ms=4.0, queue_size=queue_size,
+                            default_timeout_ms=deadline_ms)
+    config = ClusterConfig(
+        workers=workers, host="127.0.0.1", port=0,
+        spool_dir=os.path.join(spool_root, "overload"), serving=serving,
+        expect_task="forecast")
+    server = build_cluster(config, {model: checkpoint})
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        result = run_overload(host, port, model, bodies, clients, duration,
+                              warmup, deadline_ms)
+        result["queue_size"] = queue_size
+        result["pressure_multiple"] = clients / queue_size
+        return result
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.drain()
+
+
 def bench_config(checkpoint: str, model: str, max_batch_size: int,
                  max_wait_ms: float, bodies: list, clients: int,
                  duration: float, warmup: float) -> dict:
@@ -160,6 +336,85 @@ def bench_config(checkpoint: str, model: str, max_batch_size: int,
     result["mean_batch_size"] = snapshot["mean_batch_size"]
     result["server_batches"] = snapshot["batches_total"]
     return result
+
+
+def bench_cluster_suite(args, checkpoint: str, bodies: list,
+                        tmp: str) -> tuple:
+    """Worker-count sweep + overload burst; returns (section, facts)."""
+    worker_counts = [int(w) for w in str(args.cluster_workers).split(",")]
+    usable_cpus = len(os.sched_getaffinity(0)) \
+        if hasattr(os, "sched_getaffinity") else (os.cpu_count() or 1)
+    rng = np.random.default_rng(11)
+    check_windows = [rng.standard_normal((args.seq_len, args.c_in)).round(6)
+                    for _ in range(6)]
+    serving = ServingConfig(host="127.0.0.1", port=0,
+                            max_batch_size=args.batch_size,
+                            max_wait_ms=args.max_wait_ms, queue_size=1024,
+                            default_timeout_ms=30000.0)
+    print(f"bench_serving --cluster: {args.cluster_clients} clients, "
+          f"worker counts {worker_counts}, {usable_cpus} usable cpu(s)")
+    sweep = []
+    for workers in worker_counts:
+        result = bench_cluster_config(
+            checkpoint, args.model, workers, serving, bodies, check_windows,
+            args.cluster_clients, args.cluster_duration, args.warmup, tmp)
+        sweep.append(result)
+        print(f"  {workers} worker(s): {result['rps']:8.1f} req/s  "
+              f"p50 {result['p50_ms']:7.2f}ms  p99 {result['p99_ms']:7.2f}ms "
+              f"(matches_single={result['matches_single']}, "
+              f"{result['errors']} errors)")
+
+    by_workers = {r["workers"]: r for r in sweep}
+    base = by_workers[min(by_workers)]
+    top = by_workers[max(by_workers)]
+    scaling = top["rps"] / base["rps"]
+    print(f"  scaling {min(by_workers)}->{max(by_workers)} workers: "
+          f"{scaling:.2f}x"
+          + ("" if usable_cpus >= max(by_workers)
+             else f" (informational: only {usable_cpus} usable cpu(s))"))
+
+    overload = bench_cluster_overload(
+        checkpoint, args.model, max(by_workers), bodies,
+        args.cluster_clients, args.cluster_duration, args.warmup,
+        args.overload_deadline_ms, tmp)
+    capacity = top["rps"]
+    offered_multiple = overload["offered_rps"] / max(capacity, 1e-9)
+    print(f"  overload: {overload['pressure_multiple']:.1f}x queue pressure "
+          f"({args.cluster_clients} clients / {overload['queue_size']} "
+          f"slots), offered {overload['offered_rps']:.0f} req/s "
+          f"({offered_multiple:.1f}x capacity), accepted "
+          f"{overload['accepted_rps']:.0f} req/s, shed "
+          f"{overload['shed_fraction']:.1%}, {overload['expired']} expired, "
+          f"{overload['errors']} errors, "
+          f"accepted p99 {overload['accepted_p99_ms']:.1f}ms "
+          f"(deadline {overload['deadline_ms']:.0f}ms)")
+
+    section = {
+        "clients": args.cluster_clients,
+        "worker_counts": worker_counts,
+        "usable_cpus": usable_cpus,
+        "sweep": sweep,
+        "overload": overload,
+    }
+    facts = {
+        "cluster_usable_cpus": usable_cpus,
+        "cluster_clients": args.cluster_clients,
+        "cluster_worker_counts": worker_counts,
+        "cluster_scaling": scaling,
+        "cluster_scaling_workers": max(by_workers),
+        "cluster_batched_matches_single": all(
+            r["matches_single"] for r in sweep),
+        "cluster_overload_clean": overload["clean"],
+        "cluster_overload_accepted_p99_ms": overload["accepted_p99_ms"],
+        "cluster_overload_deadline_ms": overload["deadline_ms"],
+        "cluster_overload_shed_fraction": overload["shed_fraction"],
+        "cluster_overload_offered_multiple": offered_multiple,
+        "cluster_overload_pressure_multiple": overload["pressure_multiple"],
+    }
+    for r in sweep:
+        facts[f"cluster_rps_{r['workers']}w"] = r["rps"]
+        facts[f"cluster_p99_ms_{r['workers']}w"] = r["p99_ms"]
+    return section, facts
 
 
 def main(argv=None) -> int:
@@ -187,6 +442,19 @@ def main(argv=None) -> int:
     parser.add_argument("--warmup", type=float, default=1.0)
     parser.add_argument("--output", default=OUTPUT_PATH,
                         help="BENCH_substrate.json to merge results into")
+    parser.add_argument("--cluster", action="store_true",
+                        help="also bench the pre-fork cluster: throughput "
+                             "vs worker count, proxied bit-identity, and "
+                             "overload shedding hygiene")
+    parser.add_argument("--cluster-clients", type=int, default=64,
+                        help="closed-loop clients for the cluster runs")
+    parser.add_argument("--cluster-workers", default="1,2,4",
+                        help="comma-separated worker counts to sweep")
+    parser.add_argument("--cluster-duration", type=float, default=3.0,
+                        help="measured seconds per cluster worker count")
+    parser.add_argument("--overload-deadline-ms", type=float, default=2000.0,
+                        help="per-request deadline during the overload "
+                             "burst; accepted p99 must stay under it")
     args = parser.parse_args(argv)
 
     overrides = (DEFAULT_OVERRIDES if args.overrides is None
@@ -218,6 +486,11 @@ def main(argv=None) -> int:
                                  bodies, args.clients, args.duration,
                                  args.warmup)
 
+        cluster_section, cluster_facts = None, {}
+        if args.cluster:
+            cluster_section, cluster_facts = bench_cluster_suite(
+                args, checkpoint, bodies, tmp)
+
     speedup = batched["rps"] / unbatched["rps"]
     for label, res in (("batched", batched), ("unbatched", unbatched)):
         print(f"  {label:10s} {res['rps']:8.1f} req/s  "
@@ -245,6 +518,9 @@ def main(argv=None) -> int:
         "batched": batched,
         "unbatched": unbatched,
     }
+    if cluster_section is not None:
+        report["serving_cluster"] = cluster_section
+    report.setdefault("verification", {}).update(cluster_facts)
     report.setdefault("verification", {}).update({
         "serving_batched_speedup": speedup,
         "serving_batched_rps": batched["rps"],

@@ -1,0 +1,253 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the pre-fork serving cluster (CI gate).
+
+Boots a real multi-process cluster (front-end acceptor + N forked
+workers sharing copy-on-write weight blobs), then walks the lifecycle
+CI cares about:
+
+1. proxied forecasts are bit-identical to un-batched single forwards;
+2. the aggregated ``/metrics`` scrape equals a local merge of the
+   per-worker side-door scrapes (golden compare) and carries the exact
+   request count;
+3. hot reload mid-flight publishes a new weight version and every
+   subsequent answer comes from it;
+4. a crashed worker is respawned (fresh pid) and answers correctly;
+5. the whole cluster drains cleanly.
+
+Exits non-zero on the first failed check.  ``--trace PATH`` writes the
+run's span/event JSONL (front-end and workers append to the same file)
+so CI can upload it as a failure artifact.
+"""
+
+import argparse
+import http.client
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+import numpy as np                                             # noqa: E402
+
+from repro.baselines import build_model                        # noqa: E402
+from repro.nn import save_checkpoint                           # noqa: E402
+from repro.serving import (                                    # noqa: E402
+    ModelRegistry, ServingConfig, single_forward,
+)
+from repro.serving.cluster import (                            # noqa: E402
+    ClusterConfig, build_cluster, merge_expositions,
+)
+from repro.utils import set_seed                               # noqa: E402
+
+SEQ, PRED, CIN = 32, 8, 3
+MODEL = "dlinear"
+
+_failures = []
+
+
+def check(name: str, ok: bool, detail: str = "") -> None:
+    status = "ok  " if ok else "FAIL"
+    print(f"  {status} {name}" + (f"  ({detail})" if detail and not ok else ""))
+    if not ok:
+        _failures.append(name)
+
+
+def make_ckpt(path: str, seed: int) -> str:
+    set_seed(seed)
+    model = build_model("DLinear", seq_len=SEQ, pred_len=PRED, c_in=CIN,
+                        task="forecast", preset="tiny")
+    save_checkpoint(model, path, metadata={
+        "model": "DLinear", "dataset": "smoke", "task": "forecast",
+        "seq_len": SEQ, "pred_len": PRED, "c_in": CIN, "preset": "tiny"})
+    return path
+
+
+def window(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.arange(SEQ)[:, None]
+    return (np.sin(2 * np.pi * t / (4 + seed)) * np.ones((1, CIN))
+            + 0.05 * rng.standard_normal((SEQ, CIN))).round(6)
+
+
+def request(host, port, method, path, payload=None, timeout=30):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    body = json.dumps(payload).encode() if payload is not None else None
+    try:
+        conn.request(method, path, body,
+                     {"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        data = resp.read()
+    finally:
+        conn.close()
+    try:
+        parsed = json.loads(data)
+    except (ValueError, UnicodeDecodeError):
+        parsed = data.decode("utf-8", "replace")
+    return resp.status, parsed
+
+
+def wait_for(predicate, timeout=30.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--trace", default=None,
+                        help="write span/event JSONL here (CI artifact)")
+    args = parser.parse_args(argv)
+
+    if args.trace:
+        from repro.obs import runtime as obs_runtime
+        obs_runtime.configure(path=args.trace)
+
+    tmp = tempfile.mkdtemp(prefix="repro-smoke-")
+    ckpt_v1 = make_ckpt(os.path.join(tmp, "v1.npz"), seed=0)
+    ckpt_v2 = make_ckpt(os.path.join(tmp, "v2.npz"), seed=9)
+
+    reference = ModelRegistry()
+    entry_v1 = reference.load("ref1", ckpt_v1)
+    entry_v2 = reference.load("ref2", ckpt_v2)
+
+    serving = ServingConfig(port=0, max_batch_size=4, max_wait_ms=1.0,
+                            queue_size=64, default_timeout_ms=10000.0)
+    config = ClusterConfig(workers=args.workers, port=0,
+                           spool_dir=os.path.join(tmp, "spool"),
+                           serving=serving, expect_task="forecast",
+                           trace_path=args.trace)
+    print(f"cluster_smoke: booting {args.workers} worker(s) ...")
+    server = build_cluster(config, {MODEL: ckpt_v1})
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    pool = server.pool
+
+    try:
+        # 1. bit-identity across the proxy + sharded micro-batchers
+        n_posts = 6
+        for seed in range(n_posts):
+            w = window(seed)
+            status, body = request(host, port, "POST", "/v1/forecast",
+                                   {"model": MODEL, "window": w.tolist()})
+            got = (np.asarray(body["prediction"], dtype=np.float64)
+                   if status == 200 else None)
+            check(f"forecast[{seed}] bitwise == single_forward",
+                  status == 200
+                  and repr(got) == repr(single_forward(entry_v1, w)),
+                  f"status={status}")
+
+        status, health = request(host, port, "GET", "/healthz")
+        check("healthz reports all workers alive",
+              status == 200
+              and health["alive"] == list(range(args.workers)),
+              f"status={status} body={health}")
+
+        # 2. aggregated scrape: golden-compare against a local merge of
+        # the per-worker side-door scrapes (quiesced, so byte-equal)
+        status, text = request(host, port, "GET", "/metrics")
+        check("aggregated /metrics scrape", status == 200, f"status={status}")
+        expected = (f'repro_requests_total{{code="200",class="2xx"}} '
+                    f'{n_posts}')
+        check("aggregate carries exact summed request count",
+              expected in text, f"missing {expected!r}")
+        worker_texts = []
+        for worker_id in pool.alive_ids():
+            wstatus, wtext = request(host, pool.endpoint(worker_id),
+                                     "GET", "/admin/metrics")
+            check(f"worker {worker_id} side-door scrape", wstatus == 200,
+                  f"status={wstatus}")
+            worker_texts.append(wtext)
+        check("aggregate == local merge of worker scrapes (golden)",
+              text.endswith(merge_expositions(worker_texts)))
+
+        # 3. hot reload through the front end: version 2 everywhere, no
+        # stale answers afterwards
+        status, body = request(host, port, "POST", "/admin/reload",
+                               {"name": MODEL, "checkpoint": ckpt_v2})
+        check("admin reload accepted",
+              status == 200 and body.get("version") == 2,
+              f"status={status} body={body}")
+        status, body = request(host, port, "GET", "/v1/models")
+        versions = {m["name"]: m["version"] for m in body.get("models", [])}
+        check("models proxy reports new version",
+              status == 200 and versions.get(MODEL) == 2,
+              f"versions={versions}")
+        for seed in range(args.workers * 2):
+            w = window(seed)
+            status, body = request(host, port, "POST", "/v1/forecast",
+                                   {"model": MODEL, "window": w.tolist()})
+            got = (np.asarray(body["prediction"], dtype=np.float64)
+                   if status == 200 else None)
+            check(f"post-reload forecast[{seed}] uses new weights",
+                  status == 200
+                  and repr(got) == repr(single_forward(entry_v2, w)),
+                  f"status={status}")
+
+        # 4. crash one worker; the supervisor must respawn it (new pid)
+        # and the replacement must attach the CURRENT weight version
+        victim = pool.alive_ids()[0]
+        old_pid = pool.handles[victim].pid
+        try:
+            request(host, pool.endpoint(victim), "POST", "/admin/crash",
+                    {}, timeout=5)
+        except (OSError, http.client.HTTPException):
+            pass                           # worker died mid-response
+        respawned = wait_for(
+            lambda: (pool.handles[victim].pid not in (None, old_pid)
+                     and victim in pool.alive_ids()))
+        check("crashed worker respawned with fresh pid", respawned,
+              f"old_pid={old_pid}")
+        w = window(13)
+        deadline = time.monotonic() + 10
+        status, body = None, None
+        while time.monotonic() < deadline:
+            status, body = request(host, port, "POST", "/v1/forecast",
+                                   {"model": MODEL, "window": w.tolist()})
+            if status == 200:
+                break
+            time.sleep(0.1)
+        got = (np.asarray(body["prediction"], dtype=np.float64)
+               if status == 200 else None)
+        check("post-respawn forecast correct on current version",
+              status == 200
+              and repr(got) == repr(single_forward(entry_v2, w)),
+              f"status={status}")
+        status, text = request(host, port, "GET", "/metrics")
+        check("restart counted in cluster metrics",
+              status == 200 and "repro_cluster_worker_restarts_total" in text
+              and f'worker="{victim}"' in text)
+    finally:
+        # 5. clean drain: stop accepting, finish in-flight, reap workers
+        server.shutdown()
+        thread.join(timeout=10)
+        t0 = time.monotonic()
+        server.drain()
+        drain_s = time.monotonic() - t0
+        check("cluster drained cleanly",
+              drain_s < config.drain_timeout_s
+              and all(not h.alive for h in pool.handles.values()),
+              f"drain took {drain_s:.1f}s")
+        if args.trace:
+            from repro.obs import runtime as obs_runtime
+            obs_runtime.shutdown()
+
+    if _failures:
+        print(f"cluster_smoke: FAIL ({len(_failures)} check(s)): "
+              + ", ".join(_failures))
+        return 1
+    print("cluster_smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

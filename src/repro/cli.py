@@ -183,6 +183,14 @@ def cmd_serve(args) -> int:
               f"{len(args.checkpoint)} --checkpoint", file=sys.stderr)
         return 1
 
+    serving = ServingConfig(
+        host=args.host, port=args.port, max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms, queue_size=args.queue_size,
+        default_timeout_ms=args.timeout_ms)
+
+    if args.workers > 1:
+        return _serve_cluster(args, names, serving)
+
     registry = ModelRegistry(expect_task=args.task, compiled=args.compiled)
     for i, path in enumerate(args.checkpoint):
         name = names[i] if names else peek_metadata(path).get("model", path)
@@ -194,12 +202,30 @@ def cmd_serve(args) -> int:
         print(f"loaded {name!r} from {path} "
               f"({entry.model.num_parameters():,} parameters)")
 
-    config = ServingConfig(
-        host=args.host, port=args.port, max_batch_size=args.max_batch_size,
-        max_wait_ms=args.max_wait_ms, queue_size=args.queue_size,
-        default_timeout_ms=args.timeout_ms)
-    server = build_server(config, registry)
+    server = build_server(serving, registry)
     return run_server(server)
+
+
+def _serve_cluster(args, names, serving) -> int:
+    from .serving.cluster import (
+        ClusterConfig, WorkerStartupError, build_cluster, run_cluster,
+    )
+
+    checkpoints = {}
+    for i, path in enumerate(args.checkpoint):
+        name = names[i] if names else peek_metadata(path).get("model", path)
+        checkpoints[name] = path
+    config = ClusterConfig(
+        workers=args.workers, host=args.host, port=args.port,
+        spool_dir=args.spool_dir, spread=args.spread, serving=serving,
+        compiled=args.compiled, expect_task=args.task,
+        trace_path=getattr(args, "trace", None))
+    try:
+        server = build_cluster(config, checkpoints)
+    except (ValueError, KeyError, OSError, WorkerStartupError) as err:
+        print(f"error starting cluster: {err}", file=sys.stderr)
+        return 1
+    return run_cluster(server)
 
 
 def cmd_trace(args) -> int:
@@ -293,6 +319,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve each model through a compiled forward "
                             "graph (bitwise-validated per input shape; "
                             "hot-reload swaps in a fresh compile)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="serve through a pre-fork cluster of this many "
+                            "worker processes sharing copy-on-write weight "
+                            "mmaps (1 = single-process server)")
+    serve.add_argument("--spool-dir", default=None,
+                       help="directory for published weight blobs in "
+                            "cluster mode (default: a fresh temp dir)")
+    serve.add_argument("--spread", type=int, default=0,
+                       help="warm-set width for consistent-hash routing "
+                            "(0 = spread each model over all workers)")
     serve.add_argument("--trace", default=None, metavar="PATH",
                        help="write a JSONL run trace with one span per "
                             "request (trace id echoed in X-Trace-Id)")

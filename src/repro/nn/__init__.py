@@ -16,7 +16,7 @@ from .attention import (
 from .inception import ConvBackbone2d, InceptionBlock2d
 from .transformer import EncoderLayer, FeedForward, TransformerEncoder
 from .serialization import (
-    load_checkpoint, peek_metadata, save_checkpoint,
+    load_checkpoint, peek_metadata, read_checkpoint, save_checkpoint,
     validate_checkpoint_metadata,
 )
 from . import init
@@ -30,6 +30,7 @@ __all__ = [
     "AutoCorrelation", "MultiHeadAttention", "ProbSparseAttention",
     "scaled_dot_attention", "ConvBackbone2d", "InceptionBlock2d",
     "EncoderLayer", "FeedForward", "TransformerEncoder", "init",
-    "load_checkpoint", "peek_metadata", "save_checkpoint",
+    "load_checkpoint", "peek_metadata", "read_checkpoint",
+    "save_checkpoint",
     "validate_checkpoint_metadata",
 ]

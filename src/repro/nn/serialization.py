@@ -76,20 +76,30 @@ def save_checkpoint(model: Module, path: str,
     np.savez(path, **payload)
 
 
+def read_checkpoint(path: str) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Read a checkpoint's ``(state, metadata)`` without needing a model.
+
+    Used by consumers that re-publish the raw arrays instead of loading
+    them into a module (the serving cluster's shared-memory weight spool).
+    """
+    with np.load(path) as archive:
+        meta_raw = archive[_META_KEY] if _META_KEY in archive.files else None
+        state = {name: archive[name] for name in archive.files
+                 if name != _META_KEY}
+    meta = ({} if meta_raw is None
+            else json.loads(bytes(meta_raw.tobytes()).decode("utf-8")))
+    return state, meta
+
+
 def load_checkpoint(model: Module, path: str) -> Dict[str, Any]:
     """Load parameters from ``path`` into ``model``; returns the metadata.
 
     Raises ``KeyError``/``ValueError`` on name or shape mismatches, so a
     checkpoint can never be silently loaded into the wrong architecture.
     """
-    with np.load(path) as archive:
-        meta_raw = archive[_META_KEY] if _META_KEY in archive.files else None
-        state = {name: archive[name] for name in archive.files
-                 if name != _META_KEY}
+    state, meta = read_checkpoint(path)
     model.load_state_dict(state)
-    if meta_raw is None:
-        return {}
-    return json.loads(bytes(meta_raw.tobytes()).decode("utf-8"))
+    return meta
 
 
 def peek_metadata(path: str) -> Dict[str, Any]:

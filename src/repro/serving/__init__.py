@@ -18,6 +18,10 @@ from .server import (
     ForecastServer, RequestError, ServingConfig, build_server, run_server,
 )
 
+# The cluster tier (repro.serving.cluster) is imported lazily by its
+# consumers: it pulls in multiprocessing machinery single-process
+# serving never needs.
+
 __all__ = [
     "BatcherClosedError", "DeadlineExceededError", "InvalidWindowError",
     "MicroBatcher", "QueueFullError", "single_forward",

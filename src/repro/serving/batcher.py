@@ -30,6 +30,7 @@ import itertools
 import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import List, Optional
@@ -113,6 +114,10 @@ class MicroBatcher:
         self._closing = False
         self._discard = False
         self._solo_ticket = itertools.count()
+        # Recent (monotonic time, requests resolved) flush records; the
+        # basis for the adaptive 503 Retry-After hint (see retry_after_s).
+        self._drain_lock = threading.Lock()
+        self._drained: "deque" = deque(maxlen=64)
         self._worker: Optional[threading.Thread] = None
         self.metrics.set_queue_depth_fn(self._queue.qsize)
         if start:
@@ -156,6 +161,31 @@ class MicroBatcher:
 
     def queue_depth(self) -> int:
         return self._queue.qsize()
+
+    def drain_rate(self) -> float:
+        """Recent requests/second leaving the queue (0.0 when unknown)."""
+        now = time.monotonic()
+        with self._drain_lock:
+            recent = [(t, n) for t, n in self._drained if now - t <= 5.0]
+        if not recent:
+            return 0.0
+        total = sum(n for _, n in recent)
+        return total / max(now - recent[0][0], 1e-3)
+
+    def retry_after_s(self) -> float:
+        """Adaptive 503 Retry-After: time to drain the current backlog.
+
+        ``queue depth / recent drain rate`` estimates when a retried
+        request would find room, clamped to [0.05s, 5s] so the hint never
+        tells a client to hammer immediately or to give up for minutes.
+        Falls back to 1s when there is no recent drain evidence (cold
+        start under burst: the queue filled before anything executed).
+        """
+        depth = self._queue.qsize() + 1     # count the request being shed
+        rate = self.drain_rate()
+        if rate <= 0.0:
+            return 1.0
+        return min(max(depth / rate, 0.05), 5.0)
 
     # ------------------------------------------------------------------
     # Worker side
@@ -236,6 +266,8 @@ class MicroBatcher:
                 for pending in group:
                     if not pending.future.done():
                         pending.future.set_exception(exc)
+        with self._drain_lock:
+            self._drained.append((time.monotonic(), len(batch)))
 
     @staticmethod
     def _emit_batch_span(group: List[_Pending], dur_s: float) -> None:

@@ -1,0 +1,30 @@
+"""Pre-fork serving cluster: shared weights, routing, supervision.
+
+A multi-process tier over the single-process serving stack (DESIGN.md
+section 5j): a front-end acceptor consistent-hash-routes requests to N
+worker processes, each running the unmodified registry + micro-batcher;
+model weights are published once per version as copy-on-write mmap
+blobs in a spool directory, so hot reload is an atomic version swap
+visible to every worker with no per-worker weight copies.
+"""
+
+from .config import ClusterConfig
+from .frontend import ClusterServer, build_cluster, run_cluster
+from .metrics import (
+    ClusterMetrics, ExpositionError, merge_expositions, parse_exposition,
+)
+from .routing import HashRing, NoWorkerAvailable, Router, stable_hash
+from .shm import BlobFormatError, SharedWeights, WeightStore, write_blob
+from .supervisor import WorkerPool, WorkerStartupError
+from .worker import ClusterWorkerHandler, WorkerServer, WorkerSpec, worker_main
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterServer", "build_cluster", "run_cluster",
+    "ClusterMetrics", "ExpositionError", "merge_expositions",
+    "parse_exposition",
+    "HashRing", "NoWorkerAvailable", "Router", "stable_hash",
+    "BlobFormatError", "SharedWeights", "WeightStore", "write_blob",
+    "WorkerPool", "WorkerStartupError",
+    "ClusterWorkerHandler", "WorkerServer", "WorkerSpec", "worker_main",
+]

@@ -1,0 +1,120 @@
+"""Consistent-hash request routing with deterministic spillover.
+
+Each worker owns ``replicas`` virtual points on a 64-bit hash ring
+(SHA-256 based — stable across processes, runs, and
+``PYTHONHASHSEED``).  A routing key (the model name, or the task name
+when the request names no model) hashes to a point on the ring and walks
+clockwise:
+
+* :meth:`HashRing.preference` is the full deterministic order of
+  *distinct* workers for a key — position 0 is the key's home worker,
+  the rest are its spillover order when workers die;
+* :meth:`HashRing.lookup` returns the first **alive** worker in that
+  order, so a crashed worker's traffic lands on a deterministic
+  substitute and snaps back the moment the supervisor respawns it;
+* a *warm set* (``preference[:spread]``) bounds how many workers one
+  model's traffic may touch: batches stay full (warm) on a few workers
+  instead of fragmenting across the whole pool.  ``spread=0`` means the
+  warm set is every alive worker — right for a cluster serving one hot
+  model, where total throughput beats per-worker batch depth.
+
+Routing never affects results: every worker serves identical weight
+versions out of the shared spool, and batching determinism is a
+per-worker contract — any worker answers with the same bits.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+
+class NoWorkerAvailable(RuntimeError):
+    """Every worker in the ring is marked dead (serve a 503 upstream)."""
+
+
+def stable_hash(key: str) -> int:
+    """A 64-bit hash that is identical in every process and run."""
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring over a fixed set of worker ids."""
+
+    def __init__(self, workers: Sequence[int], replicas: int = 64):
+        if not workers:
+            raise ValueError("a hash ring needs at least one worker")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.workers = list(workers)
+        self.replicas = replicas
+        points = sorted((stable_hash(f"worker-{w}#{r}"), w)
+                        for w in self.workers for r in range(replicas))
+        self._hashes = [h for h, _ in points]
+        self._owners = [w for _, w in points]
+
+    # ------------------------------------------------------------------
+    def preference(self, key: str) -> List[int]:
+        """Deterministic distinct-worker order for ``key`` (home first)."""
+        start = bisect.bisect_right(self._hashes, stable_hash(str(key)))
+        seen: Set[int] = set()
+        order: List[int] = []
+        n = len(self._owners)
+        for i in range(n):
+            worker = self._owners[(start + i) % n]
+            if worker not in seen:
+                seen.add(worker)
+                order.append(worker)
+                if len(order) == len(self.workers):
+                    break
+        return order
+
+    def lookup(self, key: str, alive: Optional[Iterable[int]] = None) -> int:
+        """First alive worker in the key's preference order."""
+        alive_set = None if alive is None else set(alive)
+        for worker in self.preference(key):
+            if alive_set is None or worker in alive_set:
+                return worker
+        raise NoWorkerAvailable(f"no alive worker for key {key!r}")
+
+
+class Router:
+    """Dispatch policy over a ring: warm sets + per-key rotation.
+
+    ``route()`` returns the candidate workers for a key in dispatch
+    order: the alive members of the warm set first (rotated per key so a
+    hot model's requests spread across its warm workers), then the
+    remaining alive workers as spillover.  The warm set itself is a pure
+    function of ``(key, alive workers)`` — deterministic, as the batching
+    contract requires.
+    """
+
+    def __init__(self, ring: HashRing, spread: int = 0):
+        self.ring = ring
+        self.spread = spread
+        self._counters: Dict[str, itertools.count] = {}
+        self._lock = threading.Lock()
+
+    def _tick(self, key: str) -> int:
+        with self._lock:
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = itertools.count()
+            return next(counter)
+
+    def route(self, key: str, alive: Iterable[int]) -> List[int]:
+        """Dispatch order for ``key``: rotated warm set, then spillover."""
+        alive_set = set(alive)
+        preference = [w for w in self.ring.preference(key)
+                      if w in alive_set]
+        if not preference:
+            raise NoWorkerAvailable(f"no alive worker for key {key!r}")
+        spread = self.spread if self.spread > 0 else len(preference)
+        warm = preference[:spread]
+        tick = self._tick(key) % len(warm)
+        rotated = warm[tick:] + warm[:tick]
+        return rotated + preference[spread:]

@@ -1,0 +1,233 @@
+"""Shared-memory weight publication: one copy-on-write mmap per version.
+
+The cluster keeps model weights out of worker heaps entirely.  The parent
+(front-end) process *publishes* each checkpoint as a flat, 64-byte-aligned
+binary blob in a spool directory — one blob per ``(model, version)`` —
+and every worker *attaches* the blob with ``mmap.ACCESS_COPY``:
+
+* the mapping is **read-only in effect**: inference only ever reads the
+  parameter pages, so the kernel shares one physical copy of the weights
+  across the whole worker pool (page-cache backed, no per-worker copy);
+* it is **copy-on-write by construction**: an accidental in-place write
+  in one worker materialises a private page instead of corrupting its
+  siblings — isolation without ``PROT_READ`` hard-faulting a stray write
+  path that NumPy cannot distinguish from a legitimate buffer.
+
+Hot reload never mutates a published blob.  A new version is written to a
+fresh file (atomic ``os.replace``), the per-model ``CURRENT`` pointer is
+swapped, and workers re-attach and swap their registry entry in one
+assignment — the old mapping stays valid for any in-flight batch that was
+admitted under it, so a reload can never mix weight versions inside one
+stacked forward (the batch key already includes the entry version).
+
+Blob layout (version 1)::
+
+    8 bytes   magic  b"RPROSHM1"
+    8 bytes   little-endian uint64 header length H
+    H bytes   JSON header {"meta": {...}, "params": [
+                  {"name", "dtype", "shape", "offset", "nbytes"}, ...]}
+    pad to 64
+    data section: each array's raw C-order bytes, 64-byte aligned;
+                  ``offset`` is relative to the data section start.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...nn import read_checkpoint, validate_checkpoint_metadata
+
+MAGIC = b"RPROSHM1"
+ALIGN = 64
+
+
+class BlobFormatError(ValueError):
+    """The file is not a valid weight blob (magic/header corruption)."""
+
+
+def _pad(n: int) -> int:
+    return (-n) % ALIGN
+
+
+def write_blob(state: Dict[str, np.ndarray], meta: Dict[str, Any],
+               path: str) -> int:
+    """Write ``state`` + ``meta`` as one weight blob; returns its size.
+
+    The write is atomic: the blob is assembled in a temp file in the same
+    directory and ``os.replace``\\ d into place, so an attach can never see
+    a half-written version.
+    """
+    params: List[Dict[str, Any]] = []
+    offset = 0
+    arrays = []
+    for name in sorted(state):
+        arr = np.ascontiguousarray(state[name])
+        params.append({"name": name, "dtype": arr.dtype.str,
+                       "shape": list(arr.shape), "offset": offset,
+                       "nbytes": int(arr.nbytes)})
+        arrays.append(arr)
+        offset += arr.nbytes + _pad(arr.nbytes)
+    header = json.dumps({"meta": meta, "params": params},
+                        sort_keys=True).encode("utf-8")
+
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".blob.tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(len(header).to_bytes(8, "little"))
+            fh.write(header)
+            head_len = len(MAGIC) + 8 + len(header)
+            fh.write(b"\0" * _pad(head_len))
+            for arr in arrays:
+                raw = arr.tobytes()
+                fh.write(raw)
+                fh.write(b"\0" * _pad(len(raw)))
+            fh.flush()
+            os.fsync(fh.fileno())
+            size = fh.tell()
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return size
+
+
+class SharedWeights:
+    """One attached weight blob: metadata plus zero-copy array views.
+
+    The arrays returned by :attr:`arrays` (and installed by
+    :meth:`load_into`) are views into the copy-on-write mapping; they hold
+    a reference to the ``mmap`` object, so the mapping lives exactly as
+    long as any model still using it.
+    """
+
+    def __init__(self, path: str, version: Optional[int] = None):
+        self.path = str(path)
+        self.version = version
+        with open(self.path, "rb") as fh:
+            self._mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_COPY)
+        if self._mm[:len(MAGIC)] != MAGIC:
+            raise BlobFormatError(
+                f"{self.path} is not a weight blob (bad magic)")
+        head_len = int.from_bytes(self._mm[len(MAGIC):len(MAGIC) + 8],
+                                  "little")
+        header_start = len(MAGIC) + 8
+        try:
+            header = json.loads(
+                self._mm[header_start:header_start + head_len])
+        except ValueError as err:
+            raise BlobFormatError(
+                f"{self.path}: malformed blob header: {err}") from None
+        self.meta: Dict[str, Any] = header["meta"]
+        data_start = header_start + head_len
+        data_start += _pad(data_start)
+        self.arrays: Dict[str, np.ndarray] = {}
+        for spec in header["params"]:
+            arr = np.frombuffer(
+                self._mm, dtype=np.dtype(spec["dtype"]),
+                count=int(np.prod(spec["shape"], dtype=np.int64)),
+                offset=data_start + spec["offset"],
+            ).reshape(spec["shape"])
+            self.arrays[spec["name"]] = arr
+
+    @property
+    def nbytes(self) -> int:
+        return sum(arr.nbytes for arr in self.arrays.values())
+
+    def load_into(self, model) -> Dict[str, Any]:
+        """Attach the mapped arrays as the model's parameters (zero-copy).
+
+        Unlike ``Module.load_state_dict`` this does *not* copy: each
+        parameter's ``data`` becomes a view into the shared mapping, which
+        is the whole point of the spool.  Name/shape mismatches raise
+        exactly like ``load_state_dict``; a dtype mismatch falls back to a
+        private cast copy (correctness over sharing).
+        """
+        own = dict(model.named_parameters())
+        missing = set(own) - set(self.arrays)
+        unexpected = set(self.arrays) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            view = self.arrays[name]
+            if param.data.shape != view.shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{param.data.shape} vs {view.shape}")
+            if param.data.dtype == view.dtype:
+                param.data = view
+            else:
+                param.data = view.astype(param.data.dtype)
+        return self.meta
+
+
+class WeightStore:
+    """The on-disk spool of published weight versions, one dir per cluster.
+
+    Layout: ``<spool>/<name>-v<NNNNNNNN>.blob`` plus an atomically swapped
+    ``<spool>/<name>.current`` pointer file holding the live version
+    number.  Publishing is parent-side; workers only ever attach.
+    """
+
+    def __init__(self, spool_dir: str):
+        self.spool_dir = str(spool_dir)
+        os.makedirs(self.spool_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def blob_path(self, name: str, version: int) -> str:
+        return os.path.join(self.spool_dir, f"{name}-v{version:08d}.blob")
+
+    def _pointer_path(self, name: str) -> str:
+        return os.path.join(self.spool_dir, f"{name}.current")
+
+    def current_version(self, name: str) -> Optional[int]:
+        """The live published version for ``name``, or None."""
+        try:
+            with open(self._pointer_path(name)) as fh:
+                return int(fh.read().strip())
+        except (OSError, ValueError):
+            return None
+
+    def names(self) -> List[str]:
+        return sorted(path[:-len(".current")]
+                      for path in os.listdir(self.spool_dir)
+                      if path.endswith(".current"))
+
+    # ------------------------------------------------------------------
+    def publish(self, name: str, checkpoint_path: str,
+                expect_task: Optional[str] = None) -> Tuple[int, str]:
+        """Publish ``checkpoint_path`` as the next version of ``name``.
+
+        Validates the checkpoint metadata up front (same contract as
+        ``ModelRegistry``), writes the blob, then swaps the ``CURRENT``
+        pointer — returns ``(version, blob_path)``.
+        """
+        state, meta = read_checkpoint(checkpoint_path)
+        validate_checkpoint_metadata(meta, expect_task=expect_task,
+                                     source=checkpoint_path)
+        version = (self.current_version(name) or 0) + 1
+        path = self.blob_path(name, version)
+        write_blob(state, meta, path)
+        pointer = self._pointer_path(name)
+        fd, tmp = tempfile.mkstemp(dir=self.spool_dir, suffix=".cur.tmp")
+        with os.fdopen(fd, "w") as fh:
+            fh.write(str(version))
+        os.replace(tmp, pointer)
+        return version, path
+
+    def attach(self, name: str, version: Optional[int] = None) -> SharedWeights:
+        """Map one published version (default: the current one)."""
+        if version is None:
+            version = self.current_version(name)
+            if version is None:
+                raise FileNotFoundError(
+                    f"no published weights for {name!r} in {self.spool_dir}")
+        return SharedWeights(self.blob_path(name, version), version=version)

@@ -114,15 +114,16 @@ class ModelRegistry:
         self._compile_workers = compile_workers
 
     # ------------------------------------------------------------------
-    def _build_entry(self, name: str, path: str, version: int) -> ModelEntry:
+    def _make_entry(self, name: str, path: str, meta: Dict[str, Any],
+                    load_weights, version: int) -> ModelEntry:
         # Validation checks the checkpoint's task against the registry and
         # names the known tasks when it is unrecognised; the model is then
         # rebuilt through that task's spec (one door for every consumer).
         meta = validate_checkpoint_metadata(
-            peek_metadata(path), expect_task=self._expect_task, source=path)
+            meta, expect_task=self._expect_task, source=path)
         spec = get_task(meta["task"])
         model = spec.rebuild(meta)
-        load_checkpoint(model, path)
+        load_weights(model)
         model.eval()
         params = model.parameters()
         dtype = params[0].data.dtype if params else np.dtype(np.float64)
@@ -133,14 +134,32 @@ class ModelRegistry:
                           dtype=np.dtype(dtype), version=version,
                           compiled=compiled)
 
+    def _build_entry(self, name: str, path: str, version: int) -> ModelEntry:
+        return self._make_entry(
+            name, path, peek_metadata(path),
+            lambda model: load_checkpoint(model, path), version)
+
+    def _claim_version(self, version: Optional[int]) -> int:
+        """Reserve the next version (or record an externally assigned one).
+
+        Cluster workers pass the spool-published version explicitly so the
+        batch key ``(name, version)`` means the same weights on every
+        worker; the counter stays monotonic past explicit versions so
+        mixed use can never reissue a version.
+        """
+        with self._lock:
+            if version is None:
+                version = self._next_version
+            self._next_version = max(self._next_version, version + 1)
+        return version
+
     def load(self, name: str, path: str) -> ModelEntry:
         """Register ``path`` under ``name``; rejects duplicate names."""
         with self._lock:
             if name in self._entries:
                 raise ValueError(f"model name {name!r} already registered; "
                                  "use reload() to replace it")
-            version = self._next_version
-            self._next_version += 1
+        version = self._claim_version(None)
         entry = self._build_entry(name, path, version)
         with self._lock:
             self._entries[name] = entry
@@ -153,10 +172,50 @@ class ModelRegistry:
         load/validation error the registry keeps serving the old entry.
         """
         old = self.get(name)
-        with self._lock:
-            version = self._next_version
-            self._next_version += 1
+        version = self._claim_version(None)
         entry = self._build_entry(name, path or old.path, version)
+        with self._lock:
+            self._entries[name] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    def load_attached(self, name: str, shared,
+                      version: Optional[int] = None) -> ModelEntry:
+        """Register a model whose weights live in a shared mapping.
+
+        ``shared`` is a :class:`~repro.serving.cluster.shm.SharedWeights`:
+        the rebuilt model's parameters become zero-copy views into the
+        published copy-on-write blob, so N workers attaching the same
+        version share one physical copy of the weights.  ``version``
+        should be the spool's published version so batch keys agree
+        across the worker pool.
+        """
+        with self._lock:
+            if name in self._entries:
+                raise ValueError(f"model name {name!r} already registered; "
+                                 "use reload_attached() to replace it")
+        version = self._claim_version(
+            version if version is not None else shared.version)
+        entry = self._make_entry(name, f"shm://{shared.path}", shared.meta,
+                                 shared.load_into, version)
+        with self._lock:
+            self._entries[name] = entry
+        return entry
+
+    def reload_attached(self, name: str, shared,
+                        version: Optional[int] = None) -> ModelEntry:
+        """Atomically swap ``name`` onto a freshly published shared version.
+
+        Same hot-reload contract as :meth:`reload`: the entry is built
+        outside the lock and swapped in one assignment, and the batcher's
+        ``(name, version)`` keys guarantee no stacked forward ever mixes
+        the old and new weights.
+        """
+        self.get(name)                     # raises UnknownModelError
+        version = self._claim_version(
+            version if version is not None else shared.version)
+        entry = self._make_entry(name, f"shm://{shared.path}", shared.meta,
+                                 shared.load_into, version)
         with self._lock:
             self._entries[name] = entry
         return entry

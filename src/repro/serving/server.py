@@ -127,14 +127,29 @@ class _Handler(BaseHTTPRequestHandler):
         if ref is not None:
             self.send_header("X-Trace-Id", ref.trace_id)
 
+    def _inbound_parent(self) -> Optional[_obs_context.SpanRef]:
+        """Cross-process trace continuation from the request headers.
+
+        The cluster front end forwards its ``http.request`` span as
+        ``X-Trace-Id``/``X-Parent-Span``; adopting it as this span's
+        parent makes the worker's handling (and the ``batch.execute``
+        spans under it) nest inside the originating request in
+        ``repro trace`` reports.
+        """
+        trace_id = self.headers.get("X-Trace-Id")
+        parent_span = self.headers.get("X-Parent-Span")
+        if trace_id and parent_span:
+            return _obs_context.SpanRef(trace_id, parent_span)
+        return None
+
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
         ob = _obs.active()
         if ob is None:
             self._handle_get()
             return
-        with ob.span("http.request", {"method": "GET",
-                                      "path": self.path}) as span:
+        with ob.span("http.request", {"method": "GET", "path": self.path},
+                     parent=self._inbound_parent()) as span:
             span.set(status_code=self._handle_get())
 
     def _handle_get(self) -> int:
@@ -165,8 +180,8 @@ class _Handler(BaseHTTPRequestHandler):
         if ob is None:
             self._handle_post()
             return
-        with ob.span("http.request", {"method": "POST",
-                                      "path": self.path}) as span:
+        with ob.span("http.request", {"method": "POST", "path": self.path},
+                     parent=self._inbound_parent()) as span:
             span.set(status_code=self._handle_post())
 
     def _handle_post(self) -> int:
@@ -278,8 +293,11 @@ class _Handler(BaseHTTPRequestHandler):
         except (QueueFullError, BatcherClosedError) as err:
             # Shed the whole request; already-submitted windows still
             # execute but their rows are dropped (the client retries).
+            # Retry-After is adaptive: the batcher estimates how long the
+            # current backlog takes to drain at the recent service rate.
             raise RequestError(503, "overloaded", str(err),
-                               retry_after_s=0.05) from None
+                               retry_after_s=srv.batcher.retry_after_s()
+                               ) from None
 
         deadline = time.monotonic() + timeout_s
         outputs = []
@@ -332,7 +350,8 @@ class ForecastServer(ThreadingHTTPServer):
 
     def __init__(self, config: ServingConfig, registry: ModelRegistry,
                  batcher: Optional[MicroBatcher] = None,
-                 metrics: Optional[ServerMetrics] = None):
+                 metrics: Optional[ServerMetrics] = None,
+                 handler_cls: type = _Handler):
         self.config = config
         self.registry = registry
         self.metrics = metrics or ServerMetrics()
@@ -340,7 +359,7 @@ class ForecastServer(ThreadingHTTPServer):
             registry, max_batch_size=config.max_batch_size,
             max_wait_ms=config.max_wait_ms, queue_size=config.queue_size,
             metrics=self.metrics)
-        super().__init__((config.host, config.port), _Handler)
+        super().__init__((config.host, config.port), handler_cls)
 
     @property
     def address(self) -> str:
