@@ -331,6 +331,65 @@ def bench_obs() -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Trace store: footer-indexed reads over a rotated multi-segment log
+# ---------------------------------------------------------------------------
+
+TRACE_SEGMENT_BYTES = 128 << 10
+TRACE_RESOURCE_RECORDS = 24_000
+TRACE_SPAN_RECORDS = 400
+TRACE_ROUNDS = 3
+
+
+def bench_trace_store() -> dict:
+    """Cost of ``repro trace --analyze`` on a rotated log: indexed vs full.
+
+    Builds a rotated chain the way a long soak run would (a dense stream
+    of ``resource`` samples with a burst of spans at the end), then times
+    reading every record versus reading only the analysis kinds
+    (spans/events) through the footer index.  Footers let whole
+    resource-only segments be skipped without opening their bodies, so
+    the indexed read must be decisively cheaper than the full scan —
+    ``trace_indexed_over_full`` is gated by ``scripts/bench_compare.py``.
+    """
+    from repro.obs.events import record
+    from repro.obs.report import ANALYSIS_KINDS
+    from repro.obs.store import RotatingJsonlSink, TraceStore, load_records
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "soak.jsonl")
+        sink = RotatingJsonlSink(path, max_segment_bytes=TRACE_SEGMENT_BYTES)
+        ts = 1_000_000.0
+        for i in range(TRACE_RESOURCE_RECORDS):
+            ts += 0.05
+            sink.emit(record("resource", "proc.sample",
+                             {"rss_bytes": 100 << 20, "cpu_s": i * 0.01,
+                              "cpu_pct": 37.5}, ts=ts))
+        for i in range(TRACE_SPAN_RECORDS):
+            ts += 0.01
+            sink.emit(record("span_end", "http.request",
+                             {"method": "POST", "path": "/v1/forecast",
+                              "status_code": 200, "status": "ok"},
+                             trace=f"t{i:06x}", span=f"s{i:06x}",
+                             dur_s=0.004, ts=ts))
+        sink.close()
+        segments = len(TraceStore(path).segments())
+
+        full = _time_case(lambda: load_records(path), TRACE_ROUNDS)
+        indexed = _time_case(
+            lambda: load_records(path, kinds=ANALYSIS_KINDS), TRACE_ROUNDS)
+        spans_seen = len(load_records(path, kinds=ANALYSIS_KINDS))
+
+    timings = {"trace_read_full": full, "trace_read_indexed": indexed}
+    facts = {
+        "trace_segments": segments,
+        "trace_indexed_over_full": indexed["min_s"] / full["min_s"],
+        "trace_indexed_reads_complete":
+            bool(spans_seen == TRACE_SPAN_RECORDS),
+    }
+    return {"timings": timings, "facts": facts}
+
+
+# ---------------------------------------------------------------------------
 # Compiled execution: capture/replay vs the interpreted op graph
 # ---------------------------------------------------------------------------
 
@@ -572,6 +631,12 @@ def run_suite(rounds_scale: float = 1.0, with_grid: bool = True) -> dict:
     for name in obs_bench["timings"]:
         print(f"  {name:35s} min {timings[name]['min_s'] * 1e3:9.3f} ms  "
               f"mean {timings[name]['mean_s'] * 1e3:9.3f} ms")
+    trace_bench = bench_trace_store()
+    timings.update(trace_bench["timings"])
+    verification.update(trace_bench["facts"])
+    for name in trace_bench["timings"]:
+        print(f"  {name:35s} min {timings[name]['min_s'] * 1e3:9.3f} ms  "
+              f"mean {timings[name]['mean_s'] * 1e3:9.3f} ms")
     compiled_bench = bench_compiled()
     timings.update(compiled_bench["timings"])
     verification.update(compiled_bench["facts"])
@@ -628,6 +693,9 @@ def main(argv=None) -> int:
     print(f"  obs overhead on Trainer.fit: disabled "
           f"{ver['trainer_obs_disabled_overhead']:.3f}x, enabled "
           f"{ver['trainer_obs_enabled_overhead']:.3f}x of uninstrumented")
+    print(f"  trace store: {ver['trace_segments']} rotated segments, indexed "
+          f"read at {ver['trace_indexed_over_full']:.1%} of the full scan "
+          f"(complete: {ver['trace_indexed_reads_complete']})")
     print(f"  compiled vs eager: forward {ver['compiled_forward_speedup']:.2f}x, "
           f"train step {ver['compiled_train_step_speedup']:.2f}x "
           f"(batch8 {ver['compiled_train_step_speedup_batch8']:.2f}x, "

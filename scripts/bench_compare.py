@@ -40,6 +40,11 @@ gated when present in the current report:
   layer present but disabled, as a ratio of the uninstrumented fit) must
   stay within ``--obs-overhead-threshold`` (default 2%) — the tracing
   layer's zero-cost-when-disabled contract;
+* ``trace_indexed_over_full`` (reading only span/event kinds from a
+  rotated multi-segment log, as a fraction of the full scan) must stay
+  at or below ``--trace-indexed-threshold`` (default 50%) — the footer
+  index must let ``repro trace --analyze`` skip segments, not re-read
+  everything — and ``trace_indexed_reads_complete`` must be true;
 * ``compiled_forward_speedup`` (graph-building eager forward over the
   compiled replay, paired-ratio protocol at the dispatch-bound shape)
   must stay at or above ``--compiled-speedup-threshold`` (default 1.3x);
@@ -230,6 +235,7 @@ def check_obs_facts(current: dict, overhead_threshold: float) -> int:
 REQUIRED_FACTS = (
     "tfblock_freed_over_retained",
     "trainer_obs_disabled_overhead",
+    "trace_indexed_over_full",
     "compiled_forward_speedup",
     "compiled_train_step_speedup",
     "compiled_peak_saved_bytes_ratio",
@@ -246,6 +252,29 @@ def check_required_facts(current: dict) -> int:
               "benchmarks/bench_substrate.py (stale or truncated report?)",
               file=sys.stderr)
     return 1 if missing else 0
+
+
+def check_trace_store_facts(current: dict, indexed_threshold: float) -> int:
+    """Gate the footer-indexed read win on rotated logs; 0 = ok, 1 = fail."""
+    ver = current.get("verification", {})
+    if "trace_indexed_over_full" not in ver:
+        return 0  # absence is reported by check_required_facts
+    failures = 0
+    frac = float(ver["trace_indexed_over_full"])
+    print(f"trace store: indexed read at {frac:.1%} of the full scan over "
+          f"{ver.get('trace_segments', '?')} rotated segments "
+          f"(threshold {indexed_threshold:.0%})")
+    if frac > indexed_threshold:
+        print(f"FAIL: the footer-indexed read took {frac:.1%} of the full "
+              f"scan (limit {indexed_threshold:.0%}) — segment skipping is "
+              "not happening (footers missing or ignored?)", file=sys.stderr)
+        failures += 1
+    if not ver.get("trace_indexed_reads_complete", False):
+        print("FAIL: the indexed read returned a different span/event set "
+              "than the full scan — the footer index is dropping records",
+              file=sys.stderr)
+        failures += 1
+    return 1 if failures else 0
 
 
 def check_compiled_facts(current: dict, fwd_threshold: float,
@@ -362,6 +391,10 @@ def main(argv=None) -> int:
                         help="allowed Trainer.fit slowdown with tracing "
                              "disabled, vs the uninstrumented fit "
                              "(0.02 = 2%%)")
+    parser.add_argument("--trace-indexed-threshold", type=float, default=0.5,
+                        help="max indexed/full read-time fraction on a "
+                             "rotated trace log (0.5 = the footer index "
+                             "must at least halve the analysis read)")
     parser.add_argument("--compiled-speedup-threshold", type=float,
                         default=1.3,
                         help="minimum compiled/eager forward speedup at the "
@@ -394,13 +427,15 @@ def main(argv=None) -> int:
     cluster_status = check_cluster_facts(current,
                                          args.cluster_scaling_threshold)
     obs_status = check_obs_facts(current, args.obs_overhead_threshold)
+    trace_status = check_trace_store_facts(current,
+                                           args.trace_indexed_threshold)
     compiled_status = check_compiled_facts(
         current, args.compiled_speedup_threshold,
         args.compiled_step_speedup_threshold,
         args.compiled_peak_bytes_threshold)
     return (status or required_status or grid_status or memory_status
             or serving_status or cluster_status or obs_status
-            or compiled_status)
+            or trace_status or compiled_status)
 
 
 if __name__ == "__main__":

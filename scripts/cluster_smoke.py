@@ -12,7 +12,14 @@ CI cares about:
 3. hot reload mid-flight publishes a new weight version and every
    subsequent answer comes from it;
 4. a crashed worker is respawned (fresh pid) and answers correctly;
-5. the whole cluster drains cleanly.
+5. ``repro top`` renders at least one dashboard frame against the live
+   cluster's ``/metrics`` (QPS, latency quantiles, worker liveness, SLO
+   error budget);
+6. the whole cluster drains cleanly;
+7. (with ``--trace``) critical-path attribution over the recorded trace:
+   every cluster request's component sum (proxy hop + queue wait + batch
+   execute + postprocess) lands within 5% of the front-end span's
+   measured duration.
 
 Exits non-zero on the first failed check.  ``--trace PATH`` writes the
 run's span/event JSONL (front-end and workers append to the same file)
@@ -123,7 +130,7 @@ def main(argv=None) -> int:
     config = ClusterConfig(workers=args.workers, port=0,
                            spool_dir=os.path.join(tmp, "spool"),
                            serving=serving, expect_task="forecast",
-                           trace_path=args.trace)
+                           trace_path=args.trace, slo="default")
     print(f"cluster_smoke: booting {args.workers} worker(s) ...")
     server = build_cluster(config, {MODEL: ckpt_v1})
     thread = threading.Thread(target=server.serve_forever,
@@ -226,8 +233,25 @@ def main(argv=None) -> int:
         check("restart counted in cluster metrics",
               status == 200 and "repro_cluster_worker_restarts_total" in text
               and f'worker="{victim}"' in text)
+
+        # 5. live dashboard: `repro top` must render at least one frame
+        # against the running cluster, showing traffic and the SLO budget
+        import io
+
+        from repro.obs import top as obs_top
+        buf = io.StringIO()
+        frames = obs_top.run_top(f"http://{host}:{port}/metrics",
+                                 interval_s=0.2, iterations=2,
+                                 stream=buf, clear=False)
+        frame_text = buf.getvalue()
+        check("repro top renders against the live cluster",
+              frames >= 1 and "requests" in frame_text
+              and "workers alive" in frame_text,
+              f"frames={frames} text={frame_text[:200]!r}")
+        check("repro top shows the SLO error budget",
+              "slo budget" in frame_text, frame_text[:200])
     finally:
-        # 5. clean drain: stop accepting, finish in-flight, reap workers
+        # 6. clean drain: stop accepting, finish in-flight, reap workers
         server.shutdown()
         thread.join(timeout=10)
         t0 = time.monotonic()
@@ -240,6 +264,23 @@ def main(argv=None) -> int:
         if args.trace:
             from repro.obs import runtime as obs_runtime
             obs_runtime.shutdown()
+
+    if args.trace:
+        # 7. critical-path attribution over the recorded trace: every
+        # cluster request's component sum must land within 5% of the
+        # front-end span's measured wall-clock.
+        from repro.obs import analysis as obs_analysis
+        from repro.obs import store as obs_store
+        records = obs_store.load_records(args.trace)
+        rows = [r for r in obs_analysis.request_attributions(records)
+                if r["tier"] == "cluster"]
+        check("trace carries attributable cluster requests",
+              len(rows) >= n_posts, f"got {len(rows)}")
+        bad = [r for r in rows if not 0.95 <= r["coverage"] <= 1.05]
+        check("attribution sums within 5% of frontend span duration",
+              bool(rows) and not bad,
+              f"{len(bad)}/{len(rows)} outside, e.g. "
+              + (f"{bad[0]['coverage']:.3f}" if bad else ""))
 
     if _failures:
         print(f"cluster_smoke: FAIL ({len(_failures)} check(s)): "

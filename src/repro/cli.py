@@ -186,7 +186,7 @@ def cmd_serve(args) -> int:
     serving = ServingConfig(
         host=args.host, port=args.port, max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms, queue_size=args.queue_size,
-        default_timeout_ms=args.timeout_ms)
+        default_timeout_ms=args.timeout_ms, slo=args.slo)
 
     if args.workers > 1:
         return _serve_cluster(args, names, serving)
@@ -219,7 +219,7 @@ def _serve_cluster(args, names, serving) -> int:
         workers=args.workers, host=args.host, port=args.port,
         spool_dir=args.spool_dir, spread=args.spread, serving=serving,
         compiled=args.compiled, expect_task=args.task,
-        trace_path=getattr(args, "trace", None))
+        trace_path=getattr(args, "trace", None), slo=args.slo)
     try:
         server = build_cluster(config, checkpoints)
     except (ValueError, KeyError, OSError, WorkerStartupError) as err:
@@ -229,17 +229,68 @@ def _serve_cluster(args, names, serving) -> int:
 
 
 def cmd_trace(args) -> int:
-    """Aggregate a JSONL run trace into a human-readable profile."""
+    """Aggregate a JSONL run trace into human-readable (or JSON) reports.
+
+    With no section flag: the classic full report.  ``--analyze``,
+    ``--flamegraph``, and ``--slo`` select the analysis sections (and
+    load only span/event kinds, so footer-indexed rotated logs skip
+    segments holding nothing relevant); ``--json`` prints one document
+    mirroring every rendered section.
+    """
+    from .obs import analysis as obs_analysis
+    from .obs import slo as obs_slo
+    analysis_only = (args.analyze or args.slo
+                     or args.flamegraph is not None) and not args.json
+    kinds = obs_report.ANALYSIS_KINDS if analysis_only else None
     try:
-        records = obs_report.load(args.path)
+        records = obs_report.load(args.path, kinds=kinds)
     except (OSError, ValueError) as err:
         print(f"error reading {args.path}: {err}", file=sys.stderr)
         return 1
     if not records:
         print(f"error: {args.path} contains no events", file=sys.stderr)
         return 1
+    if args.json:
+        import json as _json
+        print(_json.dumps(obs_report.report_data(records), indent=2,
+                          sort_keys=True, default=str))
+        return 0
+    sections = []
+    if args.analyze:
+        body = obs_analysis.render_analysis(records)
+        sections.append(("critical path",
+                         body or "(no attributable requests or fits)"))
+    if args.slo:
+        body = obs_slo.render_slo(records)
+        sections.append(("slo", body or "(no request stream to evaluate)"))
+    if args.flamegraph is not None:
+        folded = obs_analysis.render_folded(records)
+        if args.flamegraph == "-":
+            sections.append(("flamegraph (folded stacks)", folded))
+        else:
+            with open(args.flamegraph, "w", encoding="utf-8") as fh:
+                fh.write(folded + ("\n" if folded else ""))
+            print(f"folded stacks written to {args.flamegraph}")
+    if sections:
+        print("\n\n".join(f"== {title} ==\n{body}"
+                          for title, body in sections))
+        return 0
     print(obs_report.render_report(records))
     return 0
+
+
+def cmd_top(args) -> int:
+    """Live terminal dashboard over a serving ``/metrics`` endpoint."""
+    from .obs import top as obs_top
+    url = args.url
+    if "://" not in url:
+        url = f"http://{url}"
+    if not url.rstrip("/").endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
+    frames = obs_top.run_top(url, interval_s=args.interval,
+                             iterations=args.iterations,
+                             clear=not args.no_clear)
+    return 0 if frames > 0 else 1
 
 
 def cmd_decompose(args) -> int:
@@ -332,10 +383,46 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace", default=None, metavar="PATH",
                        help="write a JSONL run trace with one span per "
                             "request (trace id echoed in X-Trace-Id)")
+    serve.add_argument("--slo", default=None, metavar="CONF",
+                       help="track SLOs with burn-rate alerting: 'default' "
+                            "for the stock availability + latency pair, or "
+                            "a JSON objectives file (budget gauges join "
+                            "/metrics; alerts land in the trace)")
 
     trace = sub.add_parser(
         "trace", help="render a JSONL run trace written by --trace")
-    trace.add_argument("path", help="JSONL trace file to aggregate")
+    trace.add_argument("path", help="JSONL trace file to aggregate "
+                                    "(rotated segment chains included)")
+    trace.add_argument("--analyze", action="store_true",
+                       help="critical-path attribution: split each "
+                            "request's wall-clock into proxy hop / queue "
+                            "wait / batch execute / postprocess, and each "
+                            "profiled fit into per-op time")
+    trace.add_argument("--flamegraph", nargs="?", const="-", default=None,
+                       metavar="OUT",
+                       help="export folded-stack flamegraph text to OUT "
+                            "(default: stdout); feed to flamegraph.pl or "
+                            "speedscope")
+    trace.add_argument("--slo", action="store_true",
+                       help="replay the request stream through the SLO "
+                            "engine: burn rates per window, budget "
+                            "remaining, logged alert transitions")
+    trace.add_argument("--json", action="store_true",
+                       help="print one machine-readable JSON document "
+                            "mirroring every rendered section")
+
+    top = sub.add_parser(
+        "top", help="live dashboard polling a serving /metrics endpoint")
+    top.add_argument("url", help="server base URL or /metrics URL "
+                                 "(e.g. http://127.0.0.1:8321)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="render this many frames then exit "
+                          "(default: run until interrupted)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of repainting the screen "
+                          "(CI logs, piping to a file)")
 
     decompose = sub.add_parser("decompose",
                                help="triple-decompose a dataset window")
@@ -365,7 +452,7 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "train": cmd_train,
                 "decompose": cmd_decompose,
-                "serve": cmd_serve, "trace": cmd_trace}
+                "serve": cmd_serve, "trace": cmd_trace, "top": cmd_top}
     for spec in task_specs():
         handlers[spec.infer_command] = functools.partial(cmd_infer, spec)
     handler = handlers[args.command]

@@ -20,7 +20,10 @@ training (`print`), experiments (stderr progress), and serving
 See DESIGN.md §5g for the span-context contract.
 """
 
-from . import console, context, events, report
+from . import analysis, console, context, events, report, slo, store, top
+from .analysis import (
+    fit_attributions, folded_stacks, render_analysis, request_attributions,
+)
 from .console import ConsoleSink
 from .context import SpanRef
 from .events import (
@@ -32,10 +35,15 @@ from .metrics import (
 )
 from .resource import ResourceSampler, sample_process
 from .runtime import active, configure, observe, shutdown
+from .slo import SLObjective, SLOTracker, default_objectives, load_objectives
+from .store import RotatingJsonlSink, TraceStore, load_records, read_footer
 from .tracer import Observer, Span
 
 __all__ = [
-    "console", "context", "events", "report",
+    "analysis", "console", "context", "events", "report", "slo", "store",
+    "top",
+    "fit_attributions", "folded_stacks", "render_analysis",
+    "request_attributions",
     "ConsoleSink", "SpanRef",
     "SCHEMA_VERSION", "JsonlSink", "MultiSink", "NullSink", "read_events",
     "record",
@@ -43,5 +51,7 @@ __all__ = [
     "escape_label_value", "format_labels",
     "ResourceSampler", "sample_process",
     "active", "configure", "observe", "shutdown",
+    "SLObjective", "SLOTracker", "default_objectives", "load_objectives",
+    "RotatingJsonlSink", "TraceStore", "load_records", "read_footer",
     "Observer", "Span",
 ]

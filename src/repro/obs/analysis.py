@@ -1,0 +1,306 @@
+"""Critical-path attribution and flamegraph export over the span DAG.
+
+Raw traces answer "what happened"; this module answers "where did the
+time go" per request and per training fit:
+
+* :func:`request_attributions` — for every served inference request
+  (cluster traces stitched across processes via the
+  ``X-Trace-Id``/``X-Parent-Span`` propagation, single-server traces
+  as-is), apportion the front-end wall-clock into **proxy hop**, **queue
+  wait**, **batch execute** (the stacked model forward), and
+  **postprocess** components.  Components are reconstructed from the
+  span timestamps, so their sum self-validates against the measured
+  request duration (``coverage`` per request; the cluster smoke gate
+  requires it within 5%).
+* :func:`fit_attributions` — for every ``trainer.fit`` span, join the
+  ``trainer.profile`` event (the GraphProfiler summary recorded by
+  ``Trainer.fit(profile=True)``) and apportion the fit wall-clock to
+  per-op forward/backward time.
+* :func:`folded_stacks` — the whole trace as folded-stack flamegraph
+  text (``a;b;c <microseconds>`` per line, self-time semantics), with
+  per-op frames grafted under their ``trainer.fit`` span so a training
+  run's flamegraph bottoms out in ops, not in one opaque fit frame.
+
+Everything is a pure function over record dicts (see
+:mod:`repro.obs.events`); the ``repro trace --analyze/--flamegraph``
+CLI sections are thin renderers on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from . import report as _report
+
+
+def _span_ends(records: Sequence[Dict]) -> List[Dict]:
+    return [r for r in records if r.get("kind") == "span_end"]
+
+
+def _window(rec: Dict) -> Tuple[float, float]:
+    """(start, end) wall-clock seconds of a span_end record.
+
+    ``ts`` is stamped when the record is built — at span exit — so the
+    start is reconstructed as ``ts - dur_s``.
+    """
+    end = float(rec.get("ts", 0.0))
+    return end - float(rec.get("dur_s", 0.0)), end
+
+
+# ----------------------------------------------------------------------
+# Request critical path
+# ----------------------------------------------------------------------
+def request_attributions(records: Sequence[Dict]) -> List[Dict]:
+    """Per-request wall-clock attribution for every inference POST.
+
+    Returns one dict per request::
+
+        {"trace": ..., "path": "/v1/forecast", "tier": "cluster"|"single",
+         "status": ..., "total_s": ...,
+         "components": {"proxy_hop": ..., "queue_wait": ...,
+                        "batch_execute": ..., "postprocess": ...},
+         "coverage": sum(components)/total_s}
+
+    Cluster traces contribute both hops: the front-end ``http.request``
+    span is the total, its worker-side child (stitched via the trace
+    headers) bounds the in-worker components, and the ``batch.execute``
+    span that lists the worker span in ``member_spans`` splits the
+    worker time into queue wait / forward / postprocess.
+    """
+    ended = _span_ends(records)
+    requests = [r for r in ended if r.get("name") == "http.request"
+                and r.get("attrs", {}).get("method") == "POST"
+                and str(r.get("attrs", {}).get("path", "")).startswith("/v1/")]
+    if not requests:
+        return []
+    # batch.execute spans indexed by every member request span they served
+    batch_by_member: Dict[str, Dict] = {}
+    for rec in ended:
+        if rec.get("name") != "batch.execute":
+            continue
+        for member in rec.get("attrs", {}).get("member_spans", []) or []:
+            batch_by_member[member] = rec
+    # worker-side request spans indexed by their parent (the front-end
+    # span id forwarded as X-Parent-Span)
+    worker_by_parent: Dict[str, Dict] = {}
+    frontend_ids = set()
+    for rec in requests:
+        if rec.get("attrs", {}).get("tier") == "frontend":
+            frontend_ids.add(rec.get("span"))
+    for rec in requests:
+        parent = rec.get("parent")
+        if parent in frontend_ids:
+            worker_by_parent[parent] = rec
+
+    out: List[Dict] = []
+    for rec in requests:
+        attrs = rec.get("attrs", {})
+        if attrs.get("tier") == "frontend":
+            worker = worker_by_parent.get(rec.get("span"))
+            out.append(_attribute_one(rec, worker,
+                                      batch_by_member, tier="cluster"))
+        elif rec.get("parent") not in frontend_ids:
+            # Single-server request (no front-end hop above it).
+            out.append(_attribute_one(rec, rec, batch_by_member,
+                                      tier="single"))
+    return out
+
+
+def _attribute_one(total_rec: Dict, worker_rec: Optional[Dict],
+                   batch_by_member: Dict[str, Dict], tier: str) -> Dict:
+    attrs = total_rec.get("attrs", {})
+    total = float(total_rec.get("dur_s", 0.0))
+    components = {"proxy_hop": 0.0, "queue_wait": 0.0,
+                  "batch_execute": 0.0, "postprocess": 0.0}
+    if worker_rec is not None:
+        worker_dur = float(worker_rec.get("dur_s", 0.0))
+        if tier == "cluster":
+            components["proxy_hop"] = max(0.0, total - worker_dur)
+        w_start, w_end = _window(worker_rec)
+        batch = batch_by_member.get(worker_rec.get("span"))
+        if batch is not None:
+            b_start, b_end = _window(batch)
+            components["queue_wait"] = max(0.0, b_start - w_start)
+            components["batch_execute"] = float(batch.get("dur_s", 0.0))
+            components["postprocess"] = max(0.0, w_end - b_end)
+        else:
+            # No batched forward under this request (an error response,
+            # a shed request): the worker handling is one component.
+            components["queue_wait"] = worker_dur
+    else:
+        # Front-end span with no stitched worker child (all candidates
+        # failed, or the worker trace was lost): everything is the hop.
+        components["proxy_hop"] = total
+    covered = sum(components.values())
+    return {
+        "trace": total_rec.get("trace"),
+        "path": attrs.get("path"),
+        "tier": tier,
+        "status": attrs.get("status_code", attrs.get("status")),
+        "total_s": total,
+        "components": components,
+        "coverage": (covered / total) if total > 0 else 1.0,
+    }
+
+
+def summarize_attributions(rows: Sequence[Dict]) -> Optional[Dict]:
+    """Mean per-component share and worst coverage across requests."""
+    if not rows:
+        return None
+    keys = list(rows[0]["components"])
+    total = sum(r["total_s"] for r in rows)
+    shares = {k: (sum(r["components"][k] for r in rows) / total
+                  if total > 0 else 0.0) for k in keys}
+    coverages = [r["coverage"] for r in rows]
+    return {
+        "requests": len(rows),
+        "total_s": total,
+        "component_shares": shares,
+        "coverage_min": min(coverages),
+        "coverage_max": max(coverages),
+    }
+
+
+# ----------------------------------------------------------------------
+# Trainer fit attribution (GraphProfiler join)
+# ----------------------------------------------------------------------
+def fit_attributions(records: Sequence[Dict]) -> List[Dict]:
+    """Join each ``trainer.fit`` span with its ``trainer.profile`` event.
+
+    Returns one dict per profiled fit with the fit wall-clock, the op
+    table, per-op share of the fit, and the profiled fraction (op
+    forward+backward time over fit wall-clock — the rest is data
+    loading, optimizer steps, and Python glue).
+    """
+    fits = {r.get("span"): r for r in _span_ends(records)
+            if r.get("name") == "trainer.fit"}
+    out = []
+    for ev in records:
+        if ev.get("kind") != "event" or ev.get("name") != "trainer.profile":
+            continue
+        attrs = ev.get("attrs", {})
+        ops = attrs.get("ops", {}) or {}
+        fit = fits.get(ev.get("span"))
+        fit_s = float(fit.get("dur_s", 0.0)) if fit else 0.0
+        op_rows = []
+        for name, stats in ops.items():
+            op_s = (float(stats.get("forward_s", 0.0))
+                    + float(stats.get("backward_s", 0.0)))
+            op_rows.append({"op": name, "seconds": op_s,
+                            "forward_s": float(stats.get("forward_s", 0.0)),
+                            "backward_s": float(stats.get("backward_s", 0.0)),
+                            "calls": int(stats.get("calls", 0)),
+                            "share_of_fit": (op_s / fit_s) if fit_s else 0.0})
+        op_rows.sort(key=lambda r: r["seconds"], reverse=True)
+        profiled = sum(r["seconds"] for r in op_rows)
+        out.append({
+            "model": attrs.get("model", "?"),
+            "trace": ev.get("trace"),
+            "fit_s": fit_s,
+            "ops": op_rows,
+            "modules": attrs.get("modules", {}) or {},
+            "profiled_s": profiled,
+            "profiled_fraction": (profiled / fit_s) if fit_s else 0.0,
+        })
+    return out
+
+
+# ----------------------------------------------------------------------
+# Folded-stack flamegraph export
+# ----------------------------------------------------------------------
+def folded_stacks(records: Sequence[Dict]) -> List[str]:
+    """The trace as folded-stack lines: ``frame;frame;... <usec>``.
+
+    Span frames carry **self time** (aggregate duration minus aggregate
+    child duration along the name path, clamped at zero — sibling
+    threads can make children overlap their parent).  ``trainer.fit``
+    frames additionally expand into per-op child frames from the
+    GraphProfiler summary, with the op time subtracted from the fit's
+    self time so nothing is counted twice.
+    """
+    stats = _report.aggregate_spans(records)
+    if not stats:
+        return []
+    totals = {path: entry["total_s"] for path, entry in stats.items()}
+    child_sums: Dict[Tuple[str, ...], float] = {}
+    for path, total in totals.items():
+        if len(path) > 1:
+            parent = path[:-1]
+            child_sums[parent] = child_sums.get(parent, 0.0) + total
+
+    # Op frames grafted under every trainer.fit path, scaled nothing —
+    # the profiler measured the same wall clock the span did.
+    op_frames: Dict[Tuple[str, ...], float] = {}
+    op_time_by_fit_path: Dict[Tuple[str, ...], float] = {}
+    fit_paths = [p for p in totals if p[-1] == "trainer.fit"]
+    if fit_paths:
+        for fit in fit_attributions(records):
+            for path in fit_paths:
+                for row in fit["ops"]:
+                    if row["forward_s"] > 0:
+                        key = path + (f"op:{row['op']} (forward)",)
+                        op_frames[key] = (op_frames.get(key, 0.0)
+                                          + row["forward_s"])
+                    if row["backward_s"] > 0:
+                        key = path + (f"op:{row['op']} (backward)",)
+                        op_frames[key] = (op_frames.get(key, 0.0)
+                                          + row["backward_s"])
+                op_time_by_fit_path[path] = (
+                    op_time_by_fit_path.get(path, 0.0) + fit["profiled_s"])
+
+    lines = []
+    for path in sorted(totals):
+        self_s = totals[path] - child_sums.get(path, 0.0)
+        self_s -= op_time_by_fit_path.get(path, 0.0)
+        usec = int(round(max(0.0, self_s) * 1e6))
+        if usec > 0:
+            lines.append(";".join(path) + f" {usec}")
+    for path in sorted(op_frames):
+        usec = int(round(op_frames[path] * 1e6))
+        if usec > 0:
+            lines.append(";".join(path) + f" {usec}")
+    return lines
+
+
+def render_folded(records: Sequence[Dict]) -> str:
+    return "\n".join(folded_stacks(records))
+
+
+# ----------------------------------------------------------------------
+# Rendering (the `repro trace --analyze` section)
+# ----------------------------------------------------------------------
+def render_analysis(records: Sequence[Dict]) -> Optional[str]:
+    """Human-readable critical-path section, or ``None`` when empty."""
+    req_rows = request_attributions(records)
+    fit_rows = fit_attributions(records)
+    if not req_rows and not fit_rows:
+        return None
+    blocks: List[str] = []
+    summary = summarize_attributions(req_rows)
+    if summary is not None:
+        lines = [f"{summary['requests']} attributed requests, "
+                 f"{summary['total_s'] * 1e3:.1f}ms total; component shares:"]
+        for key, share in summary["component_shares"].items():
+            lines.append(f"  {key:14s} {share:7.1%}")
+        lines.append(f"coverage (component sum / measured duration): "
+                     f"{summary['coverage_min']:.1%} .. "
+                     f"{summary['coverage_max']:.1%}")
+        worst = sorted(req_rows, key=lambda r: r["total_s"],
+                       reverse=True)[:3]
+        lines.append("slowest requests:")
+        for row in worst:
+            parts = ", ".join(f"{k} {v * 1e3:.1f}ms"
+                              for k, v in row["components"].items() if v > 0)
+            lines.append(f"  {row['total_s'] * 1e3:7.1f}ms  {row['path']} "
+                         f"[{row['tier']}]  ({parts})")
+        blocks.append("\n".join(lines))
+    for fit in fit_rows:
+        lines = [f"fit {fit['model']}: {fit['fit_s']:.2f}s wall, "
+                 f"{fit['profiled_s']:.2f}s in ops "
+                 f"({fit['profiled_fraction']:.1%} profiled); top ops:"]
+        for row in fit["ops"][:5]:
+            lines.append(f"  {row['op']:24s} {row['seconds'] * 1e3:8.1f}ms "
+                         f"({row['share_of_fit']:6.1%} of fit, "
+                         f"{row['calls']} calls)")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

@@ -12,7 +12,11 @@ Kinds:
 * ``span_start`` / ``span_end`` — hierarchical spans; ``span_end`` carries
   ``dur_s`` and ``status`` inside ``attrs``;
 * ``event`` — a point-in-time fact (an epoch's losses, a lifecycle note);
-* ``resource`` — a background ``/proc`` RSS + CPU sample.
+* ``resource`` — a background ``/proc`` RSS + CPU sample;
+* ``alert`` — an SLO burn-rate alert transition (firing/resolved) from
+  :mod:`repro.obs.slo`;
+* ``segment_footer`` — the index record sealing a rotated trace segment
+  (:mod:`repro.obs.store`); never emitted into unrotated logs.
 
 ``SCHEMA_VERSION`` is bumped on any incompatible change;
 :func:`read_events` refuses records from a different major version so the
@@ -28,7 +32,8 @@ from typing import Dict, Iterable, List, Optional
 
 SCHEMA_VERSION = 1
 
-KINDS = ("run_start", "run_end", "span_start", "span_end", "event", "resource")
+KINDS = ("run_start", "run_end", "span_start", "span_end", "event",
+         "resource", "alert", "segment_footer")
 
 
 def record(kind: str, name: str, attrs: Optional[Dict] = None, *,

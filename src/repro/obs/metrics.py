@@ -18,6 +18,7 @@ lock.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import Counter as _TallyCounter
 from collections import deque
@@ -108,7 +109,14 @@ class Counter(Metric):
 
 
 class Gauge(Metric):
-    """A point-in-time value, set directly or read through a callback."""
+    """A point-in-time value, set directly or read through a callback.
+
+    A gauge is unlabelled by default (one ``name value`` sample, present
+    from registration — the pre-existing rendering, locked by goldens).
+    Passing ``labels=`` to :meth:`set` turns on labelled series (one
+    sample per label set, like :class:`Counter`); the unlabelled sample
+    is then only rendered if it was ever set explicitly.
+    """
 
     prom_type = "gauge"
 
@@ -116,17 +124,33 @@ class Gauge(Metric):
         super().__init__(name, help_text, lock)
         self._value = 0
         self._fn: Optional[Callable[[], float]] = None
+        self._default_used = False
+        self._series: Dict[Tuple, float] = {}
+        self._label_names: Dict[Tuple, Tuple] = {}
 
-    def set(self, value: float) -> None:
+    def set(self, value: float, labels: Optional[Dict] = None) -> None:
+        if labels:
+            key = tuple(str(v) for v in labels.values())
+            with self._lock:
+                self._series[key] = value
+                if key not in self._label_names:
+                    self._label_names[key] = tuple(labels.keys())
+            return
         with self._lock:
             self._value = value
             self._fn = None
+            self._default_used = True
 
     def set_fn(self, fn: Callable[[], float]) -> None:
         """Register a callable polled at render/read time."""
         self._fn = fn
+        self._default_used = True
 
-    def value(self) -> float:
+    def value(self, labels: Optional[Dict] = None) -> float:
+        if labels:
+            key = tuple(str(v) for v in labels.values())
+            with self._lock:
+                return self._series.get(key, 0)
         fn = self._fn
         if fn is not None:
             # Same contract the old queue-depth gauge had: a broken
@@ -138,11 +162,32 @@ class Gauge(Metric):
         with self._lock:
             return self._value
 
+    def samples(self) -> List[Tuple[Dict, float]]:
+        """Labelled ``(labels_dict, value)`` pairs sorted by label values."""
+        with self._lock:
+            items = sorted(self._series.items())
+            names = dict(self._label_names)
+        return [(dict(zip(names[key], key)), value) for key, value in items]
+
     def sample_lines(self) -> List[str]:
-        return [f"{self.name} {_fmt_value(self.value())}"]
+        with self._lock:
+            has_series = bool(self._series)
+        if not has_series:
+            return [f"{self.name} {_fmt_value(self.value())}"]
+        lines = []
+        if self._default_used:
+            lines.append(f"{self.name} {_fmt_value(self.value())}")
+        lines += [f"{self.name}{format_labels(labels)} {_fmt_value(value)}"
+                  for labels, value in self.samples()]
+        return lines
 
     def data(self) -> Dict:
-        return {"value": self.value()}
+        out: Dict = {"value": self.value()}
+        series = {format_labels(labels): value
+                  for labels, value in self.samples()}
+        if series:
+            out["series"] = series
+        return out
 
 
 class Histogram(Metric):
@@ -272,8 +317,15 @@ class SizeHistogram(Metric):
 
 
 def _fmt_value(value) -> str:
-    if isinstance(value, float) and value.is_integer():
-        return str(int(value))
+    if isinstance(value, float):
+        # Canonical Prometheus text-format spellings for the specials —
+        # `float("NaN")`/`float("+Inf")` round-trip through any reader.
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value.is_integer():
+            return str(int(value))
     return str(value)
 
 

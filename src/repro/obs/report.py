@@ -12,14 +12,26 @@ max — the "where did the time go" table.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from . import events
+from . import events  # noqa: F401  (re-exported; analysis imports via here)
+from .store import TraceStore
+
+#: The record kinds the report sections actually aggregate.  Streaming
+#: loads with this filter let footer-indexed rotated logs skip whole
+#: segments (e.g. ones holding only resource samples).
+ANALYSIS_KINDS = ("span_start", "span_end", "event", "alert")
 
 
-def load(path: str) -> List[Dict]:
-    """Read + schema-validate a run log (re-exported for the CLI)."""
-    return events.read_events(path)
+def load(path: str, kinds: Optional[Iterable[str]] = None) -> List[Dict]:
+    """Stream + schema-validate a run log (rotated chains included).
+
+    Replaces the old ``events.read_events`` single-file path: segments
+    are streamed one line at a time, and when ``kinds`` is given, sealed
+    segments whose footer proves they hold none of the requested kinds
+    are skipped without reading their bodies.
+    """
+    return list(TraceStore(path).iter_events(kinds=kinds))
 
 
 def spans(records: Sequence[Dict]) -> List[Dict]:
@@ -216,11 +228,16 @@ def render_resources(records: Sequence[Dict]) -> Optional[str]:
            if s["attrs"].get("rss_bytes") is not None]
     cpu = [s["attrs"].get("cpu_s") for s in samples
            if s["attrs"].get("cpu_s") is not None]
+    pct = [s["attrs"].get("cpu_pct") for s in samples
+           if s["attrs"].get("cpu_pct") is not None]
     parts = [f"{len(samples)} resource samples"]
     if rss:
         parts.append(f"peak RSS {max(rss) / (1 << 20):.1f} MiB")
     if cpu:
         parts.append(f"CPU {max(cpu) - min(cpu):.2f}s over the run")
+    if pct:
+        parts.append(f"CPU {sum(pct) / len(pct):.0f}% mean / "
+                     f"{max(pct):.0f}% peak")
     return "; ".join(parts)
 
 
@@ -240,3 +257,54 @@ def render_report(records: Sequence[Dict]) -> str:
         if body is not None:
             blocks.append(f"== {title} ==\n{body}")
     return "\n\n".join(blocks) if blocks else "(empty run log)"
+
+
+def report_data(records: Sequence[Dict]) -> Dict:
+    """One JSON-serialisable doc mirroring every rendered section.
+
+    This is what ``repro trace --json`` prints: the same aggregates the
+    human tables show (span tree, epochs, cells, serving, resources)
+    plus the analysis layer (request/fit attributions, SLO statuses,
+    logged alerts) in machine-readable form.
+    """
+    from . import analysis as _analysis          # avoid circular import
+    from . import slo as _slo
+    span_stats = aggregate_spans(records)
+    spans_out = []
+    for path in sorted(span_stats):
+        entry = span_stats[path]
+        spans_out.append({"path": list(path), **entry})
+    requests = [r for r in spans(records) if r.get("name") == "http.request"]
+    by_status: Dict[str, int] = {}
+    for r in requests:
+        key = str(r["attrs"].get("status_code", "?"))
+        by_status[key] = by_status.get(key, 0) + 1
+    samples = [r for r in records if r.get("kind") == "resource"]
+    pct = [s["attrs"].get("cpu_pct") for s in samples
+           if s["attrs"].get("cpu_pct") is not None]
+    rss = [s["attrs"].get("rss_bytes") for s in samples
+           if s["attrs"].get("rss_bytes") is not None]
+    attributions = _analysis.request_attributions(records)
+    return {
+        "spans": spans_out,
+        "epochs": epoch_rows(records),
+        "grid_cells": cell_rows(records),
+        "serving": {
+            "requests": len(requests),
+            "by_status": by_status,
+            "mean_latency_s": (sum(r.get("dur_s", 0.0) for r in requests)
+                               / len(requests)) if requests else None,
+        },
+        "resources": {
+            "samples": len(samples),
+            "peak_rss_bytes": max(rss) if rss else None,
+            "mean_cpu_pct": (sum(pct) / len(pct)) if pct else None,
+        },
+        "analysis": {
+            "requests": attributions,
+            "summary": _analysis.summarize_attributions(attributions),
+            "fits": _analysis.fit_attributions(records),
+        },
+        "slo": [status.data() for status in _slo.replay_trace(records)],
+        "alerts": [r for r in records if r.get("kind") == "alert"],
+    }

@@ -3,8 +3,12 @@
 A daemon thread wakes every ``interval_s`` and emits one ``resource``
 record with the process's resident set size (``/proc/self/status``
 ``VmRSS``) and cumulative CPU seconds (``/proc/self/stat`` utime+stime).
-On platforms without ``/proc`` the sampler degrades to whatever fields it
-can read (possibly none) instead of failing.
+From the second sample on, each record also carries ``cpu_pct`` — CPU
+use over the interval since the previous sample, derived from the delta
+of the cumulative counter (100 = one core fully busy) — so a reader can
+see utilisation without re-deriving deltas itself.  On platforms without
+``/proc`` the sampler degrades to whatever fields it can read (possibly
+none) instead of failing.
 
 Lifecycle: ``start()`` and ``stop()`` are both idempotent; ``stop()``
 joins the thread so no sample can land after it returns.
@@ -14,7 +18,8 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Dict, Optional
+import time
+from typing import Dict, Optional, Tuple
 
 from . import events
 
@@ -87,8 +92,19 @@ class ResourceSampler:
     def _run(self) -> None:
         # Sample once immediately so short runs still get a reading, then
         # on the interval until stop() fires.
+        previous: Optional[Tuple[float, float]] = None
         while True:
-            self.sink.emit(events.record("resource", "proc.sample",
-                                         sample_process()))
+            sample = sample_process()
+            now = time.monotonic()
+            cpu_s = sample.get("cpu_s")
+            if cpu_s is not None:
+                if previous is not None:
+                    prev_t, prev_cpu = previous
+                    elapsed = now - prev_t
+                    if elapsed > 0:
+                        sample["cpu_pct"] = max(
+                            0.0, 100.0 * (cpu_s - prev_cpu) / elapsed)
+                previous = (now, cpu_s)
+            self.sink.emit(events.record("resource", "proc.sample", sample))
             if self._stop.wait(self.interval_s):
                 return

@@ -22,13 +22,21 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Optional
 
+import os
+
 from .events import JsonlSink, MultiSink, NullSink
 from .console import ConsoleSink
 from .metrics import MetricsRegistry
 from .resource import ResourceSampler
+from .store import RotatingJsonlSink
 from .tracer import Observer
 
 _active: Optional[Observer] = None
+
+#: Environment override for trace rotation: a size in MiB.  Lets CI and
+#: long soak runs opt into rotation without threading a flag through
+#: every entry point.
+ROTATE_ENV = "REPRO_TRACE_ROTATE_MB"
 
 
 def active() -> Optional[Observer]:
@@ -36,17 +44,39 @@ def active() -> Optional[Observer]:
     return _active
 
 
+def _rotate_bytes_from_env() -> Optional[int]:
+    raw = os.environ.get(ROTATE_ENV)
+    if not raw:
+        return None
+    try:
+        mib = float(raw)
+    except ValueError:
+        return None
+    return int(mib * (1 << 20)) if mib > 0 else None
+
+
 def configure(path: Optional[str] = None, console: bool = False,
               stream=None, resource_interval_s: Optional[float] = None,
-              registry: Optional[MetricsRegistry] = None) -> Observer:
-    """Install a global observer writing to ``path`` and/or the console."""
+              registry: Optional[MetricsRegistry] = None,
+              rotate_bytes: Optional[int] = None) -> Observer:
+    """Install a global observer writing to ``path`` and/or the console.
+
+    ``rotate_bytes`` (or the ``REPRO_TRACE_ROTATE_MB`` env var) switches
+    the JSONL sink to size-based rotation with footer-indexed segments —
+    single-writer only, so cluster worker processes must not use it.
+    """
     global _active
     if _active is not None:
         _active.close()
         _active = None
+    if rotate_bytes is None:
+        rotate_bytes = _rotate_bytes_from_env()
     sinks = []
     if path:
-        sinks.append(JsonlSink(path))
+        if rotate_bytes:
+            sinks.append(RotatingJsonlSink(path, max_segment_bytes=rotate_bytes))
+        else:
+            sinks.append(JsonlSink(path))
     if console:
         sinks.append(ConsoleSink(stream))
     sink = sinks[0] if len(sinks) == 1 else (

@@ -1,0 +1,349 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SLObjective` states a service-level target over the request
+stream ("99.9% of requests succeed", "99% of requests finish under
+250ms").  An :class:`SLOTracker` folds every observed request into
+bucketed good/total rings, and evaluates the classic multi-window
+burn-rate policy over them:
+
+* **burn rate** = (bad fraction over a window) / (1 - target) — how
+  fast the error budget is being spent relative to a full-budget spend
+  over the SLO period (burn 1.0 = exactly on budget);
+* **page** ("fast burn") when the burn exceeds ``fast_burn`` (default
+  14.4x) over BOTH the 5-minute and the 1-hour window — the short
+  window makes the alert fire promptly, the long window keeps one
+  transient blip from paging;
+* **ticket** ("slow burn") when the burn exceeds ``slow_burn`` (default
+  6x) over the 6-hour window — a leak too slow to page on but fast
+  enough to exhaust the budget in days.
+
+Transitions are edge-triggered: one schema-v1 ``alert`` record per
+firing/resolution is emitted through the active observer (nothing when
+tracing is off), and the current state is always visible as Prometheus
+gauges (``repro_slo_error_budget_remaining{slo=...}``,
+``repro_slo_burn_rate{slo=...,window=...}``) on whatever registry the
+tracker was attached to — the serving ``/metrics`` endpoint and the
+cluster front end both re-evaluate on scrape.
+
+The clock is injectable so tests can replay hours of traffic
+synthetically; production uses ``time.time``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import runtime as _runtime
+from .events import record as _record
+from .metrics import MetricsRegistry
+
+#: (label, seconds) of the evaluation windows, fast to slow.
+FAST_WINDOWS = (("5m", 300.0), ("1h", 3600.0))
+SLOW_WINDOWS = (("6h", 21600.0),)
+ALL_WINDOWS = FAST_WINDOWS + SLOW_WINDOWS
+
+#: Budget gauge name (the ISSUE-level contract; scraped by `repro top`).
+BUDGET_GAUGE = "repro_slo_error_budget_remaining"
+BURN_GAUGE = "repro_slo_burn_rate"
+
+
+@dataclass
+class SLObjective:
+    """One declarative objective over the request stream."""
+
+    name: str
+    #: "availability" (non-5xx is good) or "latency" (non-5xx AND under
+    #: ``threshold_s`` is good; requests without a measured latency are
+    #: excluded rather than guessed).
+    kind: str = "availability"
+    #: Target good fraction, e.g. 0.999 → a 0.1% error budget.
+    target: float = 0.999
+    threshold_s: Optional[float] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.kind == "latency" and not self.threshold_s:
+            raise ValueError(f"latency SLO {self.name!r} needs threshold_s")
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.target
+
+    def is_good(self, status_code: int,
+                latency_s: Optional[float]) -> Optional[bool]:
+        """True/False, or ``None`` when this request doesn't count."""
+        if self.kind == "availability":
+            return int(status_code) < 500
+        if latency_s is None:
+            return None
+        return int(status_code) < 500 and latency_s <= self.threshold_s
+
+
+def default_objectives() -> List[SLObjective]:
+    """The stock serving SLOs used when ``--slo default`` is passed."""
+    return [
+        SLObjective(name="availability", kind="availability", target=0.999,
+                    description="non-5xx responses"),
+        SLObjective(name="latency_p99_250ms", kind="latency", target=0.99,
+                    threshold_s=0.25,
+                    description="successful responses under 250ms"),
+    ]
+
+
+def load_objectives(source: str) -> List[SLObjective]:
+    """Objectives from ``"default"`` or a JSON file.
+
+    The file format is a list of objective dicts::
+
+        [{"name": "availability", "kind": "availability", "target": 0.999},
+         {"name": "latency_fast", "kind": "latency", "target": 0.99,
+          "threshold_s": 0.1}]
+    """
+    if source == "default":
+        return default_objectives()
+    with open(source, encoding="utf-8") as fh:
+        raw = json.load(fh)
+    if not isinstance(raw, list) or not raw:
+        raise ValueError(f"{source}: SLO config must be a non-empty JSON list")
+    return [SLObjective(**item) for item in raw]
+
+
+class _WindowRing:
+    """Good/total counts in fixed-width time buckets over a horizon."""
+
+    def __init__(self, bucket_s: float, horizon_s: float):
+        self.bucket_s = float(bucket_s)
+        self._buckets: deque = deque(
+            maxlen=max(2, int(horizon_s / bucket_s) + 1))
+
+    def add(self, now: float, good: int, total: int) -> None:
+        key = int(now // self.bucket_s)
+        if self._buckets and self._buckets[-1][0] == key:
+            _, g, t = self._buckets[-1]
+            self._buckets[-1] = (key, g + good, t + total)
+        else:
+            self._buckets.append((key, good, total))
+
+    def counts(self, now: float, window_s: float) -> tuple:
+        """(bad, total) over the trailing ``window_s`` seconds."""
+        floor = int((now - window_s) // self.bucket_s)
+        good = total = 0
+        for key, g, t in self._buckets:
+            if key > floor:
+                good += g
+                total += t
+        return total - good, total
+
+
+@dataclass
+class SLOStatus:
+    """One objective's evaluated state (what the report/JSON shows)."""
+
+    objective: SLObjective
+    burn_rates: Dict[str, float] = field(default_factory=dict)
+    bad_fraction: Dict[str, float] = field(default_factory=dict)
+    totals: Dict[str, int] = field(default_factory=dict)
+    budget_remaining: float = 1.0
+    severity: Optional[str] = None     # None | "page" | "ticket"
+
+    def data(self) -> Dict:
+        return {
+            "slo": self.objective.name,
+            "kind": self.objective.kind,
+            "target": self.objective.target,
+            "burn_rates": dict(self.burn_rates),
+            "bad_fraction": dict(self.bad_fraction),
+            "totals": dict(self.totals),
+            "budget_remaining": self.budget_remaining,
+            "severity": self.severity,
+        }
+
+
+class SLOTracker:
+    """Folds request outcomes into windows; evaluates burn-rate alerts.
+
+    ``observe()`` is hot-path cheap (a deque append per objective);
+    evaluation runs at most every ``evaluate_every_s`` seconds from the
+    observe path, plus on every explicit :meth:`evaluate` call (the
+    ``/metrics`` scrape path), so gauges are fresh when read.
+    """
+
+    def __init__(self, objectives: Sequence[SLObjective],
+                 registry: Optional[MetricsRegistry] = None,
+                 clock: Callable[[], float] = time.time,
+                 bucket_s: float = 10.0,
+                 fast_burn: float = 14.4, slow_burn: float = 6.0,
+                 evaluate_every_s: float = 5.0):
+        if not objectives:
+            raise ValueError("SLOTracker needs at least one objective")
+        self.objectives = list(objectives)
+        self.registry = registry or MetricsRegistry()
+        self.clock = clock
+        self.fast_burn = float(fast_burn)
+        self.slow_burn = float(slow_burn)
+        self.evaluate_every_s = float(evaluate_every_s)
+        horizon = max(seconds for _, seconds in ALL_WINDOWS)
+        self._rings = {obj.name: _WindowRing(bucket_s, horizon)
+                       for obj in self.objectives}
+        self._severity: Dict[str, Optional[str]] = {
+            obj.name: None for obj in self.objectives}
+        self._last_eval = float("-inf")
+        self._budget_gauge = self.registry.gauge(
+            BUDGET_GAUGE,
+            "Fraction of the SLO error budget left over the slow (6h) "
+            "window; negative = budget blown.")
+        self._burn_gauge = self.registry.gauge(
+            BURN_GAUGE,
+            "Error-budget burn rate per evaluation window (1.0 = "
+            "spending exactly the budget).")
+        self._alerts = self.registry.counter(
+            "repro_slo_alerts_total",
+            "SLO burn-rate alert firings, by objective and severity.")
+        for obj in self.objectives:     # budget starts whole, visibly
+            self._budget_gauge.set(1.0, labels={"slo": obj.name})
+
+    # ------------------------------------------------------------------
+    def observe(self, status_code: int, latency_s: Optional[float] = None,
+                count: int = 1) -> None:
+        """Fold one (or ``count`` identical) finished request(s) in."""
+        now = self.clock()
+        for obj in self.objectives:
+            good = obj.is_good(status_code, latency_s)
+            if good is None:
+                continue
+            self._rings[obj.name].add(now, count if good else 0, count)
+        if now - self._last_eval >= self.evaluate_every_s:
+            self.evaluate(now)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, now: Optional[float] = None) -> List[SLOStatus]:
+        """Re-derive burn rates, update gauges, emit alert transitions."""
+        now = self.clock() if now is None else now
+        self._last_eval = now
+        statuses = []
+        for obj in self.objectives:
+            ring = self._rings[obj.name]
+            status = SLOStatus(objective=obj)
+            for label, seconds in ALL_WINDOWS:
+                bad, total = ring.counts(now, seconds)
+                frac = (bad / total) if total else 0.0
+                status.bad_fraction[label] = frac
+                status.totals[label] = total
+                status.burn_rates[label] = frac / obj.budget
+                self._burn_gauge.set(status.burn_rates[label],
+                                     labels={"slo": obj.name,
+                                             "window": label})
+            slow_label = SLOW_WINDOWS[0][0]
+            status.budget_remaining = (
+                1.0 - status.bad_fraction[slow_label] / obj.budget)
+            self._budget_gauge.set(status.budget_remaining,
+                                   labels={"slo": obj.name})
+            status.severity = self._severity_of(status)
+            self._transition(obj, status)
+            statuses.append(status)
+        return statuses
+
+    def _severity_of(self, status: SLOStatus) -> Optional[str]:
+        if all(status.burn_rates[label] >= self.fast_burn
+               and status.totals[label] > 0
+               for label, _ in FAST_WINDOWS):
+            return "page"
+        if all(status.burn_rates[label] >= self.slow_burn
+               and status.totals[label] > 0
+               for label, _ in SLOW_WINDOWS):
+            return "ticket"
+        return None
+
+    def _transition(self, obj: SLObjective, status: SLOStatus) -> None:
+        previous = self._severity[obj.name]
+        if status.severity == previous:
+            return
+        self._severity[obj.name] = status.severity
+        if status.severity is not None:
+            self._alerts.inc(labels={"slo": obj.name,
+                                     "severity": status.severity})
+        state = "firing" if status.severity is not None else "resolved"
+        ob = _runtime.active()
+        if ob is not None:
+            ob.sink.emit(_record(
+                "alert", f"slo.{obj.name}", {
+                    "state": state,
+                    "severity": status.severity or previous,
+                    "burn_rates": dict(status.burn_rates),
+                    "budget_remaining": status.budget_remaining,
+                    "target": obj.target,
+                    "kind": obj.kind,
+                }))
+
+    # ------------------------------------------------------------------
+    def statuses(self) -> List[SLOStatus]:
+        """Evaluate-and-return (the ``/metrics`` and report entry point)."""
+        return self.evaluate()
+
+    def data(self) -> List[Dict]:
+        return [status.data() for status in self.statuses()]
+
+
+# ----------------------------------------------------------------------
+# Offline evaluation: replay a recorded trace through a tracker
+# ----------------------------------------------------------------------
+def replay_trace(records, objectives: Optional[Sequence[SLObjective]] = None,
+                 registry: Optional[MetricsRegistry] = None) -> List[SLOStatus]:
+    """Drive a tracker with a run log's ``http.request`` spans.
+
+    The tracker's clock follows the record timestamps, so windows mean
+    the same thing they meant live.  Returns the final statuses
+    (evaluated at the last request's timestamp).
+    """
+    objectives = list(objectives) if objectives else default_objectives()
+    requests = [r for r in records if r.get("kind") == "span_end"
+                and r.get("name") == "http.request"
+                and r.get("attrs", {}).get("tier") != "frontend"]
+    clock_now = [0.0]
+    tracker = SLOTracker(objectives, registry=registry,
+                         clock=lambda: clock_now[0],
+                         evaluate_every_s=float("inf"))
+    last_ts = None
+    for rec in sorted(requests, key=lambda r: r.get("ts", 0.0)):
+        attrs = rec.get("attrs", {})
+        status_code = attrs.get("status_code")
+        if status_code is None:
+            continue
+        last_ts = float(rec.get("ts", 0.0))
+        clock_now[0] = last_ts
+        tracker.observe(int(status_code), rec.get("dur_s"))
+    return tracker.evaluate(last_ts if last_ts is not None else 0.0)
+
+
+def render_slo(records, objectives: Optional[Sequence[SLObjective]] = None
+               ) -> Optional[str]:
+    """The ``repro trace --slo`` section: replayed statuses + logged alerts."""
+    statuses = replay_trace(records, objectives)
+    alerts = [r for r in records if r.get("kind") == "alert"]
+    if not alerts and all(not any(s.totals.values()) for s in statuses):
+        return None
+    lines = [f"{'slo':24s} {'target':>8s} {'burn 5m':>9s} {'burn 1h':>9s} "
+             f"{'burn 6h':>9s} {'budget':>8s}  state"]
+    for status in statuses:
+        obj = status.objective
+        lines.append(
+            f"{obj.name:24s} {obj.target:8.3%} "
+            f"{status.burn_rates['5m']:8.2f}x {status.burn_rates['1h']:8.2f}x "
+            f"{status.burn_rates['6h']:8.2f}x "
+            f"{status.budget_remaining:8.1%}  {status.severity or 'ok'}")
+    if alerts:
+        lines.append(f"{len(alerts)} alert transition(s) in the log:")
+        for rec in alerts:
+            attrs = rec.get("attrs", {})
+            lines.append(f"  {rec.get('name')}: {attrs.get('state')} "
+                         f"({attrs.get('severity')}), budget "
+                         f"{attrs.get('budget_remaining', 0):.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,239 @@
+"""Trace store: size-rotated JSONL segments with footer indexes.
+
+Long runs (a serving cluster under sustained traffic, a paper-scale
+grid) grow a single JSONL run log without bound.  The store bounds that
+two ways:
+
+* :class:`RotatingJsonlSink` — a drop-in for
+  :class:`~repro.obs.events.JsonlSink` that seals the active file once
+  it crosses ``max_segment_bytes``: it appends one ``segment_footer``
+  record summarising the segment (record count, per-kind counts,
+  timestamp range), renames the file to ``<path>.<seq>`` and starts a
+  fresh ``<path>``.  Sealed segments are immutable.
+* :class:`TraceStore` — the read side.  It discovers the segment chain
+  for a base path (rotated segments in sequence order, then the active
+  file) and streams records one line at a time.  When a caller only
+  needs some kinds (``repro trace --analyze`` wants spans and events,
+  not resource samples), the per-segment footer lets whole segments be
+  skipped without reading their bodies — the indexed-read property the
+  ``trace_indexed_over_full`` benchmark fact locks in.
+
+Rotation is single-writer: the multi-process cluster trace (workers
+appending to one file with O_APPEND) keeps using the plain
+:class:`~repro.obs.events.JsonlSink`, because concurrent appenders
+cannot coordinate a rename.  A plain un-rotated file is just a chain of
+one segment, so every reader below also accepts the old format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from . import events
+
+#: How many bytes of file tail are searched for a footer record.
+_FOOTER_TAIL_BYTES = 16 << 10
+
+#: Default segment bound: large enough that short runs never rotate.
+DEFAULT_SEGMENT_BYTES = 64 << 20
+
+
+def segment_name(path: str, seq: int) -> str:
+    """The on-disk name of sealed segment ``seq`` for base ``path``."""
+    return f"{path}.{seq:05d}"
+
+
+class RotatingJsonlSink:
+    """JSONL sink that seals the file into footer-indexed segments.
+
+    API-compatible with :class:`~repro.obs.events.JsonlSink` (``emit`` /
+    ``close``); every method is thread-safe.  The active file carries no
+    footer (it is still growing); only sealed segments are indexed.
+    """
+
+    def __init__(self, path: str,
+                 max_segment_bytes: int = DEFAULT_SEGMENT_BYTES):
+        if max_segment_bytes < 4096:
+            raise ValueError("max_segment_bytes must be >= 4096")
+        self.path = str(path)
+        self.max_segment_bytes = int(max_segment_bytes)
+        self._lock = threading.Lock()
+        self._seq = self._next_seq()
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._bytes = self._fh.tell()
+        self._count = 0
+        self._kinds: Dict[str, int] = {}
+        self._ts_min: Optional[float] = None
+        self._ts_max: Optional[float] = None
+
+    def _next_seq(self) -> int:
+        """First unused segment number (resuming an existing chain)."""
+        seq = 1
+        while os.path.exists(segment_name(self.path, seq)):
+            seq += 1
+        return seq
+
+    # ------------------------------------------------------------------
+    def emit(self, rec: Dict) -> None:
+        line = json.dumps(rec, default=events._json_default) + "\n"
+        with self._lock:
+            if self._fh.closed:
+                return
+            if (self._count > 0
+                    and self._bytes + len(line) > self.max_segment_bytes):
+                self._seal_locked()
+            self._fh.write(line)
+            self._fh.flush()
+            self._bytes += len(line)
+            self._count += 1
+            kind = rec.get("kind", "?")
+            self._kinds[kind] = self._kinds.get(kind, 0) + 1
+            ts = rec.get("ts")
+            if isinstance(ts, (int, float)):
+                if self._ts_min is None or ts < self._ts_min:
+                    self._ts_min = ts
+                if self._ts_max is None or ts > self._ts_max:
+                    self._ts_max = ts
+
+    def _seal_locked(self) -> None:
+        """Append the footer, rename to ``<path>.<seq>``, start fresh."""
+        footer = events.record("segment_footer", "segment", {
+            "segment": self._seq,
+            "records": self._count,
+            "kinds": dict(self._kinds),
+            "ts_min": self._ts_min,
+            "ts_max": self._ts_max,
+        })
+        self._fh.write(json.dumps(footer, default=events._json_default) + "\n")
+        self._fh.close()
+        os.replace(self.path, segment_name(self.path, self._seq))
+        self._seq += 1
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._bytes = 0
+        self._count = 0
+        self._kinds = {}
+        self._ts_min = self._ts_max = None
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+# ----------------------------------------------------------------------
+def read_footer(path: str) -> Optional[Dict]:
+    """The ``segment_footer`` record ending ``path``, or ``None``.
+
+    Reads only the file's tail — the whole point of the footer index is
+    that deciding whether to scan a segment costs O(1), not O(bytes).
+    """
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb") as fh:
+            fh.seek(max(0, size - _FOOTER_TAIL_BYTES))
+            tail = fh.read()
+    except OSError:
+        return None
+    lines = tail.splitlines()
+    # The very last line must be the footer; anything else means the
+    # segment was not sealed (or is a plain JSONL file).
+    for raw in reversed(lines):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            rec = json.loads(raw)
+        except ValueError:
+            return None
+        return rec if rec.get("kind") == "segment_footer" else None
+    return None
+
+
+class TraceStore:
+    """Read side of a (possibly rotated) JSONL run log."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+
+    # ------------------------------------------------------------------
+    def segments(self) -> List[str]:
+        """Segment paths in write order (sealed first, active last)."""
+        out: List[str] = []
+        seq = 1
+        while True:
+            candidate = segment_name(self.path, seq)
+            if not os.path.exists(candidate):
+                break
+            out.append(candidate)
+            seq += 1
+        if os.path.exists(self.path):
+            out.append(self.path)
+        if not out:
+            raise OSError(f"no trace log at {self.path} "
+                          f"(nor rotated segments {self.path}.NNNNN)")
+        return out
+
+    def footers(self) -> List[Optional[Dict]]:
+        """One footer per segment (``None`` for unsealed / plain files)."""
+        return [read_footer(seg) for seg in self.segments()]
+
+    # ------------------------------------------------------------------
+    def iter_events(self, kinds: Optional[Iterable[str]] = None
+                    ) -> Iterator[Dict]:
+        """Stream schema-validated records across every segment.
+
+        With ``kinds`` given, sealed segments whose footer proves they
+        contain none of the requested kinds are skipped without reading
+        their bodies; within scanned segments, non-matching records are
+        filtered out.  ``segment_footer`` records are never yielded.
+        """
+        wanted = set(kinds) if kinds is not None else None
+        for seg in self.segments():
+            if wanted is not None:
+                footer = read_footer(seg)
+                if footer is not None:
+                    seg_kinds = footer.get("attrs", {}).get("kinds", {})
+                    if not any(seg_kinds.get(k) for k in wanted):
+                        continue
+            yield from _iter_segment(seg, wanted)
+
+    def read_all(self) -> List[Dict]:
+        """Every record of every segment (the old load-everything shape)."""
+        return list(self.iter_events())
+
+
+def _iter_segment(path: str, wanted: Optional[set]) -> Iterator[Dict]:
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise ValueError(
+                    f"{path}:{line_no}: malformed JSONL record: {err}"
+                ) from None
+            version = rec.get("v")
+            if version != events.SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path}:{line_no}: schema version {version!r} is not "
+                    f"supported (expected {events.SCHEMA_VERSION})")
+            kind = rec.get("kind")
+            if kind not in events.KINDS:
+                raise ValueError(
+                    f"{path}:{line_no}: unknown record kind {kind!r}")
+            if kind == "segment_footer":
+                continue
+            if wanted is not None and kind not in wanted:
+                continue
+            yield rec
+
+
+def load_records(path: str,
+                 kinds: Optional[Sequence[str]] = None) -> List[Dict]:
+    """Convenience: stream a (rotated or plain) log into a list."""
+    return list(TraceStore(path).iter_events(kinds=kinds))

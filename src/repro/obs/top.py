@@ -1,0 +1,169 @@
+"""``repro top``: a live terminal dashboard over the ``/metrics`` scrape.
+
+Curses-free by design: each refresh repaints the screen with plain ANSI
+(clear + home), so it works in any terminal, inside CI logs
+(``--iterations 1`` prints one frame and exits), and over ssh.  The
+poller speaks the same Prometheus text format everything else in the
+repo renders, parsed with the cluster federation reader — single
+servers and cluster front ends are both valid targets.
+
+Shown per refresh:
+
+* **QPS** — the delta of ``repro_requests_total`` (or the front-end
+  ``repro_frontend_requests_total``) over the poll interval;
+* **latency** — the p50/p95/p99 ``{quantile=...}`` series of
+  ``repro_request_latency_seconds`` (on a cluster scrape these are the
+  max across workers — an upper bound, as the merged HELP text says);
+* **queue depth / batch size** — current gauges;
+* **cluster health** — workers alive/configured and restart totals,
+  when the target is a cluster front end;
+* **error budget** — ``repro_slo_error_budget_remaining{slo=...}``
+  per objective, when an SLO tracker is attached.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Tuple
+
+#: ANSI: clear screen + cursor home (the whole "UI framework").
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_metrics(url: str, timeout: float = 5.0) -> str:
+    """One scrape of a ``/metrics`` (or ``/admin/metrics``) endpoint."""
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.read().decode("utf-8")
+
+
+def parse_snapshot(text: str) -> Dict[Tuple[str, Tuple], float]:
+    """Flatten an exposition into ``{(series, labels): value}``."""
+    from ..serving.cluster.metrics import parse_exposition
+    out: Dict[Tuple[str, Tuple], float] = {}
+    for block in parse_exposition(text):
+        for series, labels, value, _raw in block["samples"]:
+            out[(series, labels)] = value
+    return out
+
+
+def _series_sum(snap: Dict, name: str) -> float:
+    return sum(v for (series, _), v in snap.items() if series == name)
+
+
+def _labeled(snap: Dict, name: str) -> List[Tuple[Dict, float]]:
+    return [(dict(labels), value) for (series, labels), value in snap.items()
+            if series == name and labels]
+
+
+def _quantiles(snap: Dict, name: str) -> Dict[str, float]:
+    out = {}
+    for labels, value in _labeled(snap, name):
+        if "quantile" in labels:
+            out[labels["quantile"]] = value
+    return out
+
+
+def render_frame(snap: Dict, previous: Optional[Dict], elapsed_s: float,
+                 url: str) -> str:
+    """One dashboard frame from a parsed snapshot (pure, testable)."""
+    lines = [f"repro top — {url}", ""]
+
+    # Requests + QPS: prefer the front-end counter on cluster scrapes
+    # (one increment per client request, not per proxy hop).
+    counter = "repro_frontend_requests_total"
+    total = _series_sum(snap, counter)
+    if not any(series == counter for series, _ in snap):
+        counter = "repro_requests_total"
+        total = _series_sum(snap, counter)
+    qps = None
+    if previous is not None and elapsed_s > 0:
+        qps = max(0.0, (total - _series_sum(previous, counter)) / elapsed_s)
+    lines.append(f"requests   total {int(total):>8d}"
+                 + (f"   qps {qps:8.1f}" if qps is not None
+                    else "   qps       --"))
+
+    by_class: Dict[str, float] = {}
+    for labels, value in _labeled(snap, counter):
+        cls = labels.get("class")
+        if cls:
+            by_class[cls] = by_class.get(cls, 0.0) + value
+    if by_class:
+        lines.append("by class   " + "   ".join(
+            f"{cls} {int(n)}" for cls, n in sorted(by_class.items())))
+
+    quantiles = _quantiles(snap, "repro_request_latency_seconds")
+    if quantiles:
+        lines.append("latency    " + "   ".join(
+            f"p{str(float(q) * 100).rstrip('0').rstrip('.')} "
+            f"{value * 1e3:7.1f}ms"
+            for q, value in sorted(quantiles.items(), key=lambda kv:
+                                   float(kv[0]))))
+
+    depth = _series_sum(snap, "repro_queue_depth")
+    lines.append(f"queue      depth {int(depth)}")
+
+    workers = _series_sum(snap, "repro_cluster_workers")
+    if workers:
+        alive = _series_sum(snap, "repro_cluster_workers_alive")
+        restarts = _series_sum(snap, "repro_cluster_worker_restarts_total")
+        shed = _series_sum(snap, "repro_frontend_shed_total")
+        lines.append(f"cluster    {int(alive)}/{int(workers)} workers alive, "
+                     f"{int(restarts)} restarts, {int(shed)} shed")
+
+    budgets = _labeled(snap, "repro_slo_error_budget_remaining")
+    slo_budgets = [(labels["slo"], value) for labels, value in budgets
+                   if "slo" in labels]
+    if slo_budgets:
+        lines.append("slo budget " + "   ".join(
+            f"{slo} {value:7.1%}" for slo, value in sorted(slo_budgets)))
+        burns = _labeled(snap, "repro_slo_burn_rate")
+        fast = {labels["slo"]: value for labels, value in burns
+                if labels.get("window") == "5m"}
+        if fast:
+            lines.append("burn (5m)  " + "   ".join(
+                f"{slo} {value:6.2f}x" for slo, value in sorted(fast.items())))
+    return "\n".join(lines) + "\n"
+
+
+def run_top(url: str, interval_s: float = 2.0,
+            iterations: Optional[int] = None, stream=None,
+            clear: bool = True) -> int:
+    """Poll-render loop; returns the number of frames rendered.
+
+    ``iterations=None`` runs until interrupted; ``clear=False`` (used by
+    the smoke test and CI) appends frames instead of repainting.
+    """
+    stream = stream or sys.stdout
+    previous: Optional[Dict] = None
+    prev_t: Optional[float] = None
+    frames = 0
+    try:
+        while iterations is None or frames < iterations:
+            try:
+                text = fetch_metrics(url)
+            except (urllib.error.URLError, OSError) as err:
+                stream.write(f"repro top — {url}: scrape failed: {err}\n")
+                stream.flush()
+                frames += 1
+                if iterations is not None and frames >= iterations:
+                    return frames
+                time.sleep(interval_s)
+                continue
+            snap = parse_snapshot(text)
+            now = time.monotonic()
+            elapsed = (now - prev_t) if prev_t is not None else 0.0
+            frame = render_frame(snap, previous, elapsed, url)
+            if clear:
+                stream.write(CLEAR)
+            stream.write(frame)
+            stream.flush()
+            previous, prev_t = snap, now
+            frames += 1
+            if iterations is None or frames < iterations:
+                time.sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return frames

@@ -44,6 +44,10 @@ class ClusterConfig:
     # JSONL trace path shared by front end and workers (O_APPEND writes
     # keep one file coherent across processes); None = tracing off.
     trace_path: Optional[str] = None
+    # SLO objectives for the front end: None = off, "default" = the
+    # stock availability/latency pair, else a JSON config file path
+    # (see repro.obs.slo.load_objectives).
+    slo: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:

@@ -82,10 +82,13 @@ class ClusterHandler(BaseHTTPRequestHandler):
             self.send_header("X-Trace-Id", ref.trace_id)
         self.end_headers()
         self.wfile.write(body)
-        self._srv.metrics.observe_request(status)
+        started = getattr(self, "_request_started", None)
+        latency = (time.monotonic() - started) if started is not None else None
+        self._srv.metrics.observe_request(status, latency_s=latency)
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: D102
+        self._request_started = time.monotonic()
         ob = _obs.active()
         with self._srv.track_request():
             if ob is None:
@@ -97,6 +100,7 @@ class ClusterHandler(BaseHTTPRequestHandler):
                 self._handle_get()
 
     def do_POST(self) -> None:  # noqa: D102
+        self._request_started = time.monotonic()
         ob = _obs.active()
         with self._srv.track_request():
             if ob is None:
@@ -363,6 +367,10 @@ def build_cluster(config: ClusterConfig, checkpoints: Dict[str, str],
     for name, path in checkpoints.items():
         store.publish(name, path, expect_task=config.expect_task)
     metrics = ClusterMetrics()
+    if config.slo:
+        from ...obs.slo import SLOTracker, load_objectives
+        metrics.attach_slo(SLOTracker(load_objectives(config.slo),
+                                      registry=metrics.registry))
     pool = WorkerPool(config, store, metrics=metrics)
     if start:
         pool.start()

@@ -130,14 +130,21 @@ def merge_expositions(texts: Sequence[str]) -> str:
     """Merge worker exposition texts into one cluster-wide exposition.
 
     Sum everything except ``{quantile=...}`` series, which take the max
-    across workers.  Output order follows first appearance, so identical
-    worker registries merge byte-stably (golden-compared in CI).
+    across workers: per-worker quantiles cannot be combined into a true
+    cluster quantile without the raw samples, so the merged value is the
+    worst worker's — an **upper bound** on the cluster-wide quantile.
+    Blocks containing quantile series say so in their merged HELP line,
+    so a dashboard reading the aggregate scrape cannot mistake the bound
+    for an exact quantile.  Output order follows first appearance, so
+    identical worker registries merge byte-stably (golden-compared in
+    CI).
     """
     order: List[Tuple[str, Tuple]] = []          # (series, labels) keys
     merged: Dict[Tuple[str, Tuple], Dict] = {}
     blocks_order: List[str] = []
     block_meta: Dict[str, Dict] = {}
     membership: Dict[Tuple[str, Tuple], str] = {}
+    has_quantiles: Dict[str, bool] = {}
 
     for text in texts:
         for block in parse_exposition(text):
@@ -148,12 +155,14 @@ def merge_expositions(texts: Sequence[str]) -> str:
                 blocks_order.append(name)
             for series, labels, value, raw in block["samples"]:
                 key = (series, labels)
+                is_quantile = any(k == "quantile" for k, _ in labels)
+                if is_quantile:
+                    has_quantiles[name] = True
                 entry = merged.get(key)
                 if entry is None:
                     merged[key] = {"value": value,
                                    "int": _is_int_text(raw),
-                                   "quantile": any(k == "quantile"
-                                                   for k, _ in labels)}
+                                   "quantile": is_quantile}
                     order.append(key)
                     membership[key] = name
                 else:
@@ -166,7 +175,12 @@ def merge_expositions(texts: Sequence[str]) -> str:
     lines: List[str] = []
     for name in blocks_order:
         meta = block_meta[name]
-        lines.append(f"# HELP {name} {meta['help']}")
+        help_text = meta["help"]
+        if has_quantiles.get(name):
+            help_text += (" Quantile series are merged as max across "
+                          "workers (upper bound, not an exact cluster "
+                          "quantile).")
+        lines.append(f"# HELP {name} {help_text}")
         lines.append(f"# TYPE {name} {meta['type']}")
         for key in order:
             if membership[key] != name:
@@ -210,6 +224,9 @@ class ClusterMetrics:
         self._shed = self.registry.counter(
             "repro_frontend_shed_total",
             "Requests shed at the front end (no alive worker).")
+        # Opt-in SLO tracker (see ServerMetrics.attach_slo): absent by
+        # default so the front-end exposition is unchanged without it.
+        self.slo = None
 
     def set_workers(self, configured: int) -> None:
         self._workers.set(configured)
@@ -220,9 +237,17 @@ class ClusterMetrics:
     def observe_restart(self, worker: int) -> None:
         self._restarts.inc(labels={"worker": worker})
 
-    def observe_request(self, status_code: int) -> None:
+    def observe_request(self, status_code: int,
+                        latency_s: Optional[float] = None) -> None:
         code = int(status_code)
         self._requests.inc(labels={"code": code, "class": f"{code // 100}xx"})
+        if self.slo is not None:
+            self.slo.observe(code, latency_s)
+
+    def attach_slo(self, tracker) -> "ClusterMetrics":
+        """Attach an SLO tracker; front-end requests feed its windows."""
+        self.slo = tracker
+        return self
 
     def observe_retry(self) -> None:
         self._retries.inc()
@@ -231,6 +256,8 @@ class ClusterMetrics:
         self._shed.inc()
 
     def render(self) -> str:
+        if self.slo is not None:
+            self.slo.evaluate()
         return self.registry.render()
 
     def snapshot(self) -> Dict:

@@ -53,6 +53,10 @@ class ServerMetrics:
             "Forecast request latency.",
             buckets=LATENCY_BUCKETS, quantiles=QUANTILES,
             quantile_window=latency_window, sum_format="{:.6f}")
+        # SLO tracking is strictly opt-in (attach_slo): with no tracker
+        # attached, nothing extra is registered and render() stays
+        # byte-identical to the golden.
+        self.slo = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -66,6 +70,18 @@ class ServerMetrics:
         self._requests_class.inc(labels={"class": cls})
         if latency_s is not None:
             self._latency.observe(latency_s)
+        if self.slo is not None:
+            self.slo.observe(code, latency_s)
+
+    def attach_slo(self, tracker) -> "ServerMetrics":
+        """Attach an :class:`~repro.obs.slo.SLOTracker` to this registry.
+
+        The tracker's budget/burn gauges join the exposition and every
+        ``observe_request`` is forwarded; scrapes re-evaluate first so
+        the gauges are always current.
+        """
+        self.slo = tracker
+        return self
 
     def observe_batch(self, size: int) -> None:
         """Record one executed micro-batch of ``size`` stacked windows."""
@@ -112,4 +128,6 @@ class ServerMetrics:
 
     def render(self) -> str:
         """The Prometheus text exposition served at ``GET /metrics``."""
+        if self.slo is not None:
+            self.slo.evaluate()
         return self.registry.render()

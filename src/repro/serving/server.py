@@ -65,6 +65,9 @@ class ServingConfig:
     default_timeout_ms: float = 2000.0
     max_timeout_ms: float = 30000.0
     max_body_bytes: int = 8 << 20
+    # SLO objectives: None = off, "default" = the stock pair, else a
+    # JSON config path (see repro.obs.slo.load_objectives).
+    slo: Optional[str] = None
 
 
 class RequestError(Exception):
@@ -375,7 +378,13 @@ class ForecastServer(ThreadingHTTPServer):
 def build_server(config: ServingConfig, registry: ModelRegistry,
                  metrics: Optional[ServerMetrics] = None) -> ForecastServer:
     """Construct a ready-to-serve :class:`ForecastServer` (port 0 = ephemeral)."""
-    return ForecastServer(config, registry, metrics=metrics)
+    server = ForecastServer(config, registry, metrics=metrics)
+    if config.slo and server.metrics.slo is None:
+        from ..obs.slo import SLOTracker, load_objectives
+        server.metrics.attach_slo(SLOTracker(
+            load_objectives(config.slo),
+            registry=server.metrics.registry))
+    return server
 
 
 def _lifecycle(message: str, verbose: bool) -> None:

@@ -1,0 +1,757 @@
+"""Tests for the trace analytics layer (PR 10).
+
+The load-bearing contracts:
+
+* the rotating store seals footer-indexed segments, and kind-filtered
+  reads skip sealed segments without opening their bodies;
+* critical-path attribution apportions a request's wall-clock into
+  components whose sum self-validates against the measured duration;
+* the trainer flamegraph's per-op frames reconcile with the
+  GraphProfiler totals the ``trainer.profile`` event recorded;
+* the SLO tracker pages on a fast burn (both fast windows), emits
+  edge-triggered schema-v1 ``alert`` records, and exposes the error
+  budget as labelled gauges — without touching the unlabelled
+  ``/metrics`` golden when no tracker is attached;
+* ``repro top`` renders a dashboard frame from any of our expositions;
+* the Prometheus renderer's corners (NaN/±Inf gauges, empty histograms,
+  label escaping) round-trip through the federation parser, and the
+  cluster merge takes the max of quantile series while labelling the
+  result as an upper bound.
+"""
+
+import io
+import json
+import math
+import time
+import urllib.error
+
+import numpy as np
+import pytest
+
+from repro.obs import analysis as obs_analysis
+from repro.obs import report as obs_report
+from repro.obs import runtime as obs_runtime
+from repro.obs import slo as obs_slo
+from repro.obs import store as obs_store
+from repro.obs import top as obs_top
+from repro.obs.events import JsonlSink, record
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.store import RotatingJsonlSink, TraceStore
+from repro.obs.tracer import Observer
+from repro.serving.cluster.metrics import merge_expositions, parse_exposition
+
+
+class _ListSink:
+    def __init__(self):
+        self.records = []
+
+    def emit(self, rec):
+        self.records.append(rec)
+
+    def close(self):
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Rotating store
+# ---------------------------------------------------------------------------
+
+def _fill(sink, n, kind="resource", name="proc.sample", **attr_extra):
+    for i in range(n):
+        sink.emit(record(kind, name, {"i": i, **attr_extra}, ts=float(i)))
+
+
+class TestRotatingStore:
+    def test_seals_segments_with_footers(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        sink = RotatingJsonlSink(path, max_segment_bytes=4096)
+        _fill(sink, 200)
+        sink.close()
+        store = TraceStore(path)
+        segments = store.segments()
+        assert len(segments) > 2
+        footers = store.footers()
+        # Every sealed segment carries a footer; the active file does not.
+        assert all(f is not None for f in footers[:-1])
+        assert footers[-1] is None
+        sealed = footers[0]
+        assert sealed["kind"] == "segment_footer"
+        assert sealed["attrs"]["kinds"] == {"resource": sealed["attrs"]["records"]}
+        assert sealed["attrs"]["ts_min"] <= sealed["attrs"]["ts_max"]
+        # Footers are an index, not data: never yielded to readers.
+        records = store.read_all()
+        assert len(records) == 200
+        assert all(r["kind"] == "resource" for r in records)
+
+    def test_indexed_read_skips_sealed_segments(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "run.jsonl")
+        sink = RotatingJsonlSink(path, max_segment_bytes=4096)
+        _fill(sink, 150)                      # several resource-only segments
+        sink.emit(record("span_end", "http.request", {"status": "ok"},
+                         trace="t1", span="s1", dur_s=0.01, ts=200.0))
+        sink.close()
+
+        opened = []
+        real = obs_store._iter_segment
+
+        def spying(seg, wanted):
+            opened.append(seg)
+            return real(seg, wanted)
+
+        monkeypatch.setattr(obs_store, "_iter_segment", spying)
+        store = TraceStore(path)
+        total_segments = len(store.segments())
+        spans = list(store.iter_events(kinds=("span_end",)))
+        assert [r["name"] for r in spans] == ["http.request"]
+        # The footer index must have pruned the resource-only segments.
+        assert len(opened) < total_segments
+        # ... without changing what a full read filtered down to.
+        opened.clear()
+        full = [r for r in store.read_all() if r["kind"] == "span_end"]
+        assert len(opened) == total_segments
+        assert full == spans
+
+    def test_plain_file_is_a_one_segment_chain(self, tmp_path):
+        path = str(tmp_path / "plain.jsonl")
+        sink = JsonlSink(path)
+        _fill(sink, 5)
+        sink.emit(record("event", "marker", {}))
+        sink.close()
+        assert TraceStore(path).segments() == [path]
+        assert len(obs_store.load_records(path)) == 6
+        assert len(obs_store.load_records(path, kinds=("event",))) == 1
+
+    def test_resume_continues_the_sequence(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        first = RotatingJsonlSink(path, max_segment_bytes=4096)
+        _fill(first, 120)
+        first.close()
+        before = len(TraceStore(path).segments())
+        second = RotatingJsonlSink(path, max_segment_bytes=4096)
+        _fill(second, 120)
+        second.close()
+        segments = TraceStore(path).segments()
+        assert len(segments) > before
+        # A resumed chain stays readable end to end (no seq collisions).
+        assert len(obs_store.load_records(path)) == 240
+
+    def test_missing_log_raises(self, tmp_path):
+        with pytest.raises(OSError, match="no trace log"):
+            TraceStore(str(tmp_path / "absent.jsonl")).segments()
+
+    def test_rejects_tiny_segment_bound(self, tmp_path):
+        with pytest.raises(ValueError, match="4096"):
+            RotatingJsonlSink(str(tmp_path / "x.jsonl"), max_segment_bytes=10)
+
+    def test_runtime_configure_rotates(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        observer = obs_runtime.configure(path=path, rotate_bytes=4096)
+        try:
+            assert isinstance(observer.sink, RotatingJsonlSink)
+            for i in range(150):
+                observer.event("tick", {"i": i})
+        finally:
+            obs_runtime.shutdown()
+        assert len(TraceStore(path).segments()) > 1
+        # obs_report.load reads the whole rotated chain transparently.
+        ticks = [r for r in obs_report.load(path) if r["name"] == "tick"]
+        assert len(ticks) == 150
+
+    def test_rotate_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs_runtime.ROTATE_ENV, "1")
+        observer = obs_runtime.configure(path=str(tmp_path / "e.jsonl"))
+        try:
+            assert isinstance(observer.sink, RotatingJsonlSink)
+            assert observer.sink.max_segment_bytes == 1 << 20
+        finally:
+            obs_runtime.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Critical-path attribution
+# ---------------------------------------------------------------------------
+
+def _cluster_request(base_ts, total_s=0.010, worker_s=0.008, queue_s=0.002,
+                     batch_s=0.005, status=200, trace="t1"):
+    """Synthetic frontend/worker/batch span triple with exact geometry."""
+    f_end = base_ts + total_s
+    w_start = base_ts + (total_s - worker_s) / 2
+    w_end = w_start + worker_s
+    b_start = w_start + queue_s
+    b_end = b_start + batch_s
+    return [
+        record("span_end", "http.request",
+               {"method": "POST", "path": "/v1/forecast", "tier": "frontend",
+                "status_code": status},
+               trace=trace, span=f"{trace}-f", dur_s=total_s, ts=f_end),
+        record("span_end", "http.request",
+               {"method": "POST", "path": "/v1/forecast",
+                "status_code": status},
+               trace=trace, span=f"{trace}-w", parent=f"{trace}-f",
+               dur_s=worker_s, ts=w_end),
+        record("span_end", "batch.execute",
+               {"member_spans": [f"{trace}-w"], "batch_size": 1},
+               trace=trace, span=f"{trace}-b", dur_s=batch_s, ts=b_end),
+    ]
+
+
+class TestRequestAttribution:
+    def test_cluster_components_cover_the_frontend_span(self):
+        records = _cluster_request(100.0)
+        rows = obs_analysis.request_attributions(records)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["tier"] == "cluster"
+        assert row["status"] == 200
+        comp = row["components"]
+        assert comp["proxy_hop"] == pytest.approx(0.002, abs=1e-9)
+        assert comp["queue_wait"] == pytest.approx(0.002, abs=1e-9)
+        assert comp["batch_execute"] == pytest.approx(0.005, abs=1e-9)
+        assert comp["postprocess"] == pytest.approx(0.001, abs=1e-9)
+        assert row["coverage"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_single_server_request_has_no_proxy_hop(self):
+        recs = [
+            record("span_end", "http.request",
+                   {"method": "POST", "path": "/v1/forecast",
+                    "status_code": 200},
+                   trace="t2", span="t2-r", dur_s=0.010, ts=50.010),
+            record("span_end", "batch.execute",
+                   {"member_spans": ["t2-r"]},
+                   trace="t2", span="t2-b", dur_s=0.006, ts=50.008),
+        ]
+        rows = obs_analysis.request_attributions(recs)
+        assert len(rows) == 1
+        assert rows[0]["tier"] == "single"
+        assert rows[0]["components"]["proxy_hop"] == 0.0
+        assert rows[0]["coverage"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_lost_worker_trace_attributes_everything_to_the_hop(self):
+        recs = [record("span_end", "http.request",
+                       {"method": "POST", "path": "/v1/forecast",
+                        "tier": "frontend", "status_code": 503},
+                       trace="t3", span="t3-f", dur_s=0.004, ts=10.0)]
+        rows = obs_analysis.request_attributions(recs)
+        assert rows[0]["components"]["proxy_hop"] == pytest.approx(0.004)
+        assert rows[0]["coverage"] == pytest.approx(1.0)
+
+    def test_gets_are_not_requests(self):
+        recs = [record("span_end", "http.request",
+                       {"method": "GET", "path": "/metrics", "status": "ok"},
+                       trace="t4", span="t4-g", dur_s=0.001, ts=1.0)]
+        assert obs_analysis.request_attributions(recs) == []
+
+    def test_summary_coverage_bounds(self):
+        records = (_cluster_request(100.0, trace="a")
+                   + _cluster_request(101.0, total_s=0.020, worker_s=0.015,
+                                      trace="b"))
+        summary = obs_analysis.summarize_attributions(
+            obs_analysis.request_attributions(records))
+        assert summary["requests"] == 2
+        assert 0.99 <= summary["coverage_min"] <= summary["coverage_max"] <= 1.01
+        assert sum(summary["component_shares"].values()) == pytest.approx(
+            1.0, abs=0.01)
+
+
+# ---------------------------------------------------------------------------
+# Trainer flamegraph: op frames reconcile with GraphProfiler totals
+# ---------------------------------------------------------------------------
+
+class TestTrainerFlamegraph:
+    @pytest.fixture(scope="class")
+    def fit_records(self, tmp_path_factory):
+        from repro.autodiff import Tensor, mse_loss
+        from repro.baselines import build_model
+        from repro.tasks.trainer import TrainConfig, Trainer
+
+        model = build_model("DLinear", seq_len=16, pred_len=4, c_in=2,
+                            preset="tiny")
+        trainer = Trainer(model, TrainConfig(epochs=1, lr=1e-3, profile=True))
+        rng = np.random.default_rng(0)
+        batches = [(rng.standard_normal((4, 16, 2)),
+                    rng.standard_normal((4, 4, 2))) for _ in range(2)]
+
+        def step_fn(batch):
+            x, y = batch
+            pred = trainer.model(Tensor(x))
+            return mse_loss(pred, y), pred.data, y, None
+
+        path = str(tmp_path_factory.mktemp("fit") / "fit.jsonl")
+        with obs_runtime.observe(path=path):
+            trainer.fit(batches, batches[:1], step_fn)
+        return obs_store.load_records(path)
+
+    def test_fit_attribution_joins_profile_event(self, fit_records):
+        fits = obs_analysis.fit_attributions(fit_records)
+        assert len(fits) == 1
+        fit = fits[0]
+        assert fit["fit_s"] > 0
+        assert fit["ops"], "profile event carried no op rows"
+        assert fit["profiled_s"] == pytest.approx(
+            sum(r["seconds"] for r in fit["ops"]))
+        assert 0 < fit["profiled_fraction"] <= 1.5
+        assert all(r["calls"] > 0 for r in fit["ops"])
+
+    def test_folded_op_frames_reconcile_with_profiler_totals(self, fit_records):
+        fit = obs_analysis.fit_attributions(fit_records)[0]
+        lines = obs_analysis.folded_stacks(fit_records)
+        op_usec = 0
+        fit_frames = []
+        for line in lines:
+            path, _, usec = line.rpartition(" ")
+            if ";op:" in path:
+                assert "trainer.fit;op:" in path  # grafted under the fit
+                op_usec += int(usec)
+            elif path.endswith("trainer.fit"):
+                fit_frames.append(int(usec))
+        profiled_usec = fit["profiled_s"] * 1e6
+        # Per-frame integer rounding is the only allowed slack.
+        assert op_usec == pytest.approx(profiled_usec, abs=len(lines) + 1)
+        # The op time was subtracted from the fit's own self frame (the
+        # profiler measured the same wall clock the span did), so the
+        # remaining self time is bounded by fit wall minus op time.
+        assert sum(fit_frames) <= max(
+            0.0, (fit["fit_s"] - fit["profiled_s"]) * 1e6) + len(lines)
+
+    def test_render_analysis_mentions_top_ops(self, fit_records):
+        text = obs_analysis.render_analysis(fit_records)
+        assert "fit DLinear" in text
+        assert "op" in text
+
+
+# ---------------------------------------------------------------------------
+# SLO engine
+# ---------------------------------------------------------------------------
+
+class _FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def alert_sink():
+    """Install an in-memory observer so alert records are capturable."""
+    sink = _ListSink()
+    previous = obs_runtime.swap(Observer(sink))
+    yield sink
+    obs_runtime.swap(previous)
+
+
+class TestSLObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            obs_slo.SLObjective(name="x", kind="throughput")
+        with pytest.raises(ValueError, match="target"):
+            obs_slo.SLObjective(name="x", target=1.0)
+        with pytest.raises(ValueError, match="threshold_s"):
+            obs_slo.SLObjective(name="x", kind="latency", target=0.99)
+
+    def test_goodness(self):
+        avail = obs_slo.SLObjective(name="a", target=0.999)
+        assert avail.is_good(200, None) is True
+        assert avail.is_good(503, None) is False
+        lat = obs_slo.SLObjective(name="l", kind="latency", target=0.99,
+                                  threshold_s=0.25)
+        assert lat.is_good(200, 0.1) is True
+        assert lat.is_good(200, 0.5) is False
+        assert lat.is_good(503, 0.1) is False
+        # No measured latency: excluded, not guessed.
+        assert lat.is_good(503, None) is None
+
+    def test_load_objectives(self, tmp_path):
+        stock = obs_slo.load_objectives("default")
+        assert [o.name for o in stock] == ["availability", "latency_p99_250ms"]
+        conf = tmp_path / "slo.json"
+        conf.write_text(json.dumps([{"name": "avail", "target": 0.99}]))
+        loaded = obs_slo.load_objectives(str(conf))
+        assert loaded[0].budget == pytest.approx(0.01)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(ValueError, match="non-empty JSON list"):
+            obs_slo.load_objectives(str(bad))
+
+
+class TestBurnRateAlerting:
+    def _tracker(self, clock):
+        return obs_slo.SLOTracker(
+            [obs_slo.SLObjective(name="availability", target=0.999)],
+            registry=MetricsRegistry(), clock=clock,
+            evaluate_every_s=float("inf"))
+
+    def test_503_burst_pages_and_resolves(self, alert_sink):
+        clock = _FakeClock()
+        tracker = self._tracker(clock)
+        # Healthy baseline, then a hard 503 burst across the fast windows.
+        for _ in range(200):
+            clock.now += 1.0
+            tracker.observe(200)
+        for _ in range(60):
+            clock.now += 1.0
+            tracker.observe(503)
+        statuses = tracker.evaluate()
+        status = statuses[0]
+        assert status.severity == "page"
+        assert status.burn_rates["5m"] >= 14.4
+        assert status.burn_rates["1h"] >= 14.4
+        assert status.budget_remaining < 0          # budget blown
+        firing = [r for r in alert_sink.records if r["kind"] == "alert"]
+        assert len(firing) == 1
+        assert firing[0]["name"] == "slo.availability"
+        assert firing[0]["attrs"]["state"] == "firing"
+        assert firing[0]["attrs"]["severity"] == "page"
+        # Edge-triggered: re-evaluating the same state emits nothing new.
+        tracker.evaluate()
+        assert len([r for r in alert_sink.records
+                    if r["kind"] == "alert"]) == 1
+        # Past the slow horizon the burn decays and the alert resolves.
+        clock.now += 7 * 3600.0
+        tracker.observe(200)
+        final = tracker.evaluate()[0]
+        assert final.severity is None
+        resolved = [r for r in alert_sink.records if r["kind"] == "alert"][-1]
+        assert resolved["attrs"]["state"] == "resolved"
+
+    def test_slow_leak_tickets_without_paging(self, alert_sink):
+        clock = _FakeClock()
+        tracker = self._tracker(clock)
+        # ~1% bad spread over 4 hours: burn 6h ≈ 10x (> 6), but each
+        # 5m window stays clean most of the time → no page.
+        for i in range(4 * 3600 // 10):
+            clock.now += 10.0
+            tracker.observe(503 if i % 100 == 0 else 200)
+        clock.now += 300.0          # clear the 5m window
+        tracker.observe(200)
+        status = tracker.evaluate()[0]
+        assert status.severity == "ticket"
+        assert status.burn_rates["6h"] >= 6.0
+        assert status.burn_rates["5m"] < 14.4
+
+    def test_gauges_track_the_budget(self):
+        clock = _FakeClock()
+        registry = MetricsRegistry()
+        tracker = obs_slo.SLOTracker(
+            [obs_slo.SLObjective(name="availability", target=0.999)],
+            registry=registry, clock=clock, evaluate_every_s=float("inf"))
+        budget = registry.get(obs_slo.BUDGET_GAUGE)
+        assert budget.value(labels={"slo": "availability"}) == 1.0
+        for _ in range(100):
+            clock.now += 1.0
+            tracker.observe(200)
+        tracker.evaluate()
+        assert budget.value(labels={"slo": "availability"}) == 1.0
+        clock.now += 1.0
+        tracker.observe(503)
+        tracker.evaluate()
+        assert budget.value(labels={"slo": "availability"}) < 1.0
+        burn = registry.get(obs_slo.BURN_GAUGE)
+        assert burn.value(labels={"slo": "availability", "window": "5m"}) > 0
+        text = registry.render()
+        assert 'repro_slo_error_budget_remaining{slo="availability"}' in text
+
+    def test_quiet_windows_never_alert(self, alert_sink):
+        clock = _FakeClock()
+        tracker = self._tracker(clock)
+        assert tracker.evaluate()[0].severity is None
+        assert [r for r in alert_sink.records if r["kind"] == "alert"] == []
+
+    def test_replay_trace_counts_worker_spans_once(self):
+        records = (_cluster_request(1000.0, trace="a")
+                   + _cluster_request(1001.0, status=503, trace="b"))
+        statuses = obs_slo.replay_trace(records)
+        avail = {s.objective.name: s for s in statuses}["availability"]
+        # One frontend + one worker span per request; only the worker
+        # tier (which carries status_code without tier=frontend) counts.
+        assert avail.totals["6h"] == 2
+        assert avail.bad_fraction["6h"] == pytest.approx(0.5)
+
+    def test_render_slo_table(self):
+        records = _cluster_request(1000.0, status=503)
+        text = obs_slo.render_slo(records)
+        assert "availability" in text
+        assert "burn 5m" in text
+
+
+class TestServerMetricsSLOOptIn:
+    def test_metrics_unchanged_until_attached(self):
+        from repro.serving.metrics import ServerMetrics
+        plain_m = ServerMetrics()
+        plain_m.observe_request(200, latency_s=0.01)
+        plain = plain_m.render()
+        assert "repro_slo" not in plain
+        withslo = ServerMetrics()
+        withslo.attach_slo(obs_slo.SLOTracker(
+            obs_slo.default_objectives(), registry=withslo.registry,
+            clock=_FakeClock(), evaluate_every_s=float("inf")))
+        withslo.observe_request(200, latency_s=0.01)
+        text = withslo.render()
+        assert "repro_slo_error_budget_remaining" in text
+        # The pre-existing series stay byte-identical: the SLO gauges are
+        # strictly appended (registered after the stock metrics), so the
+        # golden-compared prefix of the exposition never moves.
+        assert text.startswith(plain)
+
+
+# ---------------------------------------------------------------------------
+# repro top
+# ---------------------------------------------------------------------------
+
+def _exposition():
+    return "\n".join([
+        '# HELP repro_requests_total Requests.',
+        '# TYPE repro_requests_total counter',
+        'repro_requests_total{code="200",class="2xx"} 90',
+        'repro_requests_total{code="503",class="5xx"} 10',
+        '# HELP repro_request_latency_seconds Latency.',
+        '# TYPE repro_request_latency_seconds histogram',
+        'repro_request_latency_seconds{quantile="0.5"} 0.010000',
+        'repro_request_latency_seconds{quantile="0.99"} 0.120000',
+        '# HELP repro_queue_depth Depth.',
+        '# TYPE repro_queue_depth gauge',
+        'repro_queue_depth 3',
+        '# HELP repro_cluster_workers Configured.',
+        '# TYPE repro_cluster_workers gauge',
+        'repro_cluster_workers 2',
+        '# HELP repro_cluster_workers_alive Alive.',
+        '# TYPE repro_cluster_workers_alive gauge',
+        'repro_cluster_workers_alive 2',
+        '# HELP repro_slo_error_budget_remaining Budget.',
+        '# TYPE repro_slo_error_budget_remaining gauge',
+        'repro_slo_error_budget_remaining{slo="availability"} 0.400000',
+        '# HELP repro_slo_burn_rate Burn.',
+        '# TYPE repro_slo_burn_rate gauge',
+        'repro_slo_burn_rate{slo="availability",window="5m"} 2.500000',
+    ]) + "\n"
+
+
+class TestTopDashboard:
+    def test_render_frame_sections(self):
+        snap = obs_top.parse_snapshot(_exposition())
+        frame = obs_top.render_frame(snap, None, 0.0, "http://x/metrics")
+        assert "requests   total      100" in frame
+        assert "2xx 90" in frame and "5xx 10" in frame
+        assert "p50" in frame and "p99" in frame and "120.0ms" in frame
+        assert "queue      depth 3" in frame
+        assert "2/2 workers alive" in frame
+        assert "slo budget availability   40.0%" in frame
+        assert "burn (5m)  availability   2.50x" in frame
+
+    def test_qps_from_counter_delta(self):
+        prev = obs_top.parse_snapshot(_exposition())
+        text = _exposition().replace(
+            'class="2xx"} 90', 'class="2xx"} 140')
+        snap = obs_top.parse_snapshot(text)
+        frame = obs_top.render_frame(snap, prev, 5.0, "u")
+        assert "qps     10.0" in frame
+
+    def test_run_top_polls_and_counts_frames(self, monkeypatch):
+        monkeypatch.setattr(obs_top, "fetch_metrics",
+                            lambda url, timeout=5.0: _exposition())
+        buf = io.StringIO()
+        frames = obs_top.run_top("http://x/metrics", interval_s=0.0,
+                                 iterations=3, stream=buf, clear=False)
+        assert frames == 3
+        assert buf.getvalue().count("repro top — http://x/metrics") == 3
+        # The clear=True path prepends the ANSI repaint sequence.
+        buf2 = io.StringIO()
+        obs_top.run_top("http://x/metrics", interval_s=0.0, iterations=1,
+                        stream=buf2, clear=True)
+        assert buf2.getvalue().startswith(obs_top.CLEAR)
+
+    def test_run_top_reports_scrape_failures(self, monkeypatch):
+        def boom(url, timeout=5.0):
+            raise urllib.error.URLError("refused")
+
+        monkeypatch.setattr(obs_top, "fetch_metrics", boom)
+        buf = io.StringIO()
+        frames = obs_top.run_top("http://down/metrics", interval_s=0.0,
+                                 iterations=2, stream=buf, clear=False)
+        assert frames == 2
+        assert "scrape failed" in buf.getvalue()
+
+    def test_against_a_real_registry_render(self):
+        from repro.serving.metrics import ServerMetrics
+        metrics = ServerMetrics()
+        metrics.observe_request(200, latency_s=0.01)
+        snap = obs_top.parse_snapshot(metrics.render())
+        frame = obs_top.render_frame(snap, None, 0.0, "local")
+        assert "requests   total        1" in frame
+
+
+# ---------------------------------------------------------------------------
+# Renderer edge cases (round-tripped through the federation parser)
+# ---------------------------------------------------------------------------
+
+class TestRendererEdgeCases:
+    def test_nan_and_inf_gauges_round_trip(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_nan", "NaN.").set(float("nan"))
+        registry.gauge("repro_pinf", "Inf.").set(float("inf"))
+        registry.gauge("repro_ninf", "NegInf.").set(float("-inf"))
+        text = registry.render()
+        assert "repro_nan NaN\n" in text
+        assert "repro_pinf +Inf\n" in text
+        assert "repro_ninf -Inf\n" in text
+        values = {b["name"]: b["samples"][0][2]
+                  for b in parse_exposition(text)}
+        assert math.isnan(values["repro_nan"])
+        assert values["repro_pinf"] == float("inf")
+        assert values["repro_ninf"] == float("-inf")
+
+    def test_empty_histograms_render_zero_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_h_seconds", "H.", buckets=(0.1, 1.0),
+                           quantiles=(0.5,))
+        registry.size_histogram("repro_sizes", "S.")
+        text = registry.render()
+        assert 'repro_h_seconds_bucket{le="+Inf"} 0' in text
+        assert "repro_h_seconds_count 0" in text
+        assert 'repro_h_seconds{quantile="0.5"} 0.000000' in text
+        assert 'repro_sizes_bucket{le="+Inf"} 0' in text
+        # Still a parseable exposition (and mergeable across workers).
+        blocks = {b["name"]: b for b in parse_exposition(text)}
+        assert blocks["repro_h_seconds"]["type"] == "histogram"
+        merged = merge_expositions([text, text])
+        assert "repro_h_seconds_count 0" in merged
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_edge_total", "Edges.")
+        nasty = 'quote " backslash \\ newline \n end'
+        counter.inc(labels={"path": nasty})
+        text = registry.render()
+        assert "\n end" not in text.split("# TYPE")[-1].splitlines()[1]
+        (block,) = parse_exposition(text)
+        (series, labels, value, _raw) = block["samples"][0]
+        assert series == "repro_edge_total"
+        assert dict(labels)["path"] == nasty
+        assert value == 1.0
+
+
+class TestQuantileMergeSemantics:
+    def _worker(self, quantile, count):
+        return "\n".join([
+            "# HELP repro_request_latency_seconds Request latency.",
+            "# TYPE repro_request_latency_seconds histogram",
+            f'repro_request_latency_seconds_bucket{{le="+Inf"}} {count}',
+            f"repro_request_latency_seconds_count {count}",
+            f'repro_request_latency_seconds{{quantile="0.99"}} {quantile:.6f}',
+        ]) + "\n"
+
+    def test_quantiles_merge_as_max_and_say_so(self):
+        merged = merge_expositions([self._worker(0.100, 4),
+                                    self._worker(0.250, 6)])
+        # Counts sum; quantiles take the worst worker (an upper bound).
+        assert "repro_request_latency_seconds_count 10" in merged
+        assert 'repro_request_latency_seconds{quantile="0.99"} 0.250000' in merged
+        (block,) = parse_exposition(merged)
+        assert "upper bound" in block["help"]
+        assert "merged as max across workers" in block["help"]
+
+    def test_blocks_without_quantiles_keep_their_help(self):
+        text = ("# HELP repro_requests_total Requests.\n"
+                "# TYPE repro_requests_total counter\n"
+                "repro_requests_total 5\n")
+        merged = merge_expositions([text, text])
+        assert "# HELP repro_requests_total Requests.\n" in merged
+        assert "upper bound" not in merged
+        assert "repro_requests_total 10" in merged
+
+
+# ---------------------------------------------------------------------------
+# Resource sampler cpu_pct (delta-derived)
+# ---------------------------------------------------------------------------
+
+class TestResourceCpuPct:
+    def test_second_sample_onward_carries_cpu_pct(self):
+        from repro.obs.resource import ResourceSampler
+        sink = _ListSink()
+        sampler = ResourceSampler(sink, interval_s=0.02).start()
+        deadline = time.monotonic() + 5.0
+        while (len(sink.records) < 3 and time.monotonic() < deadline):
+            sum(i * i for i in range(1000))     # keep a core warm
+        sampler.stop()
+        samples = [r["attrs"] for r in sink.records
+                   if r["kind"] == "resource"]
+        assert len(samples) >= 3
+        assert "cpu_pct" not in samples[0]       # no delta yet
+        with_pct = [s for s in samples[1:] if "cpu_pct" in s]
+        assert with_pct, "no delta-derived cpu_pct in follow-up samples"
+        assert all(s["cpu_pct"] >= 0.0 for s in with_pct)
+
+
+# ---------------------------------------------------------------------------
+# report_data / CLI surfaces
+# ---------------------------------------------------------------------------
+
+def _full_trace(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    sink = JsonlSink(path)
+    for rec in _cluster_request(1000.0, trace="a"):
+        sink.emit(rec)
+    for rec in _cluster_request(1001.0, status=503, trace="b"):
+        sink.emit(rec)
+    sink.emit(record("resource", "proc.sample",
+                     {"rss_bytes": 1 << 20, "cpu_s": 1.0, "cpu_pct": 12.5}))
+    sink.close()
+    return path
+
+
+class TestReportDataAndCLI:
+    def test_report_data_shape(self, tmp_path):
+        records = obs_store.load_records(_full_trace(tmp_path))
+        doc = obs_report.report_data(records)
+        assert set(doc) >= {"spans", "serving", "resources", "analysis",
+                            "slo", "alerts"}
+        assert doc["serving"]["requests"] == 4      # 2 tiers x 2 requests
+        assert doc["analysis"]["summary"]["requests"] == 2
+        assert doc["resources"]["mean_cpu_pct"] == pytest.approx(12.5)
+        slos = {s["slo"]: s for s in doc["slo"]}
+        assert slos["availability"]["totals"]["6h"] == 2
+        json.dumps(doc)                              # JSON-serialisable
+
+    def test_trace_json_cli(self, tmp_path, capsys):
+        from repro.cli import main
+        path = _full_trace(tmp_path)
+        assert main(["trace", path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["serving"]["requests"] == 4
+
+    def test_trace_analysis_sections(self, tmp_path, capsys):
+        from repro.cli import main
+        path = _full_trace(tmp_path)
+        assert main(["trace", path, "--analyze", "--slo"]) == 0
+        out = capsys.readouterr().out
+        assert "== critical path ==" in out
+        assert "== slo ==" in out
+        assert "availability" in out
+
+    def test_trace_flamegraph_file(self, tmp_path, capsys):
+        from repro.cli import main
+        path = _full_trace(tmp_path)
+        out_path = str(tmp_path / "stacks.folded")
+        assert main(["trace", path, "--flamegraph", out_path]) == 0
+        capsys.readouterr()
+        with open(out_path) as fh:
+            lines = [l for l in fh.read().splitlines() if l]
+        assert lines
+        for line in lines:
+            frames, _, usec = line.rpartition(" ")
+            assert frames and int(usec) > 0
+
+    def test_top_cli_normalises_url(self, monkeypatch, capsys):
+        from repro import cli
+        seen = {}
+
+        def fake_run_top(url, interval_s, iterations, clear):
+            seen.update(url=url, interval_s=interval_s,
+                        iterations=iterations, clear=clear)
+            return 1
+
+        monkeypatch.setattr(obs_top, "run_top", fake_run_top)
+        assert cli.main(["top", "localhost:8000", "--iterations", "1",
+                         "--no-clear"]) == 0
+        assert seen["url"] == "http://localhost:8000/metrics"
+        assert seen["iterations"] == 1 and seen["clear"] is False
